@@ -1,0 +1,278 @@
+//! And-inverter graphs with structural hashing.
+//!
+//! An AIG represents combinational logic with two-input AND nodes and
+//! complemented edges — the representation logic-synthesis tools (ABC,
+//! mockturtle) use and the one the paper's EPFL workload is distributed
+//! in. Node 0 is the constant; nodes `1..=num_inputs` are the primary
+//! inputs; AND nodes follow in topological order by construction.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A literal: an AIG node with an optional complement.
+///
+/// Encoded as `node << 1 | complement`, the AIGER convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Constant false (complement of the constant node).
+    pub const FALSE: Lit = Lit(0);
+    /// Constant true.
+    pub const TRUE: Lit = Lit(1);
+
+    /// Builds a literal from a node index and complement flag.
+    pub fn new(node: u32, complemented: bool) -> Self {
+        Lit(node << 1 | complemented as u32)
+    }
+
+    /// The node this literal points at.
+    pub fn node(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether the edge is complemented.
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complemented literal.
+    #[must_use]
+    pub fn complement(self) -> Self {
+        Lit(self.0 ^ 1)
+    }
+
+    /// The raw AIGER encoding (`2·node + complement`).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Builds a literal from its raw AIGER encoding.
+    pub fn from_raw(raw: u32) -> Self {
+        Lit(raw)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complemented() {
+            write!(f, "!{}", self.node())
+        } else {
+            write!(f, "{}", self.node())
+        }
+    }
+}
+
+/// An and-inverter graph.
+///
+/// # Examples
+///
+/// ```
+/// use facepoint_aig::{Aig, Lit};
+///
+/// // f = (a ∧ b) ∨ c, built from ANDs and inverters.
+/// let mut aig = Aig::new(3);
+/// let (a, b, c) = (aig.input(0), aig.input(1), aig.input(2));
+/// let ab = aig.and(a, b);
+/// let f = aig.or(ab, c);
+/// aig.add_output(f);
+/// assert_eq!(aig.num_ands(), 2); // or = !(!(ab) ∧ !c)
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aig {
+    /// Fanins per node; inputs and the constant store `None`.
+    nodes: Vec<Option<(Lit, Lit)>>,
+    num_inputs: usize,
+    outputs: Vec<Lit>,
+    strash: HashMap<(Lit, Lit), u32>,
+}
+
+impl Aig {
+    /// Creates an AIG with `num_inputs` primary inputs and no gates.
+    pub fn new(num_inputs: usize) -> Self {
+        Aig {
+            nodes: vec![None; num_inputs + 1],
+            num_inputs,
+            outputs: Vec::new(),
+            strash: HashMap::new(),
+        }
+    }
+
+    /// The literal of primary input `i` (uncomplemented).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_inputs`.
+    pub fn input(&self, i: usize) -> Lit {
+        assert!(i < self.num_inputs, "input index {i} out of range");
+        Lit::new(i as u32 + 1, false)
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Total number of nodes (constant + inputs + ANDs).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of AND gates.
+    pub fn num_ands(&self) -> usize {
+        self.nodes.len() - self.num_inputs - 1
+    }
+
+    /// The primary outputs.
+    pub fn outputs(&self) -> &[Lit] {
+        &self.outputs
+    }
+
+    /// Registers a primary output.
+    pub fn add_output(&mut self, lit: Lit) {
+        assert!(
+            (lit.node() as usize) < self.nodes.len(),
+            "output literal references unknown node"
+        );
+        self.outputs.push(lit);
+    }
+
+    /// Whether `node` is a primary input.
+    pub fn is_input(&self, node: u32) -> bool {
+        node >= 1 && (node as usize) <= self.num_inputs
+    }
+
+    /// Whether `node` is the constant node.
+    pub fn is_const(&self, node: u32) -> bool {
+        node == 0
+    }
+
+    /// Fanins of an AND node, `None` for inputs/constant.
+    pub fn fanins(&self, node: u32) -> Option<(Lit, Lit)> {
+        self.nodes[node as usize]
+    }
+
+    /// Creates (or reuses) the AND of two literals, with constant folding
+    /// and structural hashing.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        // Constant folding.
+        if a == Lit::FALSE || b == Lit::FALSE || a == b.complement() {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if b == Lit::TRUE || a == b {
+            return a;
+        }
+        assert!(
+            (a.node() as usize) < self.nodes.len() && (b.node() as usize) < self.nodes.len(),
+            "fanin literal references unknown node"
+        );
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&node) = self.strash.get(&key) {
+            return Lit::new(node, false);
+        }
+        let node = self.nodes.len() as u32;
+        self.nodes.push(Some(key));
+        self.strash.insert(key, node);
+        Lit::new(node, false)
+    }
+
+    /// `a ∨ b` via De Morgan.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        self.and(a.complement(), b.complement()).complement()
+    }
+
+    /// `a ⊕ b` (three ANDs: `¬(¬(a ∧ ¬b) ∧ ¬(¬a ∧ b))`).
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let left = self.and(a, b.complement());
+        let right = self.and(a.complement(), b);
+        self.or(left, right)
+    }
+
+    /// `if s then t else e` (two ANDs + OR).
+    pub fn mux(&mut self, s: Lit, t: Lit, e: Lit) -> Lit {
+        let on = self.and(s, t);
+        let off = self.and(s.complement(), e);
+        self.or(on, off)
+    }
+
+    /// `¬(a ∧ b)`.
+    pub fn nand(&mut self, a: Lit, b: Lit) -> Lit {
+        self.and(a, b).complement()
+    }
+
+    /// Majority of three literals (used by adders and voters).
+    pub fn maj3(&mut self, a: Lit, b: Lit, c: Lit) -> Lit {
+        let ab = self.and(a, b);
+        let ac = self.and(a, c);
+        let bc = self.and(b, c);
+        let t = self.or(ab, ac);
+        self.or(t, bc)
+    }
+
+    /// Indices of all AND nodes in topological order.
+    pub fn and_nodes(&self) -> impl Iterator<Item = u32> + '_ {
+        (self.num_inputs as u32 + 1..self.nodes.len() as u32).filter(move |&n| !self.is_input(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding() {
+        let l = Lit::new(5, true);
+        assert_eq!(l.node(), 5);
+        assert!(l.is_complemented());
+        assert_eq!(l.complement().raw(), 10);
+        assert_eq!(Lit::from_raw(11), l);
+        assert_eq!(format!("{l}"), "!5");
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut aig = Aig::new(2);
+        let a = aig.input(0);
+        assert_eq!(aig.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(aig.and(Lit::TRUE, a), a);
+        assert_eq!(aig.and(a, a), a);
+        assert_eq!(aig.and(a, a.complement()), Lit::FALSE);
+        assert_eq!(aig.num_ands(), 0, "folding creates no nodes");
+    }
+
+    #[test]
+    fn structural_hashing_dedups() {
+        let mut aig = Aig::new(2);
+        let (a, b) = (aig.input(0), aig.input(1));
+        let x = aig.and(a, b);
+        let y = aig.and(b, a);
+        assert_eq!(x, y, "commuted fanins share a node");
+        assert_eq!(aig.num_ands(), 1);
+    }
+
+    #[test]
+    fn xor_is_three_gates() {
+        let mut aig = Aig::new(2);
+        let (a, b) = (aig.input(0), aig.input(1));
+        let _ = aig.xor(a, b);
+        assert_eq!(aig.num_ands(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_input_index() {
+        let aig = Aig::new(2);
+        let _ = aig.input(2);
+    }
+
+    #[test]
+    fn outputs_recorded() {
+        let mut aig = Aig::new(1);
+        let a = aig.input(0);
+        aig.add_output(a.complement());
+        assert_eq!(aig.outputs(), &[a.complement()]);
+    }
+}

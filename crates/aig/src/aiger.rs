@@ -1,0 +1,244 @@
+//! ASCII AIGER (`aag`) serialization.
+//!
+//! The EPFL benchmarks — and most logic-synthesis interchange — use the
+//! AIGER format. Supporting it makes the cut-extraction pipeline usable
+//! on real benchmark files when they are available, and round-trips our
+//! synthetic circuits for external inspection. Combinational subset only
+//! (no latches).
+
+use crate::aig::{Aig, Lit};
+use std::fmt::Write as _;
+
+/// Errors from AIGER parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AigerError {
+    /// The header line is missing or malformed.
+    BadHeader(String),
+    /// A body line failed to parse.
+    BadLine(String),
+    /// The file declares latches, which this reader does not support.
+    LatchesUnsupported,
+    /// Literal count mismatch or dangling reference.
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for AigerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AigerError::BadHeader(l) => write!(f, "malformed aag header: {l:?}"),
+            AigerError::BadLine(l) => write!(f, "malformed aag line: {l:?}"),
+            AigerError::LatchesUnsupported => write!(f, "latches are not supported"),
+            AigerError::Inconsistent(m) => write!(f, "inconsistent aag file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AigerError {}
+
+impl Aig {
+    /// Serializes to ASCII AIGER (`aag`).
+    ///
+    /// Node numbering follows the internal layout: inputs first, then AND
+    /// nodes in topological order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use facepoint_aig::Aig;
+    ///
+    /// let mut aig = Aig::new(2);
+    /// let (a, b) = (aig.input(0), aig.input(1));
+    /// let g = aig.and(a, b);
+    /// aig.add_output(g);
+    /// let text = aig.to_aiger();
+    /// assert!(text.starts_with("aag 3 2 0 1 1"));
+    /// let back = Aig::from_aiger(&text)?;
+    /// assert_eq!(back.output_truth_tables().unwrap(), aig.output_truth_tables().unwrap());
+    /// # Ok::<(), facepoint_aig::AigerError>(())
+    /// ```
+    pub fn to_aiger(&self) -> String {
+        let m = self.num_nodes() - 1; // maximum variable index
+        let i = self.num_inputs();
+        let o = self.outputs().len();
+        let a = self.num_ands();
+        let mut s = String::new();
+        writeln!(s, "aag {m} {i} 0 {o} {a}").expect("string write");
+        for idx in 0..i {
+            writeln!(s, "{}", self.input(idx).raw()).expect("string write");
+        }
+        for &out in self.outputs() {
+            writeln!(s, "{}", out.raw()).expect("string write");
+        }
+        for node in self.and_nodes() {
+            let (l, r) = self.fanins(node).expect("AND node");
+            writeln!(s, "{} {} {}", Lit::new(node, false).raw(), l.raw(), r.raw())
+                .expect("string write");
+        }
+        s
+    }
+
+    /// Parses an ASCII AIGER (`aag`) file.
+    ///
+    /// Supports the combinational subset: zero latches, no symbol table
+    /// requirements (symbol/comment sections are ignored). AND fanins may
+    /// reference any lower-numbered node (the standard topological
+    /// guarantee).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AigerError`] for malformed headers/lines, latch
+    /// declarations, or dangling literals.
+    pub fn from_aiger(text: &str) -> Result<Self, AigerError> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(|| AigerError::BadHeader(String::new()))?;
+        let parts: Vec<&str> = header.split_whitespace().collect();
+        if parts.len() != 6 || parts[0] != "aag" {
+            return Err(AigerError::BadHeader(header.to_string()));
+        }
+        let nums: Vec<usize> = parts[1..]
+            .iter()
+            .map(|p| p.parse().map_err(|_| AigerError::BadHeader(header.to_string())))
+            .collect::<Result<_, _>>()?;
+        let (m, i, l, o, a) = (nums[0], nums[1], nums[2], nums[3], nums[4]);
+        if l != 0 {
+            return Err(AigerError::LatchesUnsupported);
+        }
+        if m < i + a {
+            return Err(AigerError::Inconsistent(format!(
+                "header: M = {m} < I + A = {}",
+                i + a
+            )));
+        }
+        let mut aig = Aig::new(i);
+        // Input lines: expected to be 2, 4, …, 2i in order.
+        for k in 0..i {
+            let line = lines
+                .next()
+                .ok_or_else(|| AigerError::BadLine("missing input line".into()))?;
+            let lit: u32 = line
+                .trim()
+                .parse()
+                .map_err(|_| AigerError::BadLine(line.to_string()))?;
+            if lit != 2 * (k as u32 + 1) {
+                return Err(AigerError::Inconsistent(format!(
+                    "input {k} declared as literal {lit}"
+                )));
+            }
+        }
+        let mut output_lits = Vec::with_capacity(o);
+        for _ in 0..o {
+            let line = lines
+                .next()
+                .ok_or_else(|| AigerError::BadLine("missing output line".into()))?;
+            let lit: u32 = line
+                .trim()
+                .parse()
+                .map_err(|_| AigerError::BadLine(line.to_string()))?;
+            output_lits.push(lit);
+        }
+        // AND lines. We must rebuild with strashing *disabled* semantics:
+        // our builder dedups, which can renumber nodes. Track a mapping
+        // from file literals to rebuilt literals instead.
+        let mut lit_map: Vec<Option<Lit>> = vec![None; 2 * (m + 1)];
+        lit_map[0] = Some(Lit::FALSE);
+        lit_map[1] = Some(Lit::TRUE);
+        for k in 0..i {
+            let file_lit = 2 * (k + 1);
+            lit_map[file_lit] = Some(aig.input(k));
+            lit_map[file_lit + 1] = Some(aig.input(k).complement());
+        }
+        for _ in 0..a {
+            let line = lines
+                .next()
+                .ok_or_else(|| AigerError::BadLine("missing and line".into()))?;
+            let nums: Vec<u32> = line
+                .split_whitespace()
+                .map(|p| p.parse().map_err(|_| AigerError::BadLine(line.to_string())))
+                .collect::<Result<_, _>>()?;
+            if nums.len() != 3 {
+                return Err(AigerError::BadLine(line.to_string()));
+            }
+            let (lhs, r0, r1) = (nums[0] as usize, nums[1] as usize, nums[2] as usize);
+            if lhs % 2 != 0 || lhs >= lit_map.len() {
+                return Err(AigerError::Inconsistent(format!("bad AND lhs {lhs}")));
+            }
+            let f0 = lit_map
+                .get(r0)
+                .copied()
+                .flatten()
+                .ok_or_else(|| AigerError::Inconsistent(format!("dangling literal {r0}")))?;
+            let f1 = lit_map
+                .get(r1)
+                .copied()
+                .flatten()
+                .ok_or_else(|| AigerError::Inconsistent(format!("dangling literal {r1}")))?;
+            let g = aig.and(f0, f1);
+            lit_map[lhs] = Some(g);
+            lit_map[lhs + 1] = Some(g.complement());
+        }
+        for lit in output_lits {
+            let mapped = lit_map
+                .get(lit as usize)
+                .copied()
+                .flatten()
+                .ok_or_else(|| AigerError::Inconsistent(format!("dangling output {lit}")))?;
+            aig.add_output(mapped);
+        }
+        Ok(aig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn roundtrip_preserves_behaviour() {
+        for aig in [
+            generators::ripple_carry_adder(3),
+            generators::decoder(3),
+            generators::parity_tree(5),
+            generators::random_logic(6, 40, 11),
+        ] {
+            let text = aig.to_aiger();
+            let back = Aig::from_aiger(&text).expect("roundtrip parse");
+            assert_eq!(back.num_inputs(), aig.num_inputs());
+            assert_eq!(back.outputs().len(), aig.outputs().len());
+            assert_eq!(
+                back.output_truth_tables().unwrap(),
+                aig.output_truth_tables().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn parses_handwritten_example() {
+        // Half adder from the AIGER spec family: sum and carry of a, b.
+        let text = "aag 5 2 0 2 3\n2\n4\n10\n6\n6 2 4\n8 3 5\n10 7 9\n";
+        let aig = Aig::from_aiger(text).expect("valid file");
+        assert_eq!(aig.num_inputs(), 2);
+        let tts = aig.output_truth_tables().unwrap();
+        // Output 0 (literal 10) is XOR (sum), output 1 (literal 6) is AND
+        // (carry).
+        assert_eq!(tts[0], facepoint_truth::TruthTable::parity(2));
+        assert_eq!(tts[1].to_hex(), "8");
+    }
+
+    #[test]
+    fn rejects_latches() {
+        let text = "aag 1 0 1 0 0\n2 3\n";
+        assert!(matches!(
+            Aig::from_aiger(text),
+            Err(AigerError::LatchesUnsupported)
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Aig::from_aiger("not an aiger file").is_err());
+        assert!(Aig::from_aiger("aag 1 2 3").is_err());
+        assert!(Aig::from_aiger("aag 2 1 0 1 1\n2\n4\n4 2 99\n").is_err());
+    }
+}

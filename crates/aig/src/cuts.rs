@@ -1,0 +1,333 @@
+//! K-feasible cut enumeration with priority-cut pruning.
+//!
+//! A *cut* of node `v` is a set of nodes (leaves) such that every path
+//! from the inputs to `v` passes through a leaf; a cut is `k`-feasible if
+//! it has at most `k` leaves. The paper extracts its workload by
+//! enumerating cuts over the EPFL benchmarks and keeping each cut's
+//! function — this module implements the standard bottom-up enumeration
+//! (merge fanin cut sets, filter dominated cuts, keep the `C` best per
+//! node) used by technology mappers.
+
+use crate::aig::Aig;
+
+/// A cut: sorted leaf nodes plus a 64-bit Bloom-style signature for fast
+/// dominance pre-checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cut {
+    leaves: Vec<u32>,
+    signature: u64,
+}
+
+impl Cut {
+    /// The trivial cut `{node}`.
+    pub fn trivial(node: u32) -> Self {
+        Cut {
+            leaves: vec![node],
+            signature: 1u64 << (node % 64),
+        }
+    }
+
+    /// The sorted leaf nodes.
+    pub fn leaves(&self) -> &[u32] {
+        &self.leaves
+    }
+
+    /// Number of leaves.
+    pub fn size(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Merges two cuts; `None` if the union exceeds `k` leaves.
+    pub fn merge(&self, other: &Cut, k: usize) -> Option<Cut> {
+        // Cheap reject: the union's signature popcount lower-bounds the
+        // true leaf count only loosely, but a full merge is linear anyway.
+        let mut leaves = Vec::with_capacity(self.leaves.len() + other.leaves.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.leaves.len() || j < other.leaves.len() {
+            if leaves.len() > k {
+                return None;
+            }
+            let next = match (self.leaves.get(i), other.leaves.get(j)) {
+                (Some(&a), Some(&b)) if a == b => {
+                    i += 1;
+                    j += 1;
+                    a
+                }
+                (Some(&a), Some(&b)) if a < b => {
+                    i += 1;
+                    a
+                }
+                (Some(_), Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (Some(&a), None) => {
+                    i += 1;
+                    a
+                }
+                (None, Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (None, None) => unreachable!(),
+            };
+            leaves.push(next);
+        }
+        if leaves.len() > k {
+            return None;
+        }
+        Some(Cut {
+            signature: self.signature | other.signature,
+            leaves,
+        })
+    }
+
+    /// Whether `self` dominates `other` (`self ⊆ other`): the dominated
+    /// cut is redundant for enumeration purposes.
+    pub fn dominates(&self, other: &Cut) -> bool {
+        if self.leaves.len() > other.leaves.len()
+            || self.signature & !other.signature != 0
+        {
+            return false;
+        }
+        self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+    }
+}
+
+/// Which cuts survive when a node's cut list exceeds the cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CutPriority {
+    /// Keep the smallest cuts — the technology-mapping default (small
+    /// cuts are cheaper to implement).
+    #[default]
+    SmallFirst,
+    /// Keep the largest cuts — the function-harvesting setting: wide
+    /// cuts are the scarce resource when extracting functions of large
+    /// support (see [`Extractor::for_support`](crate::Extractor)).
+    LargeFirst,
+}
+
+/// Configuration for cut enumeration.
+#[derive(Debug, Clone, Copy)]
+pub struct CutConfig {
+    /// Maximum leaves per cut (`k`).
+    pub max_leaves: usize,
+    /// Maximum cuts kept per node. The trivial cut does not count
+    /// against the limit.
+    pub max_cuts_per_node: usize,
+    /// Which cuts to keep when truncating.
+    pub priority: CutPriority,
+}
+
+impl Default for CutConfig {
+    /// `k = 6`, 20 cuts per node — typical technology-mapping settings.
+    fn default() -> Self {
+        CutConfig {
+            max_leaves: 6,
+            max_cuts_per_node: 20,
+            priority: CutPriority::SmallFirst,
+        }
+    }
+}
+
+/// All enumerated cuts, indexed by node.
+#[derive(Debug)]
+pub struct CutSet {
+    cuts: Vec<Vec<Cut>>,
+}
+
+impl CutSet {
+    /// The cuts of `node` (first entry is the trivial cut).
+    pub fn of(&self, node: u32) -> &[Cut] {
+        &self.cuts[node as usize]
+    }
+
+    /// Total number of cuts across all nodes.
+    pub fn total(&self) -> usize {
+        self.cuts.iter().map(Vec::len).sum()
+    }
+
+    /// Iterates `(node, cut)` over all non-trivial cuts.
+    pub fn non_trivial(&self) -> impl Iterator<Item = (u32, &Cut)> + '_ {
+        self.cuts.iter().enumerate().flat_map(|(node, cuts)| {
+            cuts.iter()
+                .filter(move |c| !(c.size() == 1 && c.leaves()[0] == node as u32))
+                .map(move |c| (node as u32, c))
+        })
+    }
+}
+
+/// Enumerates k-feasible cuts for every node of the AIG.
+pub fn enumerate_cuts(aig: &Aig, config: &CutConfig) -> CutSet {
+    let k = config.max_leaves;
+    let cap = config.max_cuts_per_node;
+    let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); aig.num_nodes()];
+    // Constant node: no cuts. Inputs: the trivial cut.
+    for i in 0..aig.num_inputs() {
+        let node = aig.input(i).node();
+        cuts[node as usize] = vec![Cut::trivial(node)];
+    }
+    let sort_by_priority = |v: &mut Vec<Cut>| match config.priority {
+        CutPriority::SmallFirst => {
+            v.sort_by(|x, y| x.size().cmp(&y.size()).then_with(|| x.leaves.cmp(&y.leaves)))
+        }
+        CutPriority::LargeFirst => {
+            v.sort_by(|x, y| y.size().cmp(&x.size()).then_with(|| x.leaves.cmp(&y.leaves)))
+        }
+    };
+    for node in aig.and_nodes() {
+        let (a, b) = aig.fanins(node).expect("AND node");
+        let mut merged: Vec<Cut> = Vec::new();
+        for ca in &cuts[a.node() as usize] {
+            for cb in &cuts[b.node() as usize] {
+                if let Some(c) = ca.merge(cb, k) {
+                    match config.priority {
+                        // Mapping mode: full dominance filtering keeps
+                        // the cut list an antichain.
+                        CutPriority::SmallFirst => {
+                            if !merged.iter().any(|m| m.dominates(&c)) {
+                                merged.retain(|m| !c.dominates(m));
+                                merged.push(c);
+                            }
+                        }
+                        // Harvest mode: dominated (superset) cuts shrink
+                        // to the same function anyway, so skip the
+                        // quadratic dominance pass and only drop exact
+                        // duplicates.
+                        CutPriority::LargeFirst => {
+                            if !merged.iter().any(|m| m.leaves == c.leaves) {
+                                merged.push(c);
+                            }
+                        }
+                    }
+                    // Keep the working list bounded so duplicate and
+                    // dominance scans stay O(cap) — classic priority-cut
+                    // behaviour (may drop non-dominated cuts, which is
+                    // the accepted trade-off).
+                    if merged.len() >= 2 * cap + 16 {
+                        sort_by_priority(&mut merged);
+                        merged.truncate(cap);
+                    }
+                }
+            }
+        }
+        sort_by_priority(&mut merged);
+        merged.truncate(cap);
+        let mut node_cuts = vec![Cut::trivial(node)];
+        node_cuts.append(&mut merged);
+        cuts[node as usize] = node_cuts;
+    }
+    CutSet { cuts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_aig(depth: usize) -> Aig {
+        // x0 ∧ x1 ∧ … ∧ x_depth as a chain.
+        let mut aig = Aig::new(depth + 1);
+        let mut acc = aig.input(0);
+        for i in 1..=depth {
+            let x = aig.input(i);
+            acc = aig.and(acc, x);
+        }
+        aig.add_output(acc);
+        aig
+    }
+
+    #[test]
+    fn trivial_and_merged_cuts() {
+        let aig = chain_aig(2); // (x0 ∧ x1) ∧ x2
+        let cuts = enumerate_cuts(&aig, &CutConfig::default());
+        let top = aig.outputs()[0].node();
+        let of_top = cuts.of(top);
+        // Trivial cut + {and01, x2} + {x0, x1, x2}.
+        assert_eq!(of_top.len(), 3);
+        assert_eq!(of_top[0].leaves(), &[top]);
+        assert!(of_top.iter().any(|c| c.size() == 3));
+    }
+
+    #[test]
+    fn k_limit_respected() {
+        let aig = chain_aig(7);
+        let cfg = CutConfig {
+            max_leaves: 4,
+            max_cuts_per_node: 50,
+            priority: CutPriority::default(),
+        };
+        let cuts = enumerate_cuts(&aig, &cfg);
+        for node in 0..aig.num_nodes() as u32 {
+            for c in cuts.of(node) {
+                assert!(c.size() <= 4, "node {node} cut too large");
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_filtering() {
+        let a = Cut {
+            leaves: vec![1, 2],
+            signature: 0b110,
+        };
+        let b = Cut {
+            leaves: vec![1, 2, 3],
+            signature: 0b1110,
+        };
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(a.dominates(&a));
+    }
+
+    #[test]
+    fn merge_respects_k() {
+        let a = Cut {
+            leaves: vec![1, 2, 3],
+            signature: 0b1110,
+        };
+        let b = Cut {
+            leaves: vec![4, 5],
+            signature: 0b110000,
+        };
+        assert!(a.merge(&b, 4).is_none());
+        let m = a.merge(&b, 5).unwrap();
+        assert_eq!(m.leaves(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn merge_dedups_shared_leaves() {
+        let a = Cut {
+            leaves: vec![1, 2],
+            signature: 0b110,
+        };
+        let b = Cut {
+            leaves: vec![2, 3],
+            signature: 0b1100,
+        };
+        let m = a.merge(&b, 3).unwrap();
+        assert_eq!(m.leaves(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn cap_limits_cut_count() {
+        let aig = chain_aig(10);
+        let cfg = CutConfig {
+            max_leaves: 8,
+            max_cuts_per_node: 3,
+            priority: CutPriority::default(),
+        };
+        let cuts = enumerate_cuts(&aig, &cfg);
+        for node in 0..aig.num_nodes() as u32 {
+            assert!(cuts.of(node).len() <= 4, "trivial + 3 at node {node}");
+        }
+    }
+
+    #[test]
+    fn non_trivial_iterator_skips_trivials() {
+        let aig = chain_aig(3);
+        let cuts = enumerate_cuts(&aig, &CutConfig::default());
+        for (node, cut) in cuts.non_trivial() {
+            assert!(!(cut.size() == 1 && cut.leaves()[0] == node));
+        }
+    }
+}

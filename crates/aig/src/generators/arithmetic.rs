@@ -1,0 +1,306 @@
+//! Arithmetic circuit generators (the EPFL "arithmetic" family).
+
+use crate::aig::{Aig, Lit};
+
+/// A `bits`-wide ripple-carry adder: inputs `a[0..bits]`, `b[0..bits]`
+/// (interleaved as `a0, b0, a1, b1, …`), outputs `sum[0..bits]` then
+/// `carry`.
+///
+/// The interleaved input order keeps each full adder's cone local, which
+/// produces the same cut-function mix as the EPFL `adder`.
+pub fn ripple_carry_adder(bits: usize) -> Aig {
+    assert!(bits >= 1, "adder needs at least one bit");
+    let mut aig = Aig::new(2 * bits);
+    let mut carry = Lit::FALSE;
+    let mut sums = Vec::with_capacity(bits + 1);
+    for i in 0..bits {
+        let a = aig.input(2 * i);
+        let b = aig.input(2 * i + 1);
+        let (s, c) = full_adder(&mut aig, a, b, carry);
+        sums.push(s);
+        carry = c;
+    }
+    for s in sums {
+        aig.add_output(s);
+    }
+    aig.add_output(carry);
+    aig
+}
+
+/// One full adder: returns `(sum, carry_out)`.
+pub fn full_adder(aig: &mut Aig, a: Lit, b: Lit, cin: Lit) -> (Lit, Lit) {
+    let axb = aig.xor(a, b);
+    let sum = aig.xor(axb, cin);
+    let carry = aig.maj3(a, b, cin);
+    (sum, carry)
+}
+
+/// A `bits × bits` array multiplier: inputs `a[0..bits]` then
+/// `b[0..bits]`, outputs the `2·bits` product bits, LSB first.
+pub fn array_multiplier(bits: usize) -> Aig {
+    assert!(bits >= 1, "multiplier needs at least one bit");
+    let mut aig = Aig::new(2 * bits);
+    let a: Vec<Lit> = (0..bits).map(|i| aig.input(i)).collect();
+    let b: Vec<Lit> = (0..bits).map(|i| aig.input(bits + i)).collect();
+    // Partial products, added column by column with carry-save chains.
+    let mut columns: Vec<Vec<Lit>> = vec![Vec::new(); 2 * bits];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let pp = aig.and(ai, bj);
+            columns[i + j].push(pp);
+        }
+    }
+    let mut outputs = Vec::with_capacity(2 * bits);
+    for col in 0..2 * bits {
+        while columns[col].len() > 1 {
+            if columns[col].len() >= 3 {
+                let x = columns[col].pop().expect("len >= 3");
+                let y = columns[col].pop().expect("len >= 2");
+                let z = columns[col].pop().expect("len >= 1");
+                let (s, c) = full_adder(&mut aig, x, y, z);
+                columns[col].push(s);
+                columns[col + 1].push(c);
+            } else {
+                let x = columns[col].pop().expect("len == 2");
+                let y = columns[col].pop().expect("len == 1");
+                let s = aig.xor(x, y);
+                let c = aig.and(x, y);
+                columns[col].push(s);
+                columns[col + 1].push(c);
+            }
+        }
+        outputs.push(columns[col].first().copied().unwrap_or(Lit::FALSE));
+    }
+    for o in outputs {
+        aig.add_output(o);
+    }
+    aig
+}
+
+/// A squarer: the array multiplier with both operands tied to the same
+/// `bits` inputs (EPFL `square` analog).
+pub fn squarer(bits: usize) -> Aig {
+    assert!(bits >= 1, "squarer needs at least one bit");
+    let mut aig = Aig::new(bits);
+    let a: Vec<Lit> = (0..bits).map(|i| aig.input(i)).collect();
+    let mut columns: Vec<Vec<Lit>> = vec![Vec::new(); 2 * bits];
+    for i in 0..bits {
+        for j in 0..bits {
+            let pp = aig.and(a[i], a[j]);
+            columns[i + j].push(pp);
+        }
+    }
+    let mut outputs = Vec::with_capacity(2 * bits);
+    for col in 0..2 * bits {
+        while columns[col].len() > 1 {
+            let x = columns[col].pop().expect("len >= 2");
+            let y = columns[col].pop().expect("len >= 1");
+            if let Some(z) = columns[col].pop() {
+                let (s, c) = full_adder(&mut aig, x, y, z);
+                columns[col].push(s);
+                columns[col + 1].push(c);
+            } else {
+                let s = aig.xor(x, y);
+                let c = aig.and(x, y);
+                columns[col].push(s);
+                columns[col + 1].push(c);
+            }
+        }
+        outputs.push(columns[col].first().copied().unwrap_or(Lit::FALSE));
+    }
+    for o in outputs {
+        aig.add_output(o);
+    }
+    aig
+}
+
+/// A barrel rotator over `2^log_width` data inputs and `log_width` shift
+/// inputs (EPFL `bar` analog): output `i` is
+/// `data[(i + shift) mod width]`.
+pub fn barrel_shifter(log_width: usize) -> Aig {
+    assert!(log_width >= 1, "barrel shifter needs at least one stage");
+    let width = 1usize << log_width;
+    let mut aig = Aig::new(width + log_width);
+    let mut stage: Vec<Lit> = (0..width).map(|i| aig.input(i)).collect();
+    for s in 0..log_width {
+        let sel = aig.input(width + s);
+        let amount = 1usize << s;
+        let mut next = Vec::with_capacity(width);
+        for i in 0..width {
+            let rotated = stage[(i + amount) % width];
+            let kept = stage[i];
+            next.push(aig.mux(sel, rotated, kept));
+        }
+        stage = next;
+    }
+    for o in stage {
+        aig.add_output(o);
+    }
+    aig
+}
+
+/// An unsigned comparator: inputs `a[0..bits]` then `b[0..bits]`, single
+/// output `a < b`.
+pub fn comparator(bits: usize) -> Aig {
+    assert!(bits >= 1, "comparator needs at least one bit");
+    let mut aig = Aig::new(2 * bits);
+    let mut lt = Lit::FALSE;
+    // From LSB to MSB: lt = (¬a ∧ b) ∨ ((a ≡ b) ∧ lt_prev).
+    for i in 0..bits {
+        let a = aig.input(i);
+        let b = aig.input(bits + i);
+        let na_b = aig.and(a.complement(), b);
+        let eq = aig.xor(a, b).complement();
+        let keep = aig.and(eq, lt);
+        lt = aig.or(na_b, keep);
+    }
+    aig.add_output(lt);
+    aig
+}
+
+/// A max unit (EPFL `max` analog): outputs `max(a, b)` bitwise, plus the
+/// comparison bit.
+pub fn max_unit(bits: usize) -> Aig {
+    assert!(bits >= 1, "max unit needs at least one bit");
+    let mut aig = Aig::new(2 * bits);
+    let mut lt = Lit::FALSE; // a < b
+    for i in 0..bits {
+        let a = aig.input(i);
+        let b = aig.input(bits + i);
+        let na_b = aig.and(a.complement(), b);
+        let eq = aig.xor(a, b).complement();
+        let keep = aig.and(eq, lt);
+        lt = aig.or(na_b, keep);
+    }
+    let mut outs = Vec::with_capacity(bits + 1);
+    for i in 0..bits {
+        let a = aig.input(i);
+        let b = aig.input(bits + i);
+        outs.push(aig.mux(lt, b, a));
+    }
+    for o in outs {
+        aig.add_output(o);
+    }
+    aig.add_output(lt);
+    aig
+}
+
+/// A balanced XOR tree over `n` inputs (parity).
+pub fn parity_tree(n: usize) -> Aig {
+    assert!(n >= 1, "parity needs at least one input");
+    let mut aig = Aig::new(n);
+    let mut layer: Vec<Lit> = (0..n).map(|i| aig.input(i)).collect();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            next.push(if pair.len() == 2 {
+                aig.xor(pair[0], pair[1])
+            } else {
+                pair[0]
+            });
+        }
+        layer = next;
+    }
+    aig.add_output(layer[0]);
+    aig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outputs_as_u64(aig: &Aig, minterm: u64) -> u64 {
+        aig.evaluate(minterm)
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (b as u64) << i)
+            .sum()
+    }
+
+    #[test]
+    fn adder_adds() {
+        let bits = 4;
+        let aig = ripple_carry_adder(bits);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let mut m = 0u64;
+                for i in 0..bits {
+                    m |= ((a >> i) & 1) << (2 * i);
+                    m |= ((b >> i) & 1) << (2 * i + 1);
+                }
+                assert_eq!(outputs_as_u64(&aig, m), a + b, "{a} + {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_multiplies() {
+        let bits = 3;
+        let aig = array_multiplier(bits);
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                let m = a | (b << bits);
+                assert_eq!(outputs_as_u64(&aig, m), a * b, "{a} × {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn squarer_squares() {
+        let bits = 4;
+        let aig = squarer(bits);
+        for a in 0..16u64 {
+            assert_eq!(outputs_as_u64(&aig, a), a * a, "{a}²");
+        }
+    }
+
+    #[test]
+    fn barrel_rotates() {
+        let log_width = 3;
+        let width = 1u64 << log_width;
+        let aig = barrel_shifter(log_width);
+        for data in [0b1011_0010u64, 0b0000_0001, 0b1111_0000] {
+            for shift in 0..width {
+                let m = data | (shift << width);
+                let out = outputs_as_u64(&aig, m);
+                // Output i reads data[(i + shift) mod width]: a right
+                // rotation by `shift` within `width` bits.
+                let expect =
+                    ((data >> shift) | (data << (width as u64 - shift))) & ((1 << width) - 1);
+                assert_eq!(out, expect, "data {data:#b} shift {shift}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_compares() {
+        let bits = 4;
+        let aig = comparator(bits);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let m = a | (b << bits);
+                assert_eq!(outputs_as_u64(&aig, m) == 1, a < b, "{a} < {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_selects_larger() {
+        let bits = 3;
+        let aig = max_unit(bits);
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                let m = a | (b << bits);
+                let out = outputs_as_u64(&aig, m) & 0b111;
+                assert_eq!(out, a.max(b), "max({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_tree_is_parity() {
+        let aig = parity_tree(6);
+        let tts = aig.output_truth_tables().unwrap();
+        assert_eq!(tts[0], facepoint_truth::TruthTable::parity(6));
+    }
+}

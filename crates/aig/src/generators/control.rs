@@ -1,0 +1,176 @@
+//! Control-logic generators (the EPFL "random/control" family).
+
+use crate::aig::{Aig, Lit};
+use crate::generators::arithmetic::full_adder;
+
+/// A `sel_bits`-to-`2^sel_bits` one-hot decoder (EPFL `dec` analog).
+pub fn decoder(sel_bits: usize) -> Aig {
+    assert!(sel_bits >= 1, "decoder needs at least one select bit");
+    let mut aig = Aig::new(sel_bits);
+    let lines = 1usize << sel_bits;
+    let mut outs = Vec::with_capacity(lines);
+    for line in 0..lines {
+        let mut acc = Lit::TRUE;
+        for s in 0..sel_bits {
+            let sel = aig.input(s);
+            let lit = if (line >> s) & 1 == 1 { sel } else { sel.complement() };
+            acc = aig.and(acc, lit);
+        }
+        outs.push(acc);
+    }
+    for o in outs {
+        aig.add_output(o);
+    }
+    aig
+}
+
+/// A priority arbiter over `n` request lines (EPFL `arbiter`/`priority`
+/// analog): grant `i` rises iff request `i` is the lowest-index active
+/// request.
+pub fn priority_arbiter(n: usize) -> Aig {
+    assert!(n >= 1, "arbiter needs at least one request");
+    let mut aig = Aig::new(n);
+    let mut blocked = Lit::FALSE; // some lower-index request active
+    let mut outs = Vec::with_capacity(n);
+    for i in 0..n {
+        let req = aig.input(i);
+        outs.push(aig.and(req, blocked.complement()));
+        blocked = aig.or(blocked, req);
+    }
+    for o in outs {
+        aig.add_output(o);
+    }
+    aig
+}
+
+/// A majority voter over `n` (odd) inputs (EPFL `voter` analog): counts
+/// the active inputs with a full-adder tree and compares against
+/// `(n+1)/2`.
+pub fn majority_voter(n: usize) -> Aig {
+    assert!(n % 2 == 1, "voter needs an odd input count");
+    let mut aig = Aig::new(n);
+    // Carry-save population count: `bits[k]` holds weight-2^k wires.
+    let mut bits: Vec<Vec<Lit>> = vec![(0..n).map(|i| aig.input(i)).collect()];
+    let mut k = 0;
+    loop {
+        while bits[k].len() >= 2 {
+            if bits[k].len() >= 3 {
+                let a = bits[k].pop().expect("len >= 3");
+                let b = bits[k].pop().expect("len >= 2");
+                let c = bits[k].pop().expect("len >= 1");
+                let (s, carry) = full_adder(&mut aig, a, b, c);
+                bits[k].push(s);
+                if bits.len() == k + 1 {
+                    bits.push(Vec::new());
+                }
+                bits[k + 1].push(carry);
+            } else {
+                let a = bits[k].pop().expect("len == 2");
+                let b = bits[k].pop().expect("len == 1");
+                let s = aig.xor(a, b);
+                let carry = aig.and(a, b);
+                bits[k].push(s);
+                if bits.len() == k + 1 {
+                    bits.push(Vec::new());
+                }
+                bits[k + 1].push(carry);
+            }
+        }
+        k += 1;
+        if k >= bits.len() {
+            break;
+        }
+    }
+    // The count is now a plain binary number; compare count >= (n+1)/2.
+    let count: Vec<Lit> = bits.iter().map(|level| level.first().copied().unwrap_or(Lit::FALSE)).collect();
+    let threshold = (n as u64 + 1) / 2;
+    // count >= threshold  ⇔  count + (2^w − threshold) carries out.
+    let width = count.len();
+    let addend = (1u64 << width) - threshold;
+    let mut carry = Lit::FALSE;
+    for (i, &c) in count.iter().enumerate() {
+        let a_bit = if (addend >> i) & 1 == 1 { Lit::TRUE } else { Lit::FALSE };
+        let (_, cout) = full_adder(&mut aig, c, a_bit, carry);
+        carry = cout;
+    }
+    aig.add_output(carry);
+    aig
+}
+
+/// A `2^sel_bits`-way multiplexer tree: data inputs first, then selects
+/// (EPFL control-logic analog).
+pub fn mux_tree(sel_bits: usize) -> Aig {
+    assert!(sel_bits >= 1, "mux tree needs at least one select");
+    let lanes = 1usize << sel_bits;
+    let mut aig = Aig::new(lanes + sel_bits);
+    let mut layer: Vec<Lit> = (0..lanes).map(|i| aig.input(i)).collect();
+    for s in 0..sel_bits {
+        let sel = aig.input(lanes + s);
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for pair in layer.chunks(2) {
+            next.push(aig.mux(sel, pair[1], pair[0]));
+        }
+        layer = next;
+    }
+    aig.add_output(layer[0]);
+    aig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decoder_is_one_hot() {
+        let aig = decoder(3);
+        for sel in 0..8u64 {
+            let outs = aig.evaluate(sel);
+            for (line, &on) in outs.iter().enumerate() {
+                assert_eq!(on, line as u64 == sel, "sel {sel} line {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn arbiter_grants_lowest_active() {
+        let aig = priority_arbiter(5);
+        for reqs in 0..32u64 {
+            let outs = aig.evaluate(reqs);
+            let expect = if reqs == 0 {
+                None
+            } else {
+                Some(reqs.trailing_zeros() as usize)
+            };
+            for (i, &g) in outs.iter().enumerate() {
+                assert_eq!(g, Some(i) == expect, "reqs {reqs:#b} grant {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn voter_is_majority() {
+        for n in [3usize, 5, 7] {
+            let aig = majority_voter(n);
+            let tts = aig.output_truth_tables().unwrap();
+            assert_eq!(
+                tts[0],
+                facepoint_truth::TruthTable::majority(n),
+                "voter({n})"
+            );
+        }
+    }
+
+    #[test]
+    fn mux_tree_selects() {
+        let sel_bits = 2;
+        let lanes = 4u64;
+        let aig = mux_tree(sel_bits);
+        for data in 0..16u64 {
+            for sel in 0..lanes {
+                let m = data | (sel << lanes);
+                let out = aig.evaluate(m)[0];
+                assert_eq!(out, (data >> sel) & 1 == 1, "data {data:#b} sel {sel}");
+            }
+        }
+    }
+}

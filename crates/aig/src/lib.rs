@@ -1,0 +1,56 @@
+//! # facepoint-aig
+//!
+//! And-inverter graphs, k-feasible cut enumeration and a synthetic
+//! EPFL-style benchmark suite — the workload substrate for the DATE 2023
+//! NPN-classification reproduction.
+//!
+//! The paper evaluates its classifier on truth tables "extracted from
+//! \[EPFL\] benchmarks using cut enumeration". This crate rebuilds that
+//! pipeline end to end:
+//!
+//! 1. [`Aig`] — structurally hashed and-inverter graphs with
+//!    constant folding, word-parallel simulation and exhaustive output
+//!    truth tables;
+//! 2. [`generators`] — verified parametric circuits covering the EPFL
+//!    arithmetic family (adder, multiplier, square, barrel shifter, max,
+//!    comparator, parity) and control family (decoder, arbiter, voter,
+//!    mux trees, random logic);
+//! 3. [`enumerate_cuts`] — bottom-up k-feasible cut enumeration with
+//!    dominance filtering and priority-cut capping;
+//! 4. [`Extractor`] / [`cut_workload`] — cut-function truth tables,
+//!    support-shrunk and deduplicated, bucketed by support size;
+//! 5. ASCII AIGER I/O ([`Aig::to_aiger`], [`Aig::from_aiger`]) for
+//!    interchange with real benchmark files.
+//!
+//! # Quick start
+//!
+//! ```
+//! use facepoint_aig::{cut_workload, generators, Extractor};
+//!
+//! // The paper's pipeline on one circuit:
+//! let adder = generators::ripple_carry_adder(8);
+//! let fns = Extractor::for_support(5).extract(&adder);
+//! assert!(fns.iter().all(|f| f.num_vars() == 5));
+//!
+//! // Or over the whole synthetic suite:
+//! let workload = cut_workload(4, 100);
+//! assert!(!workload.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+mod aig;
+mod aiger;
+mod cuts;
+mod extract;
+pub mod generators;
+mod simulate;
+mod suite;
+
+pub use aig::{Aig, Lit};
+pub use aiger::AigerError;
+pub use cuts::{enumerate_cuts, Cut, CutConfig, CutSet};
+pub use extract::{cut_function, Extractor};
+pub use suite::{cut_workload, cut_workload_from, synthetic_suite, Benchmark};

@@ -1,0 +1,176 @@
+//! AIG simulation: word-parallel pattern simulation and exhaustive
+//! truth-table extraction of the primary outputs.
+
+use crate::aig::{Aig, Lit};
+use facepoint_truth::TruthTable;
+
+impl Aig {
+    /// Simulates 64 input patterns at once: `patterns[i]` carries one bit
+    /// per pattern for input `i`; the result carries one word per output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns.len() != num_inputs`.
+    pub fn simulate_words(&self, patterns: &[u64]) -> Vec<u64> {
+        assert_eq!(
+            patterns.len(),
+            self.num_inputs(),
+            "one pattern word per input required"
+        );
+        let mut values = vec![0u64; self.num_nodes()];
+        for (i, &p) in patterns.iter().enumerate() {
+            values[self.input(i).node() as usize] = p;
+        }
+        for node in self.and_nodes() {
+            let (a, b) = self.fanins(node).expect("AND node has fanins");
+            values[node as usize] = lit_value(&values, a) & lit_value(&values, b);
+        }
+        self.outputs()
+            .iter()
+            .map(|&o| lit_value(&values, o))
+            .collect()
+    }
+
+    /// Evaluates the AIG on a single input assignment (bit `i` of
+    /// `minterm` is the value of input `i`).
+    pub fn evaluate(&self, minterm: u64) -> Vec<bool> {
+        let patterns: Vec<u64> = (0..self.num_inputs())
+            .map(|i| if (minterm >> i) & 1 == 1 { u64::MAX } else { 0 })
+            .collect();
+        self.simulate_words(&patterns)
+            .into_iter()
+            .map(|w| w & 1 == 1)
+            .collect()
+    }
+
+    /// Exhaustively computes the truth table of every primary output over
+    /// the primary inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`facepoint_truth::Error::TooManyVariables`] if the AIG
+    /// has more than 16 inputs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use facepoint_aig::Aig;
+    /// use facepoint_truth::TruthTable;
+    ///
+    /// let mut aig = Aig::new(3);
+    /// let (a, b, c) = (aig.input(0), aig.input(1), aig.input(2));
+    /// let m = aig.maj3(a, b, c);
+    /// aig.add_output(m);
+    /// assert_eq!(aig.output_truth_tables()?[0], TruthTable::majority(3));
+    /// # Ok::<(), facepoint_truth::Error>(())
+    /// ```
+    pub fn output_truth_tables(&self) -> facepoint_truth::Result<Vec<TruthTable>> {
+        let n = self.num_inputs();
+        let mut tables: Vec<TruthTable> = Vec::with_capacity(self.num_nodes());
+        tables.push(TruthTable::zero(n)?); // constant node
+        for i in 0..n {
+            tables.push(TruthTable::projection(n, i)?);
+        }
+        for node in self.and_nodes() {
+            let (a, b) = self.fanins(node).expect("AND node has fanins");
+            let ta = lit_table(&tables, a);
+            let tb = lit_table(&tables, b);
+            tables.push(ta & tb);
+        }
+        Ok(self
+            .outputs()
+            .iter()
+            .map(|&o| lit_table(&tables, o))
+            .collect())
+    }
+}
+
+fn lit_value(values: &[u64], lit: Lit) -> u64 {
+    let v = values[lit.node() as usize];
+    if lit.is_complemented() {
+        !v
+    } else {
+        v
+    }
+}
+
+fn lit_table(tables: &[TruthTable], lit: Lit) -> TruthTable {
+    let t = &tables[lit.node() as usize];
+    if lit.is_complemented() {
+        !t
+    } else {
+        t.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_aig() -> Aig {
+        let mut aig = Aig::new(2);
+        let (a, b) = (aig.input(0), aig.input(1));
+        let x = aig.xor(a, b);
+        aig.add_output(x);
+        aig
+    }
+
+    #[test]
+    fn exhaustive_xor() {
+        let aig = xor_aig();
+        let tts = aig.output_truth_tables().unwrap();
+        assert_eq!(tts[0], TruthTable::parity(2));
+    }
+
+    #[test]
+    fn word_simulation_matches_exhaustive() {
+        let mut aig = Aig::new(4);
+        let (a, b, c, d) = (aig.input(0), aig.input(1), aig.input(2), aig.input(3));
+        let m = aig.maj3(a, b, c);
+        let f = aig.mux(d, m, a);
+        aig.add_output(f);
+        let tt = &aig.output_truth_tables().unwrap()[0];
+        // Drive the 16 exhaustive patterns through the word simulator.
+        let patterns: Vec<u64> = (0..4)
+            .map(|i| {
+                let mut w = 0u64;
+                for m in 0..16u64 {
+                    w |= ((m >> i) & 1) << m;
+                }
+                w
+            })
+            .collect();
+        let out = aig.simulate_words(&patterns)[0];
+        for m in 0..16u64 {
+            assert_eq!((out >> m) & 1 == 1, tt.bit(m), "pattern {m}");
+        }
+    }
+
+    #[test]
+    fn evaluate_single_patterns() {
+        let aig = xor_aig();
+        assert_eq!(aig.evaluate(0b00), vec![false]);
+        assert_eq!(aig.evaluate(0b01), vec![true]);
+        assert_eq!(aig.evaluate(0b10), vec![true]);
+        assert_eq!(aig.evaluate(0b11), vec![false]);
+    }
+
+    #[test]
+    fn complemented_output() {
+        let mut aig = Aig::new(1);
+        let a = aig.input(0);
+        aig.add_output(a.complement());
+        let tts = aig.output_truth_tables().unwrap();
+        assert_eq!(tts[0], !&TruthTable::projection(1, 0).unwrap());
+    }
+
+    #[test]
+    fn constant_outputs() {
+        let mut aig = Aig::new(2);
+        aig.add_output(Lit::TRUE);
+        aig.add_output(Lit::FALSE);
+        let tts = aig.output_truth_tables().unwrap();
+        assert_eq!(tts[0], TruthTable::one(2).unwrap());
+        assert_eq!(tts[1], TruthTable::zero(2).unwrap());
+    }
+}

@@ -1,0 +1,129 @@
+//! The synthetic EPFL-style benchmark suite and workload builder.
+//!
+//! [`synthetic_suite`] assembles one representative of each circuit
+//! family; [`cut_workload`] runs the full paper pipeline — cut
+//! enumeration over every suite circuit, support shrinking, global
+//! deduplication — and returns the truth tables with exactly the
+//! requested support size, just like the per-`n` rows of Tables II/III.
+
+use crate::aig::Aig;
+use crate::extract::Extractor;
+use crate::generators;
+use facepoint_truth::TruthTable;
+use std::collections::HashSet;
+
+/// A named benchmark circuit.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Display name (EPFL-style).
+    pub name: &'static str,
+    /// The circuit.
+    pub aig: Aig,
+}
+
+/// Builds the default synthetic suite: arithmetic and control circuits
+/// sized so that the whole-suite cut enumeration finishes in seconds.
+///
+/// # Examples
+///
+/// ```
+/// use facepoint_aig::synthetic_suite;
+///
+/// let suite = synthetic_suite();
+/// assert!(suite.iter().any(|b| b.name == "adder"));
+/// assert!(suite.len() >= 10);
+/// ```
+pub fn synthetic_suite() -> Vec<Benchmark> {
+    vec![
+        Benchmark { name: "adder", aig: generators::ripple_carry_adder(24) },
+        Benchmark { name: "adder_ks", aig: generators::kogge_stone_adder(16) },
+        Benchmark { name: "alu", aig: generators::alu_slice(6) },
+        Benchmark { name: "multiplier", aig: generators::array_multiplier(7) },
+        Benchmark { name: "square", aig: generators::squarer(8) },
+        Benchmark { name: "bar", aig: generators::barrel_shifter(4) },
+        Benchmark { name: "max", aig: generators::max_unit(10) },
+        Benchmark { name: "comparator", aig: generators::comparator(12) },
+        Benchmark { name: "parity", aig: generators::parity_tree(16) },
+        Benchmark { name: "dec", aig: generators::decoder(5) },
+        Benchmark { name: "arbiter", aig: generators::priority_arbiter(16) },
+        Benchmark { name: "voter", aig: generators::majority_voter(11) },
+        Benchmark { name: "ctrl", aig: generators::mux_tree(3) },
+        Benchmark { name: "random1", aig: generators::random_logic(16, 360, 0xFACE) },
+        Benchmark { name: "random2", aig: generators::random_logic(14, 280, 0xB00C) },
+        Benchmark { name: "random3", aig: generators::random_logic(12, 200, 0x5EED) },
+        Benchmark { name: "random4", aig: generators::random_logic(18, 420, 0xC0DE) },
+        // Wide-cone circuits feeding the n ≥ 8 rows: their outputs depend
+        // on many inputs, so large-support cuts are plentiful.
+        Benchmark { name: "ctrl_wide", aig: generators::mux_tree(4) },
+        Benchmark { name: "voter_wide", aig: generators::majority_voter(13) },
+        Benchmark { name: "random_wide", aig: generators::random_logic(24, 700, 0xD1CE) },
+        Benchmark { name: "adder_wide", aig: generators::ripple_carry_adder(32) },
+    ]
+}
+
+/// Extracts the deduplicated cut-function workload with support exactly
+/// `n` from the whole suite (the per-`n` input of the paper's Tables
+/// II/III). Deduplication is global across circuits, matching the
+/// paper's "we deleted the Boolean functions of the same truth table".
+///
+/// `limit` truncates the workload (0 = unlimited) so large-`n` tables
+/// stay laptop-sized.
+pub fn cut_workload(n: usize, limit: usize) -> Vec<TruthTable> {
+    cut_workload_from(&synthetic_suite(), n, limit)
+}
+
+/// [`cut_workload`] over a caller-provided suite.
+pub fn cut_workload_from(suite: &[Benchmark], n: usize, limit: usize) -> Vec<TruthTable> {
+    let extractor = Extractor::for_support(n);
+    let mut seen: HashSet<TruthTable> = HashSet::new();
+    let mut out = Vec::new();
+    'outer: for bench in suite {
+        for tt in extractor.extract(&bench.aig) {
+            if seen.insert(tt.clone()) {
+                out.push(tt);
+                if limit != 0 && out.len() >= limit {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_builds_and_has_unique_names() {
+        let suite = synthetic_suite();
+        let names: HashSet<&str> = suite.iter().map(|b| b.name).collect();
+        assert_eq!(names.len(), suite.len());
+        for b in &suite {
+            assert!(b.aig.num_ands() > 0, "{} has gates", b.name);
+            assert!(!b.aig.outputs().is_empty(), "{} has outputs", b.name);
+        }
+    }
+
+    #[test]
+    fn workload_has_requested_support_and_no_duplicates() {
+        let fns = cut_workload(4, 500);
+        assert!(!fns.is_empty());
+        let unique: HashSet<&TruthTable> = fns.iter().collect();
+        assert_eq!(unique.len(), fns.len(), "dedup is global");
+        assert!(fns.iter().all(|f| f.num_vars() == 4));
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let fns = cut_workload(4, 10);
+        assert_eq!(fns.len(), 10);
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let a = cut_workload(5, 100);
+        let b = cut_workload(5, 100);
+        assert_eq!(a, b);
+    }
+}

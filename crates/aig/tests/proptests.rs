@@ -1,0 +1,130 @@
+//! Property-based tests of the AIG substrate: random circuits must
+//! simulate consistently, round-trip through AIGER, and yield cut
+//! functions that agree with whole-circuit simulation.
+
+use facepoint_aig::{enumerate_cuts, cut_function, generators, Aig, CutConfig};
+use proptest::prelude::*;
+
+/// Strategy: a random-logic circuit described by (inputs, gates, seed).
+fn arb_circuit() -> impl Strategy<Value = Aig> {
+    (2usize..=8, 4usize..=60, any::<u64>())
+        .prop_map(|(inputs, gates, seed)| generators::random_logic(inputs, gates, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn word_simulation_matches_truth_tables(aig in arb_circuit()) {
+        let tts = aig.output_truth_tables().unwrap();
+        // Drive all minterms (≤ 256 for ≤ 8 inputs) through the word
+        // simulator, 64 at a time.
+        let n = aig.num_inputs();
+        let total = 1u64 << n;
+        for base in (0..total).step_by(64) {
+            let patterns: Vec<u64> = (0..n)
+                .map(|i| {
+                    let mut w = 0u64;
+                    for b in 0..64.min(total - base) {
+                        if ((base + b) >> i) & 1 == 1 {
+                            w |= 1 << b;
+                        }
+                    }
+                    w
+                })
+                .collect();
+            let outs = aig.simulate_words(&patterns);
+            for (o, word) in outs.iter().enumerate() {
+                for b in 0..64.min(total - base) {
+                    prop_assert_eq!(
+                        (word >> b) & 1 == 1,
+                        tts[o].bit(base + b),
+                        "output {} minterm {}", o, base + b
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aiger_roundtrip_behaviour(aig in arb_circuit()) {
+        let text = aig.to_aiger();
+        let back = Aig::from_aiger(&text).unwrap();
+        prop_assert_eq!(back.num_inputs(), aig.num_inputs());
+        prop_assert_eq!(
+            back.output_truth_tables().unwrap(),
+            aig.output_truth_tables().unwrap()
+        );
+    }
+
+    #[test]
+    fn cut_functions_are_cone_functions(aig in arb_circuit()) {
+        // For each enumerated cut whose leaves are all primary inputs,
+        // the cut function (padded back onto the full input space) must
+        // match the node's global function.
+        let cuts = enumerate_cuts(&aig, &CutConfig::default());
+        let n = aig.num_inputs();
+        // Global tables for every node: reuse output machinery by making
+        // every node an output of a scratch copy.
+        let mut scratch = aig.clone();
+        let nodes: Vec<u32> = (1..aig.num_nodes() as u32).collect();
+        for &node in &nodes {
+            scratch.add_output(facepoint_aig::Lit::new(node, false));
+        }
+        let all_tables = scratch.output_truth_tables().unwrap();
+        let offset = aig.outputs().len();
+        for (idx, &node) in nodes.iter().enumerate() {
+            for cut in cuts.of(node) {
+                if !cut.leaves().iter().all(|&l| aig.is_input(l)) {
+                    continue;
+                }
+                let local = cut_function(&aig, node, cut);
+                // Scatter the local table onto the global input space.
+                let global = &all_tables[offset + idx];
+                for m in 0..1u64 << n {
+                    let mut local_m = 0u64;
+                    for (j, &leaf) in cut.leaves().iter().enumerate() {
+                        let input_idx = leaf as u64 - 1;
+                        local_m |= ((m >> input_idx) & 1) << j;
+                    }
+                    prop_assert_eq!(
+                        local.bit(local_m),
+                        global.bit(m),
+                        "node {} cut {:?} minterm {}", node, cut.leaves(), m
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aiger_parser_never_panics_on_garbage(text in ".{0,200}") {
+        // Arbitrary input must be rejected gracefully, never panic.
+        let _ = Aig::from_aiger(&text);
+    }
+
+    #[test]
+    fn aiger_parser_never_panics_on_structured_garbage(
+        m in 0usize..20, i in 0usize..20, o in 0usize..20, a in 0usize..20,
+        body in proptest::collection::vec(0u32..200, 0..40),
+    ) {
+        // Headers with arbitrary counts and arbitrary numeric bodies.
+        let mut text = format!("aag {m} {i} 0 {o} {a}\n");
+        for chunk in body.chunks(3) {
+            let line: Vec<String> = chunk.iter().map(|v| v.to_string()).collect();
+            text.push_str(&line.join(" "));
+            text.push('\n');
+        }
+        let _ = Aig::from_aiger(&text);
+    }
+
+    #[test]
+    fn strashing_is_sound(aig in arb_circuit()) {
+        // No two AND nodes share the same (normalized) fanin pair.
+        let mut seen = std::collections::HashSet::new();
+        for node in aig.and_nodes() {
+            let (a, b) = aig.fanins(node).unwrap();
+            prop_assert!(seen.insert((a, b)), "duplicate structural node");
+        }
+    }
+}

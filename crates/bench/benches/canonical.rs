@@ -1,0 +1,78 @@
+//! Criterion benchmarks of the exact machinery: exhaustive
+//! canonicalization cost growth (`n!·2^n`) and pairwise matcher cost on
+//! equivalent vs non-equivalent inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use facepoint_bench::random_workload;
+use facepoint_exact::{exact_npn_canonical, npn_match};
+use facepoint_truth::{NpnTransform, TruthTable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_exhaustive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_canonical");
+    group.sample_size(10);
+    for n in [4usize, 5, 6] {
+        let fns = random_workload(n, 8, 0xE54);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &fns, |b, fns| {
+            b.iter(|| {
+                for f in fns {
+                    black_box(exact_npn_canonical(f));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_matcher(c: &mut Criterion) {
+    let mut group = c.benchmark_group("npn_match");
+    let mut rng = StdRng::seed_from_u64(0x3A7C);
+    for n in [6usize, 8, 10] {
+        let pairs_eq: Vec<(TruthTable, TruthTable)> = (0..8)
+            .map(|_| {
+                let f = TruthTable::random(n, &mut rng).unwrap();
+                let g = NpnTransform::random(n, &mut rng).apply(&f);
+                (f, g)
+            })
+            .collect();
+        let pairs_ne: Vec<(TruthTable, TruthTable)> = (0..8)
+            .map(|_| {
+                (
+                    TruthTable::random(n, &mut rng).unwrap(),
+                    TruthTable::random(n, &mut rng).unwrap(),
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("equivalent", n), &pairs_eq, |b, pairs| {
+            b.iter(|| {
+                for (f, g) in pairs {
+                    black_box(npn_match(f, g));
+                }
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("non_equivalent", n),
+            &pairs_ne,
+            |b, pairs| {
+                b.iter(|| {
+                    for (f, g) in pairs {
+                        black_box(npn_match(f, g));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_exhaustive, bench_matcher
+}
+criterion_main!(benches);

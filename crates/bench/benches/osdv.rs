@@ -1,0 +1,68 @@
+//! Criterion ablation: the two OSDV engines (grouped pairwise counting
+//! vs Walsh–Hadamard autocorrelation) across arities — the design choice
+//! documented in DESIGN.md §5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use facepoint_bench::random_workload;
+use facepoint_sig::{osdv_with, MintermFilter, OsdvEngine};
+use std::hint::black_box;
+
+fn bench_osdv_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("osdv_engines");
+    for n in [6usize, 8, 10, 12] {
+        let fns = random_workload(n, 16, 0x0D5);
+        for (name, engine) in [
+            ("pairwise", OsdvEngine::Pairwise),
+            ("wht", OsdvEngine::Wht),
+            ("auto", OsdvEngine::Auto),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &fns,
+                |b, fns| {
+                    b.iter(|| {
+                        for f in fns {
+                            black_box(osdv_with(f, MintermFilter::All, engine));
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_sensitivity_profiles(c: &mut Criterion) {
+    // Ablation: bit-sliced carry-save accumulation vs the naive
+    // per-minterm walk.
+    use facepoint_sig::SensitivityProfile;
+    let mut group = c.benchmark_group("sensitivity_profile");
+    for n in [6usize, 8, 10, 12] {
+        let fns = random_workload(n, 16, 0x5E15);
+        group.bench_with_input(BenchmarkId::new("bit_sliced", n), &fns, |b, fns| {
+            b.iter(|| {
+                for f in fns {
+                    black_box(SensitivityProfile::compute(f));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &fns, |b, fns| {
+            b.iter(|| {
+                for f in fns {
+                    black_box(SensitivityProfile::compute_naive(f));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_osdv_engines, bench_sensitivity_profiles
+}
+criterion_main!(benches);

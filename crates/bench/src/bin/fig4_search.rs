@@ -1,0 +1,124 @@
+//! Regenerates the evidence of **Fig. 4** of the paper: pairs of
+//! non-equivalent 4-input functions that cofactor signatures cannot
+//! separate but influence / sensitivity signatures can.
+//!
+//! The paper draws four specific hypercubes (`g1`, `g2`, `h1`, `h2`)
+//! whose exact minterms are not recoverable from the PDF, so this binary
+//! *searches* the full 4-variable space (65 536 functions) for witnesses
+//! with the exact signature values the text reports:
+//!
+//! * `g1`, `g2`: `OCV1 = (3,4,4,4,4,4,4,5)`, equal `OCV2`, but
+//!   `OIV(g1) = (6,6,6,8)` vs `OIV(g2) = (2,6,6,8)`;
+//! * `h1`, `h2`: `OCV1 = (2,3,3,3,4,4,4,5)`, equal `OCV2`, equal
+//!   `OIV = (3,5,5,5)`, but `OSV1(h1) = (2,2,2,2,3,3,4)` vs
+//!   `OSV1(h2) = (1,2,3,3,3,3,3)`.
+//!
+//! ```text
+//! cargo run --release -p facepoint-bench --bin fig4_search
+//! ```
+
+use facepoint_exact::are_npn_equivalent;
+use facepoint_sig::{ocv1, ocv2, oiv, osv1};
+use facepoint_truth::TruthTable;
+
+fn fmt(v: &[u32]) -> String {
+    let items: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+    format!("({})", items.join(","))
+}
+
+fn main() {
+    let all: Vec<TruthTable> = (0u64..65536)
+        .map(|bits| TruthTable::from_u64(4, bits).expect("4 ≤ 6"))
+        .collect();
+
+    // --- The g-pair: OCV1/OCV2 equal, OIV distinguishes. ---
+    let target_ocv1_g = vec![3u32, 4, 4, 4, 4, 4, 4, 5];
+    let target_oiv_g1 = vec![6u32, 6, 6, 8];
+    let target_oiv_g2 = vec![2u32, 6, 6, 8];
+    let g_candidates: Vec<&TruthTable> = all
+        .iter()
+        .filter(|f| ocv1(f) == target_ocv1_g)
+        .collect();
+    println!(
+        "step 1: {} functions have OCV1 = {} (g-pair profile)",
+        g_candidates.len(),
+        fmt(&target_ocv1_g)
+    );
+    let mut found_g = None;
+    'g_outer: for a in &g_candidates {
+        if oiv(a) != target_oiv_g1 {
+            continue;
+        }
+        for b in &g_candidates {
+            if oiv(b) == target_oiv_g2 && ocv2(a) == ocv2(b) {
+                found_g = Some(((*a).clone(), (*b).clone()));
+                break 'g_outer;
+            }
+        }
+    }
+    match &found_g {
+        Some((g1, g2)) => {
+            println!("found g1 = 0x{}, g2 = 0x{}", g1.to_hex(), g2.to_hex());
+            println!("  OCV1 (both): {}", fmt(&ocv1(g1)));
+            println!("  OCV2 equal : {}", ocv2(g1) == ocv2(g2));
+            println!("  OIV(g1) = {}  OIV(g2) = {}", fmt(&oiv(g1)), fmt(&oiv(g2)));
+            println!(
+                "  NPN-equivalent? {} (must be false)",
+                are_npn_equivalent(g1, g2)
+            );
+        }
+        None => println!("no g-pair with the published values found"),
+    }
+    println!();
+
+    // --- The h-pair: OCV1/OCV2/OIV equal, OSV1 distinguishes. ---
+    let target_ocv1_h = vec![2u32, 3, 3, 3, 4, 4, 4, 5];
+    let target_oiv_h = vec![3u32, 5, 5, 5];
+    let target_osv1_h1 = vec![2u32, 2, 2, 2, 3, 3, 4];
+    let target_osv1_h2 = vec![1u32, 2, 3, 3, 3, 3, 3];
+    let h_candidates: Vec<&TruthTable> = all
+        .iter()
+        .filter(|f| ocv1(f) == target_ocv1_h && oiv(f) == target_oiv_h)
+        .collect();
+    println!(
+        "step 2: {} functions have OCV1 = {} and OIV = {} (h-pair profile)",
+        h_candidates.len(),
+        fmt(&target_ocv1_h),
+        fmt(&target_oiv_h)
+    );
+    let mut found_h = None;
+    'h_outer: for a in &h_candidates {
+        if osv1(a) != target_osv1_h1 {
+            continue;
+        }
+        for b in &h_candidates {
+            if osv1(b) == target_osv1_h2 && ocv2(a) == ocv2(b) {
+                found_h = Some(((*a).clone(), (*b).clone()));
+                break 'h_outer;
+            }
+        }
+    }
+    match &found_h {
+        Some((h1, h2)) => {
+            println!("found h1 = 0x{}, h2 = 0x{}", h1.to_hex(), h2.to_hex());
+            println!("  OCV1 (both): {}", fmt(&ocv1(h1)));
+            println!("  OCV2 equal : {}", ocv2(h1) == ocv2(h2));
+            println!("  OIV  (both): {}", fmt(&oiv(h1)));
+            println!(
+                "  OSV1(h1) = {}  OSV1(h2) = {}",
+                fmt(&osv1(h1)),
+                fmt(&osv1(h2))
+            );
+            println!(
+                "  NPN-equivalent? {} (must be false)",
+                are_npn_equivalent(h1, h2)
+            );
+        }
+        None => println!("no h-pair with the published values found"),
+    }
+
+    println!();
+    println!("Conclusion (paper Section IV-A): OIV separates functions OCV1/OCV2");
+    println!("cannot, and OSV separates functions OCV1/OCV2/OIV cannot — the point");
+    println!("characteristics add real discriminating power over the face ones.");
+}

@@ -1,0 +1,62 @@
+//! Regenerates **Table I** of the paper: every signature vector of the
+//! two running-example functions — `f1`, the 3-input majority of
+//! Fig. 1a, and `f3`, the single-variable projection of Fig. 1c.
+//!
+//! ```text
+//! cargo run --release -p facepoint-bench --bin table1
+//! ```
+
+use facepoint_sig::{ocv1, ocv2, oiv, osdv, osdv1, osv, osv0, osv1};
+use facepoint_truth::TruthTable;
+
+fn fmt_u32(v: &[u32]) -> String {
+    let items: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+    format!("({})", items.join(","))
+}
+
+fn fmt_u64(v: &[u64]) -> String {
+    let items: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+    format!("({})", items.join(","))
+}
+
+fn main() {
+    let f1 = TruthTable::majority(3);
+    let f3 = TruthTable::projection(3, 2).expect("3 > 2");
+
+    println!("Table I: Examples of different signature vectors.");
+    println!();
+    println!(
+        "{:<10} {:<32} {:<32}",
+        "Signature", "f1 in Fig. 1a (maj3, 0xe8)", "f3 in Fig. 1c (x2, 0xf0)"
+    );
+    println!("{}", "-".repeat(76));
+    let rows: Vec<(&str, String, String)> = vec![
+        ("OCV1", fmt_u32(&ocv1(&f1)), fmt_u32(&ocv1(&f3))),
+        ("OCV2", fmt_u32(&ocv2(&f1)), fmt_u32(&ocv2(&f3))),
+        ("OIV", fmt_u32(&oiv(&f1)), fmt_u32(&oiv(&f3))),
+        ("OSV1", fmt_u32(&osv1(&f1)), fmt_u32(&osv1(&f3))),
+        ("OSV0", fmt_u32(&osv0(&f1)), fmt_u32(&osv0(&f3))),
+        ("OSV", fmt_u32(&osv(&f1)), fmt_u32(&osv(&f3))),
+        (
+            "OSDV1",
+            fmt_u64(&osdv1(&f1).flatten()),
+            fmt_u64(&osdv1(&f3).flatten()),
+        ),
+        (
+            "OSDV",
+            fmt_u64(&osdv(&f1).flatten()),
+            fmt_u64(&osdv(&f3).flatten()),
+        ),
+    ];
+    for (name, a, b) in rows {
+        println!("{name:<10} {a:<32} {b:<32}");
+    }
+    println!();
+    println!("Paper reference values (Table I):");
+    println!("  OCV1(f1)=(1,1,1,3,3,3)          OCV1(f3)=(0,2,2,2,2,4)");
+    println!("  OCV2(f1)=(0,0,0,1,1,1,1,1,1,2,2,2)");
+    println!("  OIV(f1)=(2,2,2)                 OIV(f3)=(0,0,4)");
+    println!("  OSV1(f1)=(0,2,2,2)              OSV1(f3)=(1,1,1,1)");
+    println!("  OSDV1(f1)=(0,0,0,0,0,0,0,3,0,0,0,0)");
+    println!("  OSDV(f1)=(0,0,1,0,0,0,6,6,3,0,0,0)");
+}

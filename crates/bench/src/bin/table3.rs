@@ -1,0 +1,91 @@
+//! Regenerates **Table III** of the paper: runtime and accuracy of our
+//! signature classifier against the exhaustive canonical form ("Kitty")
+//! and the three reimplemented baselines (`testnpn -6 / -7 / -11`).
+//!
+//! ```text
+//! cargo run --release -p facepoint-bench --bin table3 -- \
+//!     [--min-n 4] [--max-n 8] [--limit 20000] [--kitty-max-n 6]
+//! ```
+//!
+//! Shapes to observe (matching the paper):
+//! * Kitty is exact but orders of magnitude slower, and impractical past
+//!   `n = 6`;
+//! * huang13 is the fastest and over-splits massively;
+//! * petkovska16 and zhou20 trade speed for accuracy, zhou20's runtime
+//!   degrading on symmetric workloads;
+//! * ours matches the exact count through `n = 7` at stable, near-linear
+//!   cost, never over-splitting (it can only merge).
+
+use facepoint_aig::cut_workload;
+use facepoint_bench::{arg_num, print_row, secs, timed};
+use facepoint_core::Classifier;
+use facepoint_exact::baselines::{
+    Abdollahi08, CanonicalClassifier, Huang13, Petkovska16, Zhou20,
+};
+use facepoint_exact::{exact_classify, exact_classify_canonical};
+use facepoint_sig::SignatureSet;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let min_n: usize = arg_num(&args, "--min-n", 4);
+    let max_n: usize = arg_num(&args, "--max-n", 8);
+    let limit: usize = arg_num(&args, "--limit", 20_000);
+    let kitty_max_n: usize = arg_num(&args, "--kitty-max-n", 6);
+
+    println!("Table III: runtime and accuracy comparison of NPN classifiers");
+    println!("workload: synthetic-EPFL cut functions, dedup'd, ≤{limit} per n");
+    println!();
+    let header: Vec<String> = [
+        "n", "#Func", "#Exact", "kitty#", "kitty_s", "h13#", "h13_s", "a08#", "a08_s", "p16#",
+        "p16_s", "z20#", "z20_s", "ours#", "ours_s",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let widths: Vec<usize> = header.iter().map(|h| h.len().max(8)).collect();
+    print_row(&header, &widths);
+
+    for n in min_n..=max_n {
+        let fns = cut_workload(n, limit);
+        let (exact, _) = timed(|| exact_classify(&fns).num_classes());
+
+        let (kitty_count, kitty_time) = if n <= kitty_max_n {
+            let (c, t) = timed(|| exact_classify_canonical(&fns).num_classes());
+            (c.to_string(), secs(t))
+        } else {
+            ("-".into(), "-".into())
+        };
+        let (h13, t_h13) = timed(|| Huang13.classify(&fns).num_classes());
+        let (a08, t_a08) = timed(|| Abdollahi08::default().classify(&fns).num_classes());
+        let (p16, t_p16) = timed(|| Petkovska16::default().classify(&fns).num_classes());
+        let (z20, t_z20) = timed(|| Zhou20::default().classify(&fns).num_classes());
+        let ours_classifier = Classifier::new(SignatureSet::all());
+        let (ours, t_ours) = timed(|| ours_classifier.classify(fns.clone()).num_classes());
+
+        print_row(
+            &[
+                n.to_string(),
+                fns.len().to_string(),
+                exact.to_string(),
+                kitty_count,
+                kitty_time,
+                h13.to_string(),
+                secs(t_h13),
+                a08.to_string(),
+                secs(t_a08),
+                p16.to_string(),
+                secs(t_p16),
+                z20.to_string(),
+                secs(t_z20),
+                ours.to_string(),
+                secs(t_ours),
+            ],
+            &widths,
+        );
+    }
+    println!();
+    println!("Columns: #Exact = bucket+matcher ground truth; kitty = exhaustive canonical");
+    println!("form (n ≤ {kitty_max_n}); h13/p16/z20 = reimplemented testnpn -6/-7/-11; a08 =");
+    println!("signature-based canonical form (paper's ref. [3]); ours = MSV hash");
+    println!("classifier (all signatures). *_s columns are seconds.");
+}

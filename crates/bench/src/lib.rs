@@ -1,0 +1,136 @@
+//! # facepoint-bench
+//!
+//! Shared infrastructure for the experiment binaries that regenerate the
+//! paper's tables and figures, and for the Criterion micro-benchmarks.
+//!
+//! | paper artifact | binary |
+//! |---|---|
+//! | Table I (signature examples) | `cargo run --release -p facepoint-bench --bin table1` |
+//! | Fig. 4 (discrimination witnesses) | `… --bin fig4_search` |
+//! | Table II (#classes per signature set) | `… --bin table2` |
+//! | Table III (runtime/accuracy vs baselines) | `… --bin table3` |
+//! | Fig. 5 (runtime stability) | `… --bin fig5` |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+use facepoint_truth::TruthTable;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Generates `count` distinct random `n`-variable truth tables
+/// (deduplicated, deterministic in `seed`) — the Fig. 5 workload. The
+/// paper generates "truth tables in consecutive binary encoding"; uniform
+/// sampling with dedup covers the same space without its bias toward tiny
+/// integers.
+pub fn random_workload(n: usize, count: usize, seed: u64) -> Vec<TruthTable> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(count);
+    let mut out = Vec::with_capacity(count);
+    // For tiny n the space may be smaller than `count`.
+    let space: f64 = 2f64.powi(1 << n.min(20));
+    let target = if space < count as f64 { space as usize } else { count };
+    while out.len() < target {
+        let t = TruthTable::random(n, &mut rng).expect("n validated by caller");
+        if seen.insert(t.clone()) {
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// Generates `count` truth tables with **consecutive binary encodings**
+/// starting at `start` — the paper's Fig. 5 generation ("truth tables in
+/// consecutive binary encoding for each bit"). Consecutive integers make
+/// highly structured functions (mostly-zero tables, dead and tied
+/// variables), the worst case for canonical-form enumeration and thus
+/// the workload where runtime stability differences show.
+pub fn consecutive_workload(n: usize, count: usize, start: u64) -> Vec<TruthTable> {
+    let bits = 1u64 << n;
+    (0..count as u64)
+        .map(|i| {
+            if bits >= 64 {
+                // Wider tables: place the counter in the low word.
+                let mut words = vec![0u64; facepoint_truth::words::word_count(n)];
+                words[0] = start.wrapping_add(i);
+                TruthTable::from_words(n, &words).expect("n validated by caller")
+            } else {
+                TruthTable::from_u64(n, (start.wrapping_add(i)) & ((1 << bits) - 1))
+                    .expect("n validated by caller")
+            }
+        })
+        .collect()
+}
+
+/// Runs `f` once and returns its result with the wall-clock duration.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// Formats a duration in seconds with millisecond resolution (the paper's
+/// tables print seconds).
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Parses `--flag value` style arguments: returns the value following
+/// `flag`, if present.
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Parses a numeric `--flag value` with a default.
+pub fn arg_num<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    arg_value(args, flag)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Prints a row of fixed-width columns (simple table formatting shared by
+/// the binaries).
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (cell, &w) in cells.iter().zip(widths) {
+        line.push_str(&format!("{cell:>w$}  "));
+    }
+    println!("{}", line.trim_end());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deduped_and_deterministic() {
+        let a = random_workload(5, 200, 7);
+        let b = random_workload(5, 200, 7);
+        assert_eq!(a, b);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), a.len());
+    }
+
+    #[test]
+    fn workload_caps_at_space_size() {
+        // Only 16 distinct 2-variable functions exist.
+        let w = random_workload(1, 100, 3);
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["--limit", "50", "--seed", "9"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_num(&args, "--limit", 0usize), 50);
+        assert_eq!(arg_num(&args, "--seed", 1u64), 9);
+        assert_eq!(arg_num(&args, "--missing", 42usize), 42);
+    }
+}

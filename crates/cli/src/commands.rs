@@ -1,0 +1,356 @@
+//! Subcommand implementations. Every command returns its report as a
+//! `String` so it can be asserted in tests; `main` only prints.
+
+use crate::parse::parse_table;
+use facepoint_aig::{Aig, Extractor};
+use facepoint_core::Classifier;
+use facepoint_exact::baselines::{CanonicalClassifier, Huang13, Petkovska16, Zhou20};
+use facepoint_exact::{exact_npn_canonical, npn_match};
+use facepoint_sig::{ocv1, ocv2, oiv, osdv, osdv0, osdv1, osv, osv0, osv1, SignatureSet};
+use facepoint_truth::TruthTable;
+use std::fmt;
+
+/// CLI-level errors (argument and input problems).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CliError {
+    /// Unknown subcommand or missing arguments.
+    Usage(String),
+    /// A truth-table argument failed to parse.
+    BadTable(String),
+    /// A file could not be read or parsed.
+    BadInput(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage: {m}"),
+            CliError::BadTable(m) => write!(f, "bad truth table: {m}"),
+            CliError::BadInput(m) => write!(f, "bad input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+const USAGE: &str = "facepoint <classify|sig|canon|match|cuts|suite> [args]
+  classify [--set SET] [--exact] [FILE]   classify hex tables (stdin or FILE)
+  sig <table>                              print every signature vector
+  canon <table> [--method M]               canonical form (exact default)
+  match <a> <b>                            NPN equivalence + witness
+  cuts <file.aag> [--support N] [--limit K]  cut functions of an AIGER file
+  suite [--support N] [--limit K]          synthetic benchmark workload";
+
+/// Dispatches a full argument vector (without the program name) and
+/// returns the textual report.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on unknown commands or malformed input.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let cmd = args.first().map(String::as_str);
+    match cmd {
+        Some("classify") => classify(&args[1..]),
+        Some("sig") => sig(&args[1..]),
+        Some("canon") => canon(&args[1..]),
+        Some("match") => match_cmd(&args[1..]),
+        Some("cuts") => cuts(&args[1..]),
+        Some("suite") => suite(&args[1..]),
+        _ => Err(CliError::Usage(USAGE.to_string())),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn positional(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            // Flags with values; boolean flags are known by name.
+            skip = !matches!(a.as_str(), "--exact" | "--verbose");
+            let _ = i;
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
+fn classify(args: &[String]) -> Result<String, CliError> {
+    let set = match flag_value(args, "--set") {
+        Some(s) => SignatureSet::parse(s)
+            .ok_or_else(|| CliError::Usage(format!("unknown signature set {s:?}")))?,
+        None => SignatureSet::all(),
+    };
+    let exact = args.iter().any(|a| a == "--exact");
+    let verbose = args.iter().any(|a| a == "--verbose");
+    let files = positional(args);
+    let text = match files.first() {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| CliError::BadInput(format!("{path}: {e}")))?,
+        None => {
+            use std::io::Read;
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| CliError::BadInput(e.to_string()))?;
+            buf
+        }
+    };
+    let mut fns = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        fns.push(parse_table(line)?);
+    }
+    let classification = Classifier::new(set).classify(fns.clone());
+    let mut out = format!(
+        "{} functions, {} candidate classes (signatures: {set})\n",
+        classification.num_functions(),
+        classification.num_classes()
+    );
+    if exact {
+        let exact_labels = facepoint_core::refine_to_exact(&fns, &classification);
+        out.push_str(&format!(
+            "{} exact classes after in-bucket matching\n",
+            exact_labels.num_classes()
+        ));
+    }
+    if verbose {
+        for class in classification.classes_by_size() {
+            out.push_str(&format!(
+                "class {:>5}  size {:>6}  representative {}:{}\n",
+                class.id(),
+                class.size(),
+                class.representative().num_vars(),
+                class.representative().to_hex()
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn sig(args: &[String]) -> Result<String, CliError> {
+    let spec = positional(args)
+        .first()
+        .copied()
+        .ok_or_else(|| CliError::Usage("sig <table>".into()))?;
+    let f = parse_table(spec)?;
+    let fmt_u32 = |v: &[u32]| {
+        let items: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+        format!("({})", items.join(","))
+    };
+    let fmt_u64 = |v: &[u64]| {
+        let items: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+        format!("({})", items.join(","))
+    };
+    let mut out = format!(
+        "function {}:{} |f| = {} balanced = {}\n",
+        f.num_vars(),
+        f.to_hex(),
+        f.count_ones(),
+        f.is_balanced()
+    );
+    out.push_str(&format!("OCV1  = {}\n", fmt_u32(&ocv1(&f))));
+    out.push_str(&format!("OCV2  = {}\n", fmt_u32(&ocv2(&f))));
+    out.push_str(&format!("OIV   = {}\n", fmt_u32(&oiv(&f))));
+    out.push_str(&format!("OSV   = {}\n", fmt_u32(&osv(&f))));
+    out.push_str(&format!("OSV0  = {}\n", fmt_u32(&osv0(&f))));
+    out.push_str(&format!("OSV1  = {}\n", fmt_u32(&osv1(&f))));
+    out.push_str(&format!("OSDV  = {}\n", fmt_u64(&osdv(&f).flatten())));
+    out.push_str(&format!("OSDV0 = {}\n", fmt_u64(&osdv0(&f).flatten())));
+    out.push_str(&format!("OSDV1 = {}\n", fmt_u64(&osdv1(&f).flatten())));
+    Ok(out)
+}
+
+fn canon(args: &[String]) -> Result<String, CliError> {
+    let spec = positional(args)
+        .first()
+        .copied()
+        .ok_or_else(|| CliError::Usage("canon <table> [--method M]".into()))?;
+    let f = parse_table(spec)?;
+    let method = flag_value(args, "--method").unwrap_or("exact");
+    let canon = match method {
+        "exact" => exact_npn_canonical(&f),
+        "huang13" => Huang13.canonical_form(&f),
+        "petkovska16" => Petkovska16::default().canonical_form(&f),
+        "zhou20" => Zhou20::default().canonical_form(&f),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown method {other:?} (exact|huang13|petkovska16|zhou20)"
+            )))
+        }
+    };
+    Ok(format!(
+        "{method} canonical form of {}:{} = {}:{}\n",
+        f.num_vars(),
+        f.to_hex(),
+        canon.num_vars(),
+        canon.to_hex()
+    ))
+}
+
+fn match_cmd(args: &[String]) -> Result<String, CliError> {
+    let pos = positional(args);
+    let (a, b) = match pos.as_slice() {
+        [a, b] => (parse_table(a)?, parse_table(b)?),
+        _ => return Err(CliError::Usage("match <table> <table>".into())),
+    };
+    if a.num_vars() != b.num_vars() {
+        return Ok("NOT equivalent (different variable counts)\n".into());
+    }
+    match npn_match(&a, &b) {
+        Some(t) => Ok(format!("NPN-EQUIVALENT via {t}\n")),
+        None => Ok("NOT equivalent\n".into()),
+    }
+}
+
+fn cuts(args: &[String]) -> Result<String, CliError> {
+    let pos = positional(args);
+    let path = pos
+        .first()
+        .copied()
+        .ok_or_else(|| CliError::Usage("cuts <file.aag> [--support N] [--limit K]".into()))?;
+    let support: usize = flag_value(args, "--support")
+        .map(|v| v.parse().map_err(|_| CliError::Usage("--support N".into())))
+        .transpose()?
+        .unwrap_or(4);
+    let limit: usize = flag_value(args, "--limit")
+        .map(|v| v.parse().map_err(|_| CliError::Usage("--limit K".into())))
+        .transpose()?
+        .unwrap_or(0);
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::BadInput(format!("{path}: {e}")))?;
+    let aig = Aig::from_aiger(&text).map_err(|e| CliError::BadInput(e.to_string()))?;
+    let mut fns = Extractor::for_support(support).extract(&aig);
+    if limit != 0 {
+        fns.truncate(limit);
+    }
+    Ok(format_tables(&fns))
+}
+
+fn suite(args: &[String]) -> Result<String, CliError> {
+    let support: usize = flag_value(args, "--support")
+        .map(|v| v.parse().map_err(|_| CliError::Usage("--support N".into())))
+        .transpose()?
+        .unwrap_or(4);
+    let limit: usize = flag_value(args, "--limit")
+        .map(|v| v.parse().map_err(|_| CliError::Usage("--limit K".into())))
+        .transpose()?
+        .unwrap_or(1000);
+    let fns = facepoint_aig::cut_workload(support, limit);
+    Ok(format_tables(&fns))
+}
+
+fn format_tables(fns: &[TruthTable]) -> String {
+    let mut out = String::new();
+    for f in fns {
+        out.push_str(&format!("{}:{}\n", f.num_vars(), f.to_hex()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn usage_on_unknown_command() {
+        assert!(matches!(run(&args(&["frobnicate"])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn sig_prints_table1_values() {
+        let out = run(&args(&["sig", "e8"])).unwrap();
+        assert!(out.contains("OCV1  = (1,1,1,3,3,3)"), "{out}");
+        assert!(out.contains("OIV   = (2,2,2)"), "{out}");
+        assert!(out.contains("OSV1  = (0,2,2,2)"), "{out}");
+    }
+
+    #[test]
+    fn canon_methods_agree_on_majority_orbit() {
+        let a = run(&args(&["canon", "e8"])).unwrap();
+        let b = run(&args(&["canon", "d4"])).unwrap(); // maj with x0 negated
+        let canon_of = |s: &str| s.split('=').nth(1).unwrap().trim().to_string();
+        assert_eq!(canon_of(&a), canon_of(&b));
+    }
+
+    #[test]
+    fn canon_rejects_unknown_method() {
+        assert!(matches!(
+            run(&args(&["canon", "e8", "--method", "magic"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn match_finds_witness() {
+        let out = run(&args(&["match", "e8", "d4"])).unwrap();
+        assert!(out.starts_with("NPN-EQUIVALENT"), "{out}");
+        let out = run(&args(&["match", "e8", "96"])).unwrap();
+        assert!(out.starts_with("NOT equivalent"), "{out}");
+        let out = run(&args(&["match", "e8", "cafe"])).unwrap();
+        assert!(out.contains("different variable counts"), "{out}");
+    }
+
+    #[test]
+    fn classify_reads_file() {
+        let dir = std::env::temp_dir().join("facepoint-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tables.txt");
+        std::fs::write(&path, "# comment\ne8\nd4\n96\n\n3:69\n").unwrap();
+        let out = run(&args(&["classify", "--verbose", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("4 functions, 2 candidate classes"), "{out}");
+        let out = run(&args(&["classify", "--exact", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("2 exact classes"), "{out}");
+    }
+
+    #[test]
+    fn suite_emits_parseable_tables() {
+        let out = run(&args(&["suite", "--support", "4", "--limit", "10"])).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 10);
+        for line in lines {
+            let t = crate::parse::parse_table(line).unwrap();
+            assert_eq!(t.num_vars(), 4);
+        }
+    }
+
+    #[test]
+    fn cuts_on_written_aiger() {
+        let mut aig = Aig::new(4);
+        let (a, b) = (aig.input(0), aig.input(1));
+        let (c, d) = (aig.input(2), aig.input(3));
+        let x = aig.and(a, b);
+        let y = aig.and(c, d);
+        let o = aig.or(x, y);
+        aig.add_output(o);
+        let dir = std::env::temp_dir().join("facepoint-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("circ.aag");
+        std::fs::write(&path, aig.to_aiger()).unwrap();
+        let out = run(&args(&["cuts", path.to_str().unwrap(), "--support", "4"])).unwrap();
+        assert!(!out.is_empty());
+        for line in out.lines() {
+            assert!(crate::parse::parse_table(line).is_ok(), "{line}");
+        }
+    }
+}

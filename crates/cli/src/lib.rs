@@ -1,0 +1,29 @@
+//! # facepoint-cli
+//!
+//! The `facepoint` command-line tool: NPN classification, signature
+//! inspection, canonical forms, pairwise matching and cut-function
+//! extraction from AIGER files — the whole workspace behind one binary.
+//!
+//! ```text
+//! facepoint classify [--set ALL] [--exact] [FILE]    # lines of truth tables
+//! facepoint sig <table>                              # all signature vectors
+//! facepoint canon <table> [--method exact|huang13|petkovska16|zhou20]
+//! facepoint match <table> <table>                    # NPN equivalence + witness
+//! facepoint cuts <file.aag> [--support N] [--limit K]
+//! facepoint suite [--support N] [--limit K]          # synthetic workload
+//! ```
+//!
+//! Truth tables are written as hex strings, optionally prefixed by the
+//! variable count: `e8` (3 variables inferred from 2 digits) or `3:e8`.
+//! The logic lives in this library crate so it is unit-testable; the
+//! binary in `main.rs` is a thin shell.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+mod commands;
+mod parse;
+
+pub use commands::{run, CliError};
+pub use parse::{infer_num_vars, parse_table};

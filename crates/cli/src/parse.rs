@@ -1,0 +1,81 @@
+//! Truth-table argument parsing for the CLI.
+
+use crate::commands::CliError;
+use facepoint_truth::TruthTable;
+
+/// Infers the variable count from a hex digit count: `d = 2^(n-2)` for
+/// `n ≥ 2`. One digit means two variables (use an `n:` prefix for 0- or
+/// 1-variable tables).
+///
+/// # Examples
+///
+/// ```
+/// use facepoint_cli::infer_num_vars;
+///
+/// assert_eq!(infer_num_vars(2), Some(3));   // "e8"
+/// assert_eq!(infer_num_vars(16), Some(6));
+/// assert_eq!(infer_num_vars(3), None);      // not a power of two
+/// ```
+pub fn infer_num_vars(hex_digits: usize) -> Option<usize> {
+    if hex_digits == 0 || !hex_digits.is_power_of_two() {
+        return None;
+    }
+    Some(hex_digits.trailing_zeros() as usize + 2)
+}
+
+/// Parses `"e8"`, `"0xe8"` or `"3:e8"` into a truth table.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing malformed prefixes, impossible
+/// digit counts, or invalid hex.
+pub fn parse_table(spec: &str) -> Result<TruthTable, CliError> {
+    let spec = spec.trim();
+    if let Some((n_str, hex)) = spec.split_once(':') {
+        let n: usize = n_str
+            .parse()
+            .map_err(|_| CliError::BadTable(format!("bad variable count {n_str:?}")))?;
+        return TruthTable::from_hex(n, hex)
+            .map_err(|e| CliError::BadTable(format!("{spec:?}: {e}")));
+    }
+    let hex = spec.strip_prefix("0x").or_else(|| spec.strip_prefix("0X")).unwrap_or(spec);
+    let n = infer_num_vars(hex.len()).ok_or_else(|| {
+        CliError::BadTable(format!(
+            "{spec:?}: cannot infer the variable count from {} digits; use n:hex",
+            hex.len()
+        ))
+    })?;
+    TruthTable::from_hex(n, hex).map_err(|e| CliError::BadTable(format!("{spec:?}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_table() {
+        assert_eq!(infer_num_vars(1), Some(2));
+        assert_eq!(infer_num_vars(2), Some(3));
+        assert_eq!(infer_num_vars(4), Some(4));
+        assert_eq!(infer_num_vars(8), Some(5));
+        assert_eq!(infer_num_vars(256), Some(10));
+        assert_eq!(infer_num_vars(0), None);
+        assert_eq!(infer_num_vars(6), None);
+    }
+
+    #[test]
+    fn parses_plain_and_prefixed() {
+        assert_eq!(parse_table("e8").unwrap(), TruthTable::majority(3));
+        assert_eq!(parse_table("0xE8").unwrap(), TruthTable::majority(3));
+        assert_eq!(parse_table("3:e8").unwrap(), TruthTable::majority(3));
+        assert_eq!(parse_table("1:2").unwrap(), TruthTable::projection(1, 0).unwrap());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_table("zzz").is_err());
+        assert!(parse_table("abc").is_err(), "3 digits is not a power of two");
+        assert!(parse_table("x:e8").is_err());
+        assert!(parse_table("").is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! Accuracy metrics: comparing a signature classification against exact
+//! ground truth.
+//!
+//! The signature classifier can only *merge* exact classes (its keys are
+//! necessary conditions), while canonical-form heuristics can only
+//! *split* them. [`PartitionComparison`] quantifies both directions so
+//! every classifier in the paper's Table III can be scored with the same
+//! instrument.
+
+use std::collections::{HashMap, HashSet};
+
+/// Relation of a candidate partition to a reference partition of the same
+/// index set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionComparison {
+    /// Number of classified items.
+    pub num_items: usize,
+    /// Classes in the candidate partition.
+    pub candidate_classes: usize,
+    /// Classes in the reference (exact) partition.
+    pub reference_classes: usize,
+    /// Candidate classes containing more than one reference class
+    /// (under-splitting / merging, the signature-classifier failure mode).
+    pub merged_classes: usize,
+    /// Reference classes scattered across more than one candidate class
+    /// (over-splitting, the canonical-form-heuristic failure mode).
+    pub split_classes: usize,
+}
+
+impl PartitionComparison {
+    /// Compares `candidate` against `reference` (both are class labels
+    /// parallel to the same inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn compare(candidate: &[usize], reference: &[usize]) -> Self {
+        assert_eq!(
+            candidate.len(),
+            reference.len(),
+            "partitions must label the same items"
+        );
+        let mut cand_members: HashMap<usize, HashSet<usize>> = HashMap::new();
+        let mut ref_members: HashMap<usize, HashSet<usize>> = HashMap::new();
+        for (&c, &r) in candidate.iter().zip(reference) {
+            cand_members.entry(c).or_default().insert(r);
+            ref_members.entry(r).or_default().insert(c);
+        }
+        PartitionComparison {
+            num_items: candidate.len(),
+            candidate_classes: cand_members.len(),
+            reference_classes: ref_members.len(),
+            merged_classes: cand_members.values().filter(|s| s.len() > 1).count(),
+            split_classes: ref_members.values().filter(|s| s.len() > 1).count(),
+        }
+    }
+
+    /// Whether the partitions are identical (up to label renaming).
+    pub fn is_exact(&self) -> bool {
+        self.merged_classes == 0 && self.split_classes == 0
+    }
+
+    /// Class-count accuracy as the paper reports it: the ratio of class
+    /// counts, from whichever side deviates (1.0 = exact count).
+    pub fn class_count_ratio(&self) -> f64 {
+        if self.reference_classes == 0 {
+            return 1.0;
+        }
+        self.candidate_classes as f64 / self.reference_classes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions() {
+        let a = vec![0, 0, 1, 2, 1];
+        let cmp = PartitionComparison::compare(&a, &a);
+        assert!(cmp.is_exact());
+        assert_eq!(cmp.candidate_classes, 3);
+        assert_eq!(cmp.class_count_ratio(), 1.0);
+    }
+
+    #[test]
+    fn merging_detected() {
+        // Candidate merges reference classes {0,1} into one.
+        let cand = vec![0, 0, 0, 1];
+        let refr = vec![0, 0, 1, 2];
+        let cmp = PartitionComparison::compare(&cand, &refr);
+        assert_eq!(cmp.merged_classes, 1);
+        assert_eq!(cmp.split_classes, 0);
+        assert!(!cmp.is_exact());
+        assert!(cmp.class_count_ratio() < 1.0);
+    }
+
+    #[test]
+    fn splitting_detected() {
+        // Candidate splits reference class 0 across two classes.
+        let cand = vec![0, 1, 1, 2];
+        let refr = vec![0, 0, 0, 1];
+        let cmp = PartitionComparison::compare(&cand, &refr);
+        assert_eq!(cmp.split_classes, 1);
+        assert_eq!(cmp.merged_classes, 0);
+        assert!(cmp.class_count_ratio() > 1.0);
+    }
+
+    #[test]
+    fn mixed_disagreement() {
+        let cand = vec![0, 0, 1, 1];
+        let refr = vec![0, 1, 1, 2];
+        let cmp = PartitionComparison::compare(&cand, &refr);
+        assert!(cmp.merged_classes >= 1);
+        assert!(cmp.split_classes >= 1);
+    }
+
+    #[test]
+    fn empty_partitions() {
+        let cmp = PartitionComparison::compare(&[], &[]);
+        assert!(cmp.is_exact());
+        assert_eq!(cmp.class_count_ratio(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same items")]
+    fn length_mismatch_panics() {
+        PartitionComparison::compare(&[0], &[0, 1]);
+    }
+}

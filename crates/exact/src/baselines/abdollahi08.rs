@@ -1,0 +1,291 @@
+//! The Abdollahi–Pedram style *signature-based canonical form* (cited as
+//! \[3\] in the paper; IEEE TCAD 2008).
+//!
+//! Where the linear heuristics order variables by raw cofactor counts,
+//! this method runs a **color refinement** (1-WL) loop over the
+//! variables: each variable's color is iteratively refined by the
+//! multiset of (neighbour color, joint 2-ary cofactor profile) pairs
+//! until a fixpoint. The refined coloring discriminates variables that
+//! first-order signatures tie, so far fewer orders remain to enumerate —
+//! the canonical form is "signature-based" in exactly the paper's sense
+//! of using cofactor signatures to pin the transformation.
+
+use super::CanonicalClassifier;
+use facepoint_truth::{Permutation, TruthTable};
+
+/// Signature-based canonicalizer with color-refined variable ordering.
+#[derive(Debug, Clone, Copy)]
+pub struct Abdollahi08 {
+    /// Maximum number of residual-tie orders applied per function.
+    budget: usize,
+}
+
+impl Abdollahi08 {
+    /// Creates the classifier with an enumeration budget for residual
+    /// ties.
+    pub fn new(budget: usize) -> Self {
+        Abdollahi08 { budget: budget.max(1) }
+    }
+}
+
+impl Default for Abdollahi08 {
+    /// Default budget of 720 (= 6!) residual orders.
+    fn default() -> Self {
+        Abdollahi08::new(720)
+    }
+}
+
+impl CanonicalClassifier for Abdollahi08 {
+    fn name(&self) -> &'static str {
+        "abdollahi08 (signature-based)"
+    }
+
+    fn canonical_form(&self, f: &TruthTable) -> TruthTable {
+        let n = f.num_vars();
+        let polarities: Vec<TruthTable> = if f.is_balanced() {
+            vec![f.clone(), f.negated()]
+        } else if f.count_ones() * 2 > f.num_bits() {
+            vec![f.negated()]
+        } else {
+            vec![f.clone()]
+        };
+        let mut best: Option<TruthTable> = None;
+        let mut remaining = self.budget;
+        for mut base in polarities {
+            if n == 0 {
+                consider(base, &mut best);
+                continue;
+            }
+            // Deterministic input phases where the cofactor pair decides;
+            // variables with tied pairs stay ambiguous and are enumerated
+            // (the signature cannot see their polarity).
+            let mut ambiguous = Vec::new();
+            for v in 0..n {
+                let c0 = base.cofactor_count(v, false);
+                let c1 = base.cofactor_count(v, true);
+                if c0 > c1 {
+                    base.flip_var_in_place(v);
+                } else if c0 == c1 {
+                    ambiguous.push(v);
+                }
+            }
+            let combos = 1u64.checked_shl(ambiguous.len() as u32).unwrap_or(u64::MAX);
+            'phase: for mask in 0..combos {
+                let mut t = base.clone();
+                for (k, &v) in ambiguous.iter().enumerate() {
+                    if (mask >> k) & 1 == 1 {
+                        t.flip_var_in_place(v);
+                    }
+                }
+                let colors = refine_colors(&t);
+                // Group variables by final color, order groups by color.
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by_key(|&v| (colors[v], v));
+                let mut groups: Vec<Vec<usize>> = Vec::new();
+                for v in order {
+                    match groups.last_mut() {
+                        Some(g) if colors[g[0]] == colors[v] => g.push(v),
+                        _ => groups.push(vec![v]),
+                    }
+                }
+                let stop = !enumerate_group_orders(&groups, &mut |candidate| {
+                    if remaining == 0 {
+                        return false;
+                    }
+                    remaining -= 1;
+                    let mut img = vec![0usize; n];
+                    for (k, &v) in candidate.iter().enumerate() {
+                        img[v] = k;
+                    }
+                    let perm = Permutation::from_slice(&img).expect("bijective order");
+                    consider(t.permute_vars(&perm), &mut best);
+                    true
+                });
+                if stop {
+                    break 'phase;
+                }
+            }
+        }
+        best.expect("at least one candidate examined")
+    }
+}
+
+fn consider(cand: TruthTable, best: &mut Option<TruthTable>) {
+    if best.as_ref().map_or(true, |b| cand < *b) {
+        *best = Some(cand);
+    }
+}
+
+/// Color refinement over variables: start from the (unordered) cofactor
+/// pair, refine with sorted (neighbour-color, pair-profile) multisets,
+/// stop at the fixpoint (color counts stable) — at most `n` rounds.
+fn refine_colors(t: &TruthTable) -> Vec<u64> {
+    let n = t.num_vars();
+    // Initial color: the unordered 1-ary cofactor pair.
+    let mut colors: Vec<u64> = (0..n)
+        .map(|v| {
+            let c0 = t.cofactor_count(v, false);
+            let c1 = t.cofactor_count(v, true);
+            hash_key(&[c0.min(c1), c0.max(c1)])
+        })
+        .collect();
+    for _round in 0..n {
+        let mut new_colors = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut neigh: Vec<u64> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| {
+                    // Phase-insensitive joint profile of (i, j): the four
+                    // 2-ary cofactor counts, normalized per variable
+                    // polarity class: sort the two (i-fixed) pairs.
+                    let c = |vi: bool, vj: bool| t.cofactor_count_multi(&[i, j], &[vi, vj]);
+                    let mut pair0 = [c(false, false), c(false, true)];
+                    let mut pair1 = [c(true, false), c(true, true)];
+                    pair0.sort_unstable();
+                    pair1.sort_unstable();
+                    let (lo, hi) = if pair0 <= pair1 {
+                        (pair0, pair1)
+                    } else {
+                        (pair1, pair0)
+                    };
+                    hash_key(&[colors[j], lo[0], lo[1], hi[0], hi[1]])
+                })
+                .collect();
+            neigh.sort_unstable();
+            let mut key = vec![colors[i]];
+            key.extend(neigh);
+            new_colors.push(hash_key(&key));
+        }
+        let stable = count_distinct(&new_colors) == count_distinct(&colors);
+        colors = new_colors;
+        if stable {
+            break;
+        }
+    }
+    colors
+}
+
+fn hash_key(words: &[u64]) -> u64 {
+    // FNV-1a 64 over the words; deterministic and cheap.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+fn count_distinct(colors: &[u64]) -> usize {
+    let mut v = colors.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v.len()
+}
+
+/// Visits every concatenation of per-group permutations.
+fn enumerate_group_orders(groups: &[Vec<usize>], visit: &mut impl FnMut(&[usize]) -> bool) -> bool {
+    fn walk(
+        groups: &[Vec<usize>],
+        depth: usize,
+        current: &mut Vec<usize>,
+        visit: &mut impl FnMut(&[usize]) -> bool,
+    ) -> bool {
+        if depth == groups.len() {
+            return visit(current);
+        }
+        let mut members = groups[depth].clone();
+        permute(&mut members, 0, &mut |perm| {
+            current.extend_from_slice(perm);
+            let cont = walk(groups, depth + 1, current, visit);
+            current.truncate(current.len() - perm.len());
+            cont
+        })
+    }
+    fn permute(
+        items: &mut Vec<usize>,
+        start: usize,
+        visit: &mut impl FnMut(&[usize]) -> bool,
+    ) -> bool {
+        if start == items.len() {
+            return visit(items);
+        }
+        for i in start..items.len() {
+            items.swap(start, i);
+            if !permute(items, start + 1, visit) {
+                items.swap(start, i);
+                return false;
+            }
+            items.swap(start, i);
+        }
+        true
+    }
+    let mut current = Vec::with_capacity(groups.iter().map(Vec::len).sum());
+    walk(groups, 0, &mut current, visit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facepoint_truth::NpnTransform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn colors_are_transform_covariant() {
+        // NE-symmetric variables must share a color; asymmetric ones
+        // usually split.
+        let f = TruthTable::from_fn(3, |m| (m & 1 == 1) && (m & 0b110 != 0)).unwrap();
+        let colors = refine_colors(&f);
+        assert_eq!(colors[1], colors[2], "symmetric pair shares a color");
+        assert_ne!(colors[0], colors[1], "the AND input splits off");
+    }
+
+    #[test]
+    fn representative_in_orbit() {
+        let a = Abdollahi08::default();
+        let mut rng = StdRng::seed_from_u64(271);
+        for n in 1..=6usize {
+            for _ in 0..5 {
+                let f = TruthTable::random(n, &mut rng).unwrap();
+                assert!(crate::matcher::are_npn_equivalent(&f, &a.canonical_form(&f)));
+            }
+        }
+    }
+
+    #[test]
+    fn near_exact_on_random_workloads() {
+        let a = Abdollahi08::new(100_000);
+        let mut rng = StdRng::seed_from_u64(277);
+        let mut mismatches = 0;
+        for _ in 0..40 {
+            let f = TruthTable::random(4, &mut rng).unwrap();
+            let t = NpnTransform::random(4, &mut rng);
+            if a.canonical_form(&f) != a.canonical_form(&t.apply(&f)) {
+                mismatches += 1;
+            }
+        }
+        // Color refinement resolves almost every tie on random functions;
+        // residual misses come from phase ties, allowed but rare.
+        assert!(mismatches <= 2, "{mismatches} misses of 40");
+    }
+
+    #[test]
+    fn refinement_beats_raw_cofactor_ordering() {
+        use super::super::{CanonicalClassifier, Huang13};
+        // Transform-closure workload: the refined ordering over-splits
+        // strictly less than the linear heuristic.
+        let mut rng = StdRng::seed_from_u64(281);
+        let mut fns = Vec::new();
+        for _ in 0..30 {
+            let f = TruthTable::random(4, &mut rng).unwrap();
+            for _ in 0..4 {
+                fns.push(NpnTransform::random(4, &mut rng).apply(&f));
+            }
+        }
+        let a = Abdollahi08::default().classify(&fns).num_classes();
+        let h = Huang13.classify(&fns).num_classes();
+        assert!(a <= h, "abdollahi {a} <= huang {h}");
+    }
+}

@@ -1,0 +1,109 @@
+//! The Huang et al. FPT'13 style linear-pass heuristic canonical form
+//! (ABC's `testnpn -6` in the paper's Table III).
+//!
+//! One pass fixes the output phase by satisfy count, one pass fixes each
+//! input phase by comparing the two cofactor counts, and a stable sort of
+//! the variables by cofactor count fixes the order. Every decision is
+//! local and never revisited, which is why the method is the fastest row
+//! of Table III — and why any *tie* (equal satisfy counts, equal cofactor
+//! pairs) is resolved arbitrarily, splitting one true class into many.
+
+use super::CanonicalClassifier;
+use facepoint_truth::{Permutation, TruthTable};
+
+/// Zero-configuration, linear-time heuristic canonicalizer.
+///
+/// # Examples
+///
+/// ```
+/// use facepoint_exact::baselines::{CanonicalClassifier, Huang13};
+/// use facepoint_truth::TruthTable;
+///
+/// let f = TruthTable::majority(3);
+/// let g = f.flip_var(0).flip_var(2);
+/// // Majority has no ties, so even the cheap heuristic canonicalizes it.
+/// assert_eq!(Huang13.canonical_form(&f), Huang13.canonical_form(&g));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Huang13;
+
+impl CanonicalClassifier for Huang13 {
+    fn name(&self) -> &'static str {
+        "huang13 (testnpn -6)"
+    }
+
+    fn canonical_form(&self, f: &TruthTable) -> TruthTable {
+        let n = f.num_vars();
+        // Output phase: prefer the polarity with fewer 1-minterms.
+        // Balanced functions keep their polarity — the first source of
+        // over-splitting.
+        let mut t = if f.count_ones() * 2 > f.num_bits() {
+            f.negated()
+        } else {
+            f.clone()
+        };
+        // Input phases: ensure |t_{x=0}| <= |t_{x=1}| per variable.
+        // Equal counts stay as they are — the second source.
+        for v in 0..n {
+            if t.cofactor_count(v, false) > t.cofactor_count(v, true) {
+                t.flip_var_in_place(v);
+            }
+        }
+        if n == 0 {
+            return t;
+        }
+        // Order: stable sort by (negative-cofactor count, positive-) —
+        // ties keep their original relative order, the third source.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&v| (t.cofactor_count(v, false), t.cofactor_count(v, true)));
+        // Variable order[k] moves to position k.
+        let mut img = vec![0usize; n];
+        for (k, &v) in order.iter().enumerate() {
+            img[v] = k;
+        }
+        t.permute_vars(&Permutation::from_slice(&img).expect("sorted order is a permutation"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asymmetric_function_canonicalizes() {
+        // f = x0 ∧ ¬x1 has distinct cofactor profiles everywhere.
+        let f = TruthTable::from_hex(2, "2").unwrap();
+        let variants = [
+            f.clone(),
+            f.flip_var(0),
+            f.flip_var(1),
+            f.swap_vars(0, 1),
+            f.negated().flip_var(0),
+        ];
+        let canon = Huang13.canonical_form(&f);
+        for v in &variants {
+            // All are NPN-equivalent; this particular class has no ties,
+            // so the heuristic gets all of them right.
+            assert_eq!(Huang13.canonical_form(v), canon, "{v}");
+        }
+    }
+
+    #[test]
+    fn over_split_on_balanced_example() {
+        // Parity is balanced with all-tied variables: complementing the
+        // output produces a different representative even though
+        // parity ≡ ¬parity under NPN (flip one input).
+        let p = TruthTable::parity(3);
+        let a = Huang13.canonical_form(&p);
+        let b = Huang13.canonical_form(&p.negated());
+        assert_ne!(a, b, "the heuristic over-splits the parity class");
+    }
+
+    #[test]
+    fn zero_variable_inputs() {
+        let zero = TruthTable::zero(0).unwrap();
+        let one = TruthTable::one(0).unwrap();
+        assert_eq!(Huang13.canonical_form(&one), zero, "constant-1 normalizes");
+        assert_eq!(Huang13.canonical_form(&zero), zero);
+    }
+}

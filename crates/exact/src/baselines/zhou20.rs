@@ -1,0 +1,346 @@
+//! The Zhou et al. IEEE TC'20 style hybrid canonical form (ABC's
+//! `testnpn -11` in the paper's Table III).
+//!
+//! The co-designed canonical form enumerates *only* the ambiguity that
+//! cheap signatures cannot resolve: both output polarities when the
+//! function is balanced, both phases of every variable whose two cofactor
+//! counts coincide, and all orders inside groups of variables with equal
+//! (cofactor, influence) profiles. On asymmetric functions the candidate
+//! space collapses to a handful and the method is exact and fast; on
+//! symmetric/balanced functions it blows up combinatorially, which is
+//! exactly the runtime variance the paper's Fig. 5 demonstrates. A budget
+//! caps the enumeration (the paper likewise strips ABC's final exhaustive
+//! fallback for fairness), trading rare over-splits for bounded time.
+
+use super::CanonicalClassifier;
+use facepoint_sig::influence;
+use facepoint_truth::{Permutation, TruthTable};
+
+/// Hybrid canonicalizer enumerating inside signature-symmetric groups.
+#[derive(Debug, Clone, Copy)]
+pub struct Zhou20 {
+    /// Maximum number of (phase, order) candidates applied per function.
+    budget: usize,
+    /// Collapse *true* NE-symmetry groups to a single order.
+    symmetry_collapse: bool,
+}
+
+impl Zhou20 {
+    /// Creates the classifier with a candidate budget.
+    pub fn new(budget: usize) -> Self {
+        Zhou20 {
+            budget: budget.max(1),
+            symmetry_collapse: false,
+        }
+    }
+
+    /// Enables true-symmetry collapsing: profile groups whose members are
+    /// pairwise NE-symmetric enumerate a single order instead of
+    /// `|group|!` — sound (symmetric swaps fix the table, so the skipped
+    /// orders are duplicates) and the actual accelerator of Zhou et
+    /// al.'s published algorithm. Off by default to mirror the runtime
+    /// profile the paper measures for `testnpn -11`.
+    #[must_use]
+    pub fn with_symmetry_collapse(mut self, on: bool) -> Self {
+        self.symmetry_collapse = on;
+        self
+    }
+
+    /// Number of candidates the enumeration would like to visit for `f`
+    /// (before budget capping) — exposed so benchmarks can demonstrate
+    /// the runtime variance.
+    pub fn candidate_space(&self, f: &TruthTable) -> u128 {
+        let n = f.num_vars();
+        let t = normalize_polarity(f);
+        let out_phases: u128 = if f.is_balanced() { 2 } else { 1 };
+        let mut phase_combos: u128 = 1;
+        for v in 0..n {
+            if t.cofactor_count(v, false) == t.cofactor_count(v, true) {
+                phase_combos = phase_combos.saturating_mul(2);
+            }
+        }
+        let mut order_combos: u128 = 1;
+        for g in profile_groups(&t) {
+            order_combos =
+                order_combos.saturating_mul((1..=g.len() as u128).product::<u128>());
+        }
+        out_phases
+            .saturating_mul(phase_combos)
+            .saturating_mul(order_combos)
+    }
+}
+
+impl Default for Zhou20 {
+    /// Default budget of 2000 candidates: exact on the vast majority of
+    /// functions, capped on pathologically symmetric ones.
+    fn default() -> Self {
+        Zhou20::new(2000)
+    }
+}
+
+/// Collapses every profile group whose members are pairwise NE-symmetric
+/// to a single representative order (sound: symmetric transpositions fix
+/// the table, so every skipped order produces a duplicate candidate).
+fn collapse_symmetric_groups(t: &TruthTable, groups: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    for g in groups {
+        let fully_symmetric = g.len() > 1
+            && g.iter().enumerate().all(|(i, &a)| {
+                g[i + 1..]
+                    .iter()
+                    .all(|&b| facepoint_sig::symmetry::ne_symmetric(t, a, b))
+            });
+        if fully_symmetric {
+            // Split into singletons: only the ascending arrangement of
+            // the class is enumerated.
+            out.extend(g.into_iter().map(|v| vec![v]));
+        } else {
+            out.push(g);
+        }
+    }
+    out
+}
+
+impl CanonicalClassifier for Zhou20 {
+    fn name(&self) -> &'static str {
+        "zhou20 (testnpn -11)"
+    }
+
+    fn canonical_form(&self, f: &TruthTable) -> TruthTable {
+        let n = f.num_vars();
+        let polarities: Vec<TruthTable> = if f.is_balanced() {
+            vec![f.clone(), f.negated()]
+        } else {
+            vec![normalize_polarity(f)]
+        };
+        let mut best: Option<TruthTable> = None;
+        let mut remaining = self.budget;
+        for base in polarities {
+            if n == 0 {
+                consider(base.clone(), &mut best);
+                continue;
+            }
+            // Variables with tied cofactor counts have ambiguous phase.
+            let ambiguous: Vec<usize> = (0..n)
+                .filter(|&v| base.cofactor_count(v, false) == base.cofactor_count(v, true))
+                .collect();
+            // Deterministic phase for the rest.
+            let mut phased = base.clone();
+            for v in 0..n {
+                if phased.cofactor_count(v, false) > phased.cofactor_count(v, true) {
+                    phased.flip_var_in_place(v);
+                }
+            }
+            let combos = 1u64.checked_shl(ambiguous.len() as u32).unwrap_or(u64::MAX);
+            'phase: for mask in 0..combos {
+                let mut t = phased.clone();
+                for (k, &v) in ambiguous.iter().enumerate() {
+                    if (mask >> k) & 1 == 1 {
+                        t.flip_var_in_place(v);
+                    }
+                }
+                let mut groups = profile_groups(&t);
+                if self.symmetry_collapse {
+                    groups = collapse_symmetric_groups(&t, groups);
+                }
+                let stop = !enumerate_orders(&groups, &mut |order| {
+                    if remaining == 0 {
+                        return false;
+                    }
+                    remaining -= 1;
+                    let mut img = vec![0usize; n];
+                    for (k, &v) in order.iter().enumerate() {
+                        img[v] = k;
+                    }
+                    let perm = Permutation::from_slice(&img).expect("bijective order");
+                    consider(t.permute_vars(&perm), &mut best);
+                    true
+                });
+                if stop {
+                    break 'phase;
+                }
+            }
+        }
+        best.expect("at least one candidate is always applied")
+    }
+}
+
+fn consider(cand: TruthTable, best: &mut Option<TruthTable>) {
+    if best.as_ref().map_or(true, |b| cand < *b) {
+        *best = Some(cand);
+    }
+}
+
+fn normalize_polarity(f: &TruthTable) -> TruthTable {
+    if f.count_ones() * 2 > f.num_bits() {
+        f.negated()
+    } else {
+        f.clone()
+    }
+}
+
+/// Groups variables by their (unordered cofactor pair, influence)
+/// profile; groups are ordered by profile, members ascend.
+fn profile_groups(t: &TruthTable) -> Vec<Vec<usize>> {
+    let n = t.num_vars();
+    let key = |v: usize| {
+        let c0 = t.cofactor_count(v, false);
+        let c1 = t.cofactor_count(v, true);
+        (c0.min(c1), c0.max(c1), influence(t, v))
+    };
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| key(v));
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    for v in order {
+        match out.last_mut() {
+            Some(last) if key(last[0]) == key(v) => last.push(v),
+            _ => out.push(vec![v]),
+        }
+    }
+    out
+}
+
+/// Visits every concatenation of per-group permutations; returns `false`
+/// if the visitor aborted.
+fn enumerate_orders(groups: &[Vec<usize>], visit: &mut impl FnMut(&[usize]) -> bool) -> bool {
+    let mut current = Vec::with_capacity(groups.iter().map(Vec::len).sum());
+    walk(groups, 0, &mut current, visit)
+}
+
+fn walk(
+    groups: &[Vec<usize>],
+    depth: usize,
+    current: &mut Vec<usize>,
+    visit: &mut impl FnMut(&[usize]) -> bool,
+) -> bool {
+    if depth == groups.len() {
+        return visit(current);
+    }
+    let mut members = groups[depth].clone();
+    permutations_of(&mut members, 0, &mut |perm| {
+        current.extend_from_slice(perm);
+        let cont = walk(groups, depth + 1, current, visit);
+        current.truncate(current.len() - perm.len());
+        cont
+    })
+}
+
+fn permutations_of(
+    items: &mut Vec<usize>,
+    start: usize,
+    visit: &mut impl FnMut(&[usize]) -> bool,
+) -> bool {
+    if start == items.len() {
+        return visit(items);
+    }
+    for i in start..items.len() {
+        items.swap(start, i);
+        if !permutations_of(items, start + 1, visit) {
+            items.swap(start, i);
+            return false;
+        }
+        items.swap(start, i);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::exact_npn_canonical;
+    use facepoint_truth::NpnTransform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn near_exact_on_random_functions() {
+        // With a generous budget, Zhou20 should classify random 4-var
+        // workloads exactly (random functions are rarely symmetric).
+        let z = Zhou20::new(100_000);
+        let mut rng = StdRng::seed_from_u64(151);
+        let mut mismatches = 0;
+        for _ in 0..40 {
+            let f = TruthTable::random(4, &mut rng).unwrap();
+            let t = NpnTransform::random(4, &mut rng);
+            let g = t.apply(&f);
+            if z.canonical_form(&f) != z.canonical_form(&g) {
+                mismatches += 1;
+            }
+        }
+        assert_eq!(mismatches, 0, "uncapped Zhou20 is exact on these");
+    }
+
+    #[test]
+    fn exactness_against_ground_truth_with_big_budget() {
+        // With the budget effectively unbounded the hybrid enumeration
+        // covers every unresolved ambiguity, so its partition refines to
+        // the exact one on small n.
+        let z = Zhou20::new(10_000_000);
+        let mut rng = StdRng::seed_from_u64(157);
+        for _ in 0..30 {
+            let f = TruthTable::random(3, &mut rng).unwrap();
+            let t = NpnTransform::random(3, &mut rng);
+            let g = t.apply(&f);
+            assert_eq!(
+                z.canonical_form(&f) == z.canonical_form(&g),
+                exact_npn_canonical(&f) == exact_npn_canonical(&g),
+                "f = {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn candidate_space_explodes_on_symmetric_functions() {
+        let z = Zhou20::default();
+        let sym = TruthTable::majority(7); // fully symmetric: one group of 7
+        let mut rng = StdRng::seed_from_u64(163);
+        let rand = TruthTable::random(7, &mut rng).unwrap();
+        assert!(
+            z.candidate_space(&sym) > 100 * z.candidate_space(&rand).max(1),
+            "symmetric {} vs random {}",
+            z.candidate_space(&sym),
+            z.candidate_space(&rand)
+        );
+    }
+
+    #[test]
+    fn budget_caps_runtime_not_validity() {
+        let z = Zhou20::new(10);
+        let f = TruthTable::parity(6); // everything tied
+        let c = z.canonical_form(&f);
+        assert!(crate::matcher::are_npn_equivalent(&f, &c));
+    }
+
+    #[test]
+    fn symmetry_collapse_preserves_canonical_forms() {
+        // Collapsing true symmetry groups skips only duplicate orders,
+        // so the representative must be unchanged wherever the budget
+        // was already sufficient.
+        let plain = Zhou20::new(1_000_000);
+        let fast = Zhou20::new(1_000_000).with_symmetry_collapse(true);
+        let mut rng = StdRng::seed_from_u64(241);
+        for _ in 0..20 {
+            let f = TruthTable::random(4, &mut rng).unwrap();
+            assert_eq!(plain.canonical_form(&f), fast.canonical_form(&f), "{f}");
+        }
+        // And on fully symmetric functions, where the saving is maximal.
+        for f in [TruthTable::majority(5), TruthTable::parity(5)] {
+            assert_eq!(plain.canonical_form(&f), fast.canonical_form(&f));
+        }
+    }
+
+    #[test]
+    fn symmetry_collapse_equivalence_preserved_under_transforms() {
+        let fast = Zhou20::new(1_000_000).with_symmetry_collapse(true);
+        let mut rng = StdRng::seed_from_u64(251);
+        for _ in 0..15 {
+            let f = TruthTable::random(4, &mut rng).unwrap();
+            let g = NpnTransform::random(4, &mut rng).apply(&f);
+            assert_eq!(
+                fast.canonical_form(&f),
+                fast.canonical_form(&g),
+                "f = {f}"
+            );
+        }
+    }
+}

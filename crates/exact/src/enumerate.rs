@@ -1,0 +1,213 @@
+//! Enumeration of the NPN transform group.
+//!
+//! Exhaustive canonicalization touches all `n!·2^{n+1}` transforms. Doing
+//! that with O(1) table updates per step requires visiting permutations in
+//! an order where consecutive permutations differ by one *adjacent*
+//! transposition — the Steinhaus–Johnson–Trotter "plain changes" order —
+//! and phases in Gray-code order where consecutive masks differ in one
+//! bit. This module provides both sequences plus a convenience iterator
+//! over explicit [`NpnTransform`]s for small `n` (tests, witnesses).
+
+use facepoint_truth::{NpnTransform, Permutation};
+
+/// `n!` as `u64`.
+///
+/// # Panics
+///
+/// Panics if `n > 20` (would overflow).
+pub fn factorial(n: usize) -> u64 {
+    assert!(n <= 20, "factorial overflow");
+    (1..=n as u64).product()
+}
+
+/// The plain-changes (Steinhaus–Johnson–Trotter) swap sequence for `n`
+/// elements: `n! − 1` positions, each identifying the adjacent
+/// transposition `(p, p+1)` that yields the next permutation.
+///
+/// Applying the swaps in order to the identity visits every permutation
+/// of `n` elements exactly once.
+///
+/// # Examples
+///
+/// ```
+/// use facepoint_exact::plain_changes;
+///
+/// assert_eq!(plain_changes(3), vec![1, 0, 1, 0, 1]);
+/// assert_eq!(plain_changes(1), Vec::<usize>::new());
+/// ```
+pub fn plain_changes(n: usize) -> Vec<usize> {
+    if n <= 1 {
+        return Vec::new();
+    }
+    let prev = plain_changes(n - 1);
+    let mut out = Vec::with_capacity(factorial(n) as usize - 1);
+    let mut down = true;
+    let mut prev_iter = prev.iter();
+    loop {
+        // Sweep the largest element through all n positions.
+        if down {
+            for j in (0..n - 1).rev() {
+                out.push(j);
+            }
+        } else {
+            for j in 0..n - 1 {
+                out.push(j);
+            }
+        }
+        match prev_iter.next() {
+            // Subproblem swap, offset by one when the largest element
+            // parks at the left end.
+            Some(&p) => out.push(if down { p + 1 } else { p }),
+            None => break,
+        }
+        down = !down;
+    }
+    out
+}
+
+/// The bit index that changes between Gray codes `g-1` and `g`
+/// (`g ≥ 1`): the number of trailing zeros of `g`.
+#[inline]
+pub fn gray_flip_bit(g: u64) -> u32 {
+    debug_assert!(g >= 1);
+    g.trailing_zeros()
+}
+
+/// Iterator over all `n!·2^{n+1}` NPN transforms of `n ≤ 8` variables as
+/// explicit [`NpnTransform`] values.
+///
+/// This materializes each transform and is meant for ground-truth tests
+/// and witness searches; hot canonicalization paths use the implicit
+/// plain-changes/Gray walk instead.
+///
+/// # Panics
+///
+/// Panics if `n > 8` (the explicit enumeration would be astronomically
+/// large).
+pub fn all_transforms(n: usize) -> impl Iterator<Item = NpnTransform> {
+    assert!(n <= 8, "explicit transform enumeration is limited to n ≤ 8");
+    let perms = all_permutations(n);
+    let phases = 1u32 << n;
+    perms.into_iter().flat_map(move |perm| {
+        (0..phases).flat_map(move |neg| {
+            let perm0 = perm.clone();
+            let perm1 = perm.clone();
+            [
+                NpnTransform::new(perm0, neg as u16, false),
+                NpnTransform::new(perm1, neg as u16, true),
+            ]
+        })
+    })
+}
+
+/// The size of a function's NPN orbit (number of distinct functions
+/// reachable by NPN transforms) via explicit enumeration.
+///
+/// By orbit–stabilizer, the result always divides `n!·2^{n+1}`; small
+/// orbits flag highly symmetric functions (majority-3's orbit has 8
+/// members, a generic 4-variable function's 768).
+///
+/// # Panics
+///
+/// Panics if `num_vars > 6` (the enumeration is explicit).
+pub fn npn_orbit_size(f: &facepoint_truth::TruthTable) -> usize {
+    let n = f.num_vars();
+    assert!(n <= 6, "orbit enumeration is limited to n ≤ 6");
+    let orbit: std::collections::HashSet<_> =
+        all_transforms(n).map(|t| t.apply(f)).collect();
+    orbit.len()
+}
+
+/// All permutations of `0..n` in plain-changes order (starting from the
+/// identity).
+pub fn all_permutations(n: usize) -> Vec<Permutation> {
+    let mut cur: Vec<usize> = (0..n).collect();
+    let mut out = Vec::with_capacity(factorial(n) as usize);
+    out.push(Permutation::from_slice(&cur).expect("identity"));
+    for p in plain_changes(n) {
+        cur.swap(p, p + 1);
+        out.push(Permutation::from_slice(&cur).expect("plain change"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn factorials() {
+        assert_eq!(factorial(0), 1);
+        assert_eq!(factorial(1), 1);
+        assert_eq!(factorial(6), 720);
+        assert_eq!(factorial(10), 3_628_800);
+    }
+
+    #[test]
+    fn plain_changes_visits_every_permutation() {
+        for n in 1..=6usize {
+            let perms = all_permutations(n);
+            assert_eq!(perms.len(), factorial(n) as usize, "n = {n}");
+            let unique: HashSet<_> = perms.iter().map(|p| p.as_slice().to_vec()).collect();
+            assert_eq!(unique.len(), perms.len(), "all distinct, n = {n}");
+        }
+    }
+
+    #[test]
+    fn plain_changes_are_adjacent() {
+        for n in 2..=6usize {
+            for &p in &plain_changes(n) {
+                assert!(p + 1 < n, "swap position {p} out of range for n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_transforms_count() {
+        for n in 0..=4usize {
+            let count = all_transforms(n).count() as u64;
+            assert_eq!(count, factorial(n) * (1 << (n + 1)), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn all_transforms_distinct_actions() {
+        // Distinct transforms may coincide as *functions* only through
+        // symmetric arguments; on a random asymmetric function the orbit
+        // size divides the group order.
+        use facepoint_truth::TruthTable;
+        let f = TruthTable::from_hex(3, "e8").unwrap();
+        let orbit: HashSet<_> = all_transforms(3).map(|t| t.apply(&f)).collect();
+        // Majority-3 is totally symmetric and self-dual
+        // (maj(¬x) = ¬maj(x)), so its stabilizer has 6·2 = 12 elements and
+        // the orbit 96/12 = 8 members — the 8 input phasings of maj.
+        assert_eq!(orbit.len(), 8);
+    }
+
+    #[test]
+    fn orbit_sizes_divide_group_order() {
+        use facepoint_truth::TruthTable;
+        assert_eq!(npn_orbit_size(&TruthTable::majority(3)), 8);
+        assert_eq!(npn_orbit_size(&TruthTable::zero(3).unwrap()), 2);
+        // Parity-n orbit: all ±parity phasings collapse; size 2.
+        assert_eq!(npn_orbit_size(&TruthTable::parity(3)), 2);
+        let group = factorial(4) * (1 << 5);
+        let f = TruthTable::from_hex(4, "37c8").unwrap();
+        let orbit = npn_orbit_size(&f) as u64;
+        assert_eq!(group % orbit, 0, "orbit–stabilizer");
+    }
+
+    #[test]
+    fn gray_flip_sequence_covers_cycle() {
+        // Applying the flips for g = 1..2^n and then flipping bit n-1 once
+        // more returns to phase 0.
+        let n = 5u32;
+        let mut phase = 0u64;
+        for g in 1..(1u64 << n) {
+            phase ^= 1 << gray_flip_bit(g);
+        }
+        phase ^= 1 << (n - 1);
+        assert_eq!(phase, 0);
+    }
+}

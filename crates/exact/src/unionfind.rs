@@ -1,0 +1,114 @@
+//! A small union–find (disjoint-set) structure with path halving and
+//! union by size, used to accumulate pairwise equivalence verdicts into
+//! classes.
+
+/// Disjoint-set forest over `0..len`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// Creates `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        UnionFind {
+            parent: (0..len).collect(),
+            size: vec![1; len],
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were
+    /// distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        true
+    }
+
+    /// Whether `a` and `b` share a set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of distinct sets.
+    pub fn num_sets(&mut self) -> usize {
+        (0..self.len()).filter(|&i| self.find(i) == i).count()
+    }
+
+    /// Compact class labels `0..num_sets`, stable in first-occurrence
+    /// order.
+    pub fn labels(&mut self) -> Vec<usize> {
+        let mut map = std::collections::HashMap::new();
+        (0..self.len())
+            .map(|i| {
+                let root = self.find(i);
+                let next = map.len();
+                *map.entry(root).or_insert(next)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.num_sets(), 4);
+        assert!(!uf.connected(0, 3));
+    }
+
+    #[test]
+    fn union_merges() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(3, 4));
+        assert!(!uf.union(1, 0), "already merged");
+        assert!(uf.union(1, 3));
+        assert_eq!(uf.num_sets(), 2);
+        assert!(uf.connected(0, 4));
+        assert!(!uf.connected(0, 2));
+    }
+
+    #[test]
+    fn labels_are_compact_and_stable() {
+        let mut uf = UnionFind::new(6);
+        uf.union(1, 4);
+        uf.union(2, 5);
+        let labels = uf.labels();
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[1], 1);
+        assert_eq!(labels[1], labels[4]);
+        assert_eq!(labels[2], labels[5]);
+        assert_eq!(*labels.iter().max().unwrap(), 3);
+    }
+}

@@ -1,0 +1,194 @@
+//! Ordered cofactor vectors (`OCV`) — the *face* signatures
+//! (Definition 6 of the paper).
+//!
+//! The ℓ-ary ordered cofactor vector collects the satisfy counts of every
+//! cofactor obtained by fixing ℓ distinct variables to every one of the
+//! `2^ℓ` constant assignments, sorted in non-decreasing order. Equality of
+//! `OCVℓ` for every ℓ is a classical canonical form (Abdollahi et al.,
+//! cited as \[3\]); equality for any fixed ℓ is a necessary condition for
+//! NPN equivalence *up to output phase* (output negation maps each count
+//! `c` to `2^{n-ℓ} − c`).
+
+use facepoint_truth::TruthTable;
+
+/// The 1-ary ordered cofactor vector: sorted multiset
+/// `{|f_{x_i = v}| : i < n, v ∈ {0,1}}` of length `2n`.
+///
+/// # Examples
+///
+/// ```
+/// use facepoint_sig::ocv1;
+/// use facepoint_truth::TruthTable;
+///
+/// // Table I of the paper: OCV1 of the 3-majority is (1,1,1,3,3,3).
+/// assert_eq!(ocv1(&TruthTable::majority(3)), vec![1, 1, 1, 3, 3, 3]);
+/// ```
+pub fn ocv1(f: &TruthTable) -> Vec<u32> {
+    let n = f.num_vars();
+    let mut v = Vec::with_capacity(2 * n);
+    for var in 0..n {
+        v.push(f.cofactor_count(var, false) as u32);
+        v.push(f.cofactor_count(var, true) as u32);
+    }
+    v.sort_unstable();
+    v
+}
+
+/// The 2-ary ordered cofactor vector: sorted multiset of the
+/// `4·C(n,2) = 2n(n−1)` two-variable cofactor counts.
+///
+/// # Examples
+///
+/// ```
+/// use facepoint_sig::ocv2;
+/// use facepoint_truth::TruthTable;
+///
+/// // Table I: OCV2 of the 3-majority is (0,0,0,1,1,1,1,1,1,2,2,2).
+/// assert_eq!(
+///     ocv2(&TruthTable::majority(3)),
+///     vec![0, 0, 0, 1, 1, 1, 1, 1, 1, 2, 2, 2]
+/// );
+/// ```
+pub fn ocv2(f: &TruthTable) -> Vec<u32> {
+    let n = f.num_vars();
+    let mut v = Vec::with_capacity(2 * n * n.saturating_sub(1));
+    for i in 0..n {
+        for j in (i + 1)..n {
+            for assign in 0..4u8 {
+                let vi = assign & 1 == 1;
+                let vj = assign & 2 == 2;
+                v.push(f.cofactor_count_multi(&[i, j], &[vi, vj]) as u32);
+            }
+        }
+    }
+    v.sort_unstable();
+    v
+}
+
+/// The general ℓ-ary ordered cofactor vector (`C(n,ℓ)·2^ℓ` entries).
+///
+/// `ocv(f, 0)` is the one-element vector `[|f|]` (the 0-ary cofactor
+/// signature); `ocv(f, n)` enumerates all minterms.
+///
+/// # Panics
+///
+/// Panics if `arity > num_vars`.
+pub fn ocv(f: &TruthTable, arity: usize) -> Vec<u32> {
+    let n = f.num_vars();
+    assert!(arity <= n, "cofactor arity {arity} exceeds {n} variables");
+    if arity == 0 {
+        return vec![f.count_ones() as u32];
+    }
+    let mut v = Vec::new();
+    let mut combo: Vec<usize> = (0..arity).collect();
+    loop {
+        for assign in 0..(1u32 << arity) {
+            let values: Vec<bool> = (0..arity).map(|k| (assign >> k) & 1 == 1).collect();
+            v.push(f.cofactor_count_multi(&combo, &values) as u32);
+        }
+        if !next_combination(&mut combo, n) {
+            v.sort_unstable();
+            return v;
+        }
+    }
+}
+
+/// Advances `combo` (strictly increasing indices into `0..n`) to its
+/// lexicographic successor; returns `false` when exhausted.
+fn next_combination(combo: &mut [usize], n: usize) -> bool {
+    let k = combo.len();
+    let mut i = k;
+    while i > 0 {
+        i -= 1;
+        if combo[i] < n - k + i {
+            combo[i] += 1;
+            for j in i + 1..k {
+                combo[j] = combo[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binomial(n: usize, k: usize) -> usize {
+        if k > n {
+            return 0;
+        }
+        let mut r = 1usize;
+        for i in 0..k {
+            r = r * (n - i) / (i + 1);
+        }
+        r
+    }
+
+    #[test]
+    fn table1_majority_values() {
+        let f1 = TruthTable::majority(3);
+        assert_eq!(ocv1(&f1), vec![1, 1, 1, 3, 3, 3]);
+        assert_eq!(ocv2(&f1), vec![0, 0, 0, 1, 1, 1, 1, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn table1_projection_values() {
+        // f3 of Fig. 1c is the single-variable projection (see DESIGN.md).
+        let f3 = TruthTable::projection(3, 2).unwrap();
+        assert_eq!(ocv1(&f3), vec![0, 2, 2, 2, 2, 4]);
+        assert_eq!(ocv2(&f3), vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn lengths_match_definition() {
+        let f = TruthTable::from_hex(5, "deadbeef").unwrap();
+        for l in 0..=5usize {
+            assert_eq!(
+                ocv(&f, l).len(),
+                binomial(5, l) << l,
+                "|OCV{l}| = C(n,l)·2^l"
+            );
+        }
+    }
+
+    #[test]
+    fn general_matches_fast_paths() {
+        let f = TruthTable::from_hex(4, "9b1c").unwrap();
+        assert_eq!(ocv(&f, 1), ocv1(&f));
+        assert_eq!(ocv(&f, 2), ocv2(&f));
+        assert_eq!(ocv(&f, 0), vec![f.count_ones() as u32]);
+    }
+
+    #[test]
+    fn full_arity_counts_are_bits() {
+        let f = TruthTable::from_hex(3, "e8").unwrap();
+        let v = ocv(&f, 3);
+        // Every n-ary cofactor fixes all variables: counts are 0/1 and sum
+        // to |f|.
+        assert_eq!(v.len(), 8);
+        assert_eq!(v.iter().sum::<u32>(), 4);
+        assert!(v.iter().all(|&c| c <= 1));
+    }
+
+    #[test]
+    fn np_invariance_spot_check() {
+        use facepoint_truth::NpnTransform;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..20 {
+            let f = TruthTable::random(5, &mut rng).unwrap();
+            // NP only (no output negation) preserves every OCV level.
+            let mut t = NpnTransform::random(5, &mut rng);
+            if t.output_neg() {
+                t = NpnTransform::new(t.perm().clone(), t.input_neg(), false);
+            }
+            let g = t.apply(&f);
+            assert_eq!(ocv1(&f), ocv1(&g));
+            assert_eq!(ocv2(&f), ocv2(&g));
+            assert_eq!(ocv(&f, 3), ocv(&g, 3));
+        }
+    }
+}

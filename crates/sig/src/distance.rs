@@ -1,0 +1,311 @@
+//! Ordered sensitivity-distance vectors (`OSDV`) —
+//! Definitions 9 and 10 of the paper.
+//!
+//! `OSDV(f)` refines the sensitivity vector with *geometry*: for every
+//! sensitivity level `s` it histograms the Hamming distances of all
+//! unordered pairs of minterms that share that local sensitivity.
+//! `OSDV1`/`OSDV0` restrict the pairs to 1-/0-minterms.
+//!
+//! Two engines compute the pair histograms and are differential-tested
+//! against each other:
+//!
+//! * [`OsdvEngine::Pairwise`] — group minterms by sensitivity, histogram
+//!   `popcount(X ⊕ Y)` over every in-group pair: `O(Σ|G|²)`, excellent for
+//!   sparse groups;
+//! * [`OsdvEngine::Wht`] — per group, a Walsh–Hadamard XOR
+//!   autocorrelation gives the count of pairs at every XOR difference in
+//!   `O(n·2^n)` regardless of group size.
+//!
+//! [`OsdvEngine::Auto`] (the default) picks per group based on the group
+//! population.
+
+use crate::sensitivity::SensitivityProfile;
+use crate::spectral::xor_autocorrelation;
+use facepoint_truth::words::WORD_VARS;
+use facepoint_truth::TruthTable;
+use std::fmt;
+
+/// Strategy for counting equal-sensitivity minterm pairs by distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OsdvEngine {
+    /// Always enumerate pairs inside each sensitivity group.
+    Pairwise,
+    /// Always use the Walsh–Hadamard autocorrelation.
+    Wht,
+    /// Choose per group: pairwise when `|G|² < n·2^n`, WHT otherwise.
+    #[default]
+    Auto,
+}
+
+/// Which minterms participate in the pair counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MintermFilter {
+    /// All `2^n` minterms — the paper's `OSDV`.
+    All,
+    /// Only minterms with `f(X) = 0` — the paper's `OSDV0`.
+    Zeros,
+    /// Only minterms with `f(X) = 1` — the paper's `OSDV1`.
+    Ones,
+}
+
+/// The ordered sensitivity-distance vector: a `(n+1) × n` matrix `δ` where
+/// `δ[s][j-1]` counts unordered minterm pairs `(X, Y)`, `X < Y`, with
+/// `sen(f,X) = sen(f,Y) = s` and Hamming distance `j`.
+///
+/// The paper flattens the matrix row-major as
+/// `(σ_0, σ_1, …, σ_n)`, `σ_s = (δ_{s1}, …, δ_{sn})`; [`Osdv::flatten`]
+/// and the `Display` impl reproduce that order.
+///
+/// # Examples
+///
+/// ```
+/// use facepoint_sig::{osdv1, Osdv};
+/// use facepoint_truth::TruthTable;
+///
+/// // Table I: OSDV1 of the 3-majority is (0,0,0, 0,0,0, 0,3,0, 0,0,0).
+/// let v = osdv1(&TruthTable::majority(3));
+/// assert_eq!(v.flatten(), vec![0, 0, 0, 0, 0, 0, 0, 3, 0, 0, 0, 0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Osdv {
+    num_vars: usize,
+    /// Row-major `(n+1) × n`: entry `s * n + (j - 1)`.
+    rows: Vec<u64>,
+}
+
+impl Osdv {
+    /// Number of variables of the underlying function.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The pair count `δ_{sj}` for sensitivity `s` and distance `j ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s > n` or `j` is not in `1..=n`.
+    pub fn delta(&self, s: u32, j: u32) -> u64 {
+        let n = self.num_vars;
+        assert!((s as usize) <= n, "sensitivity {s} out of range");
+        assert!(j >= 1 && (j as usize) <= n, "distance {j} out of range");
+        self.rows[s as usize * n + (j as usize - 1)]
+    }
+
+    /// Row `σ_s`: the distance histogram of sensitivity level `s`.
+    pub fn sigma(&self, s: u32) -> &[u64] {
+        let n = self.num_vars;
+        &self.rows[s as usize * n..(s as usize + 1) * n]
+    }
+
+    /// The row-major flattening `(σ_0, …, σ_n)` used by the paper's
+    /// Table I and by MSV construction.
+    pub fn flatten(&self) -> Vec<u64> {
+        self.rows.clone()
+    }
+
+    /// Total number of counted pairs, `Σ_{s,j} δ_{sj}`.
+    pub fn total_pairs(&self) -> u64 {
+        self.rows.iter().sum()
+    }
+}
+
+impl fmt::Display for Osdv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.rows.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Computes an OSDV variant with full control over filter and engine.
+///
+/// [`osdv`], [`osdv0`] and [`osdv1`] are the common shorthands.
+pub fn osdv_with(f: &TruthTable, filter: MintermFilter, engine: OsdvEngine) -> Osdv {
+    let profile = SensitivityProfile::compute(f);
+    osdv_from_profile(f, &profile, filter, engine)
+}
+
+/// Computes an OSDV variant reusing an already-computed sensitivity
+/// profile (the classifier computes OSV and OSDV from one profile, as in
+/// Algorithm 1 line 5).
+pub fn osdv_from_profile(
+    f: &TruthTable,
+    profile: &SensitivityProfile,
+    filter: MintermFilter,
+    engine: OsdvEngine,
+) -> Osdv {
+    let n = f.num_vars();
+    if n == 0 {
+        return Osdv { num_vars: 0, rows: Vec::new() };
+    }
+    let mut rows = vec![0u64; (n + 1) * n];
+    for s in 0..=n as u32 {
+        let mut group = profile.indicator(s);
+        match filter {
+            MintermFilter::All => {}
+            MintermFilter::Zeros => {
+                for (g, fw) in group.iter_mut().zip(f.words()) {
+                    *g &= !fw;
+                }
+            }
+            MintermFilter::Ones => {
+                for (g, fw) in group.iter_mut().zip(f.words()) {
+                    *g &= fw;
+                }
+            }
+        }
+        let pop: u64 = group.iter().map(|w| w.count_ones() as u64).sum();
+        if pop < 2 {
+            continue;
+        }
+        let use_pairwise = match engine {
+            OsdvEngine::Pairwise => true,
+            OsdvEngine::Wht => false,
+            OsdvEngine::Auto => pop * pop < (n as u64) << n,
+        };
+        let row = &mut rows[s as usize * n..(s as usize + 1) * n];
+        if use_pairwise {
+            count_pairs_naive(&group, row);
+        } else {
+            count_pairs_wht(&group, n, row);
+        }
+    }
+    Osdv { num_vars: n, rows }
+}
+
+/// `OSDV(f)`: pair counts over all minterms (default engine).
+pub fn osdv(f: &TruthTable) -> Osdv {
+    osdv_with(f, MintermFilter::All, OsdvEngine::Auto)
+}
+
+/// `OSDV0(f)`: pair counts over the 0-minterms (default engine).
+pub fn osdv0(f: &TruthTable) -> Osdv {
+    osdv_with(f, MintermFilter::Zeros, OsdvEngine::Auto)
+}
+
+/// `OSDV1(f)`: pair counts over the 1-minterms (default engine).
+pub fn osdv1(f: &TruthTable) -> Osdv {
+    osdv_with(f, MintermFilter::Ones, OsdvEngine::Auto)
+}
+
+fn count_pairs_naive(group: &[u64], row: &mut [u64]) {
+    let mut members: Vec<u64> = Vec::new();
+    for (w, &word) in group.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            members.push(((w as u64) << WORD_VARS) | bits.trailing_zeros() as u64);
+            bits &= bits - 1;
+        }
+    }
+    for (a, &x) in members.iter().enumerate() {
+        for &y in &members[a + 1..] {
+            let d = (x ^ y).count_ones() as usize;
+            row[d - 1] += 1;
+        }
+    }
+}
+
+fn count_pairs_wht(group: &[u64], num_vars: usize, row: &mut [u64]) {
+    let r = xor_autocorrelation(group, num_vars);
+    for (d, &cnt) in r.iter().enumerate().skip(1) {
+        debug_assert!(cnt >= 0 && cnt % 2 == 0, "ordered pair counts are even");
+        let j = (d as u64).count_ones() as usize;
+        row[j - 1] += (cnt / 2) as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table1_majority_osdv1() {
+        let f1 = TruthTable::majority(3);
+        let v = osdv1(&f1);
+        assert_eq!(v.flatten(), vec![0, 0, 0, 0, 0, 0, 0, 3, 0, 0, 0, 0]);
+        assert_eq!(v.delta(2, 2), 3);
+    }
+
+    #[test]
+    fn table1_majority_osdv() {
+        let f1 = TruthTable::majority(3);
+        let v = osdv(&f1);
+        assert_eq!(v.flatten(), vec![0, 0, 1, 0, 0, 0, 6, 6, 3, 0, 0, 0]);
+    }
+
+    #[test]
+    fn table1_projection_osdv1_and_osdv() {
+        let f3 = TruthTable::projection(3, 2).unwrap();
+        assert_eq!(
+            osdv1(&f3).flatten(),
+            vec![0, 0, 0, 4, 2, 0, 0, 0, 0, 0, 0, 0]
+        );
+        assert_eq!(
+            osdv(&f3).flatten(),
+            vec![0, 0, 0, 12, 12, 4, 0, 0, 0, 0, 0, 0]
+        );
+    }
+
+    #[test]
+    fn engines_agree() {
+        let mut rng = StdRng::seed_from_u64(53);
+        for n in 1..=8usize {
+            for _ in 0..4 {
+                let f = TruthTable::random(n, &mut rng).unwrap();
+                for filter in [MintermFilter::All, MintermFilter::Zeros, MintermFilter::Ones] {
+                    let a = osdv_with(&f, filter, OsdvEngine::Pairwise);
+                    let b = osdv_with(&f, filter, OsdvEngine::Wht);
+                    assert_eq!(a, b, "n = {n}, filter = {filter:?}, f = {f}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_sums_are_group_pair_counts() {
+        let mut rng = StdRng::seed_from_u64(59);
+        let f = TruthTable::random(6, &mut rng).unwrap();
+        let prof = SensitivityProfile::compute(&f);
+        let hist = prof.histogram();
+        let v = osdv(&f);
+        for s in 0..=6u32 {
+            let g = hist[s as usize];
+            let expect = g * g.saturating_sub(1) / 2;
+            assert_eq!(v.sigma(s).iter().sum::<u64>(), expect, "σ_{s} row sum");
+        }
+    }
+
+    #[test]
+    fn zero_vars_osdv_is_empty() {
+        let f = TruthTable::one(0).unwrap();
+        let v = osdv(&f);
+        assert_eq!(v.flatten(), Vec::<u64>::new());
+        assert_eq!(v.total_pairs(), 0);
+    }
+
+    #[test]
+    fn display_matches_paper_format() {
+        let v = osdv1(&TruthTable::majority(3));
+        assert_eq!(format!("{v}"), "(0,0,0,0,0,0,0,3,0,0,0,0)");
+    }
+
+    #[test]
+    fn split_vectors_partition_when_phases_fixed() {
+        // Pairs of OSDV are NOT a partition of OSDV (cross-value pairs with
+        // equal sensitivity exist), but each split total is bounded by the
+        // full total.
+        let f = TruthTable::from_hex(4, "3c5a").unwrap();
+        let all = osdv(&f).total_pairs();
+        let zeros = osdv0(&f).total_pairs();
+        let ones = osdv1(&f).total_pairs();
+        assert!(zeros + ones <= all);
+    }
+}

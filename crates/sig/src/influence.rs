@@ -1,0 +1,144 @@
+//! Boolean influence — the *point–face* characteristic
+//! (Definition 5 of the paper).
+//!
+//! The influence of variable `x_i` measures how often flipping `x_i` flips
+//! the function: geometrically, how many minterms of one `x_i`-face differ
+//! from their mirror image on the opposite face. Following the paper's
+//! footnote we keep the integer form
+//! `inf(f, i) = |{X : f(X) ≠ f(X^i)}| / 2` (the set size is always even:
+//! sensitive pairs are counted from both endpoints).
+//!
+//! Influence is invariant under the **full** NPN group (Theorem 1 plus the
+//! observation that `f(X) ≠ f(X^i)` is unchanged by complementing `f`),
+//! which makes [`oiv`] the cheapest fully NPN-invariant vector in the
+//! paper's toolbox.
+
+use facepoint_truth::TruthTable;
+
+/// The integer influence of variable `var`:
+/// `|{X : f(X) ≠ f(X ⊕ e_var)}| / 2` — a masked popcount of the Boolean
+/// derivative `f ⊕ f[x←¬x]`.
+///
+/// # Panics
+///
+/// Panics if `var >= num_vars`.
+///
+/// # Examples
+///
+/// ```
+/// use facepoint_sig::influence;
+/// use facepoint_truth::TruthTable;
+///
+/// let maj = TruthTable::majority(3);
+/// assert_eq!(influence(&maj, 0), 2); // Table I: OIV(f1) = (2,2,2)
+/// ```
+pub fn influence(f: &TruthTable, var: usize) -> u32 {
+    let d = f ^ &f.flip_var(var);
+    let c = d.count_ones();
+    debug_assert_eq!(c % 2, 0, "derivative popcount is even");
+    (c / 2) as u32
+}
+
+/// Influences of all variables, unsorted (index `i` holds `inf(f, i)`).
+pub fn influences(f: &TruthTable) -> Vec<u32> {
+    (0..f.num_vars()).map(|v| influence(f, v)).collect()
+}
+
+/// The ordered influence vector `OIV(f)` (Definition 7): sorted multiset
+/// of all variable influences.
+///
+/// # Examples
+///
+/// ```
+/// use facepoint_sig::oiv;
+/// use facepoint_truth::TruthTable;
+///
+/// // Table I: OIV of the projection f3 = x2 is (0, 0, 4).
+/// let f3 = TruthTable::projection(3, 2)?;
+/// assert_eq!(oiv(&f3), vec![0, 0, 4]);
+/// # Ok::<(), facepoint_truth::Error>(())
+/// ```
+pub fn oiv(f: &TruthTable) -> Vec<u32> {
+    let mut v = influences(f);
+    v.sort_unstable();
+    v
+}
+
+/// The total influence `inf(f) = Σ_i inf(f, i)` (Definition 5).
+pub fn total_influence(f: &TruthTable) -> u64 {
+    influences(f).iter().map(|&v| v as u64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facepoint_truth::NpnTransform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table1_values() {
+        assert_eq!(oiv(&TruthTable::majority(3)), vec![2, 2, 2]);
+        assert_eq!(oiv(&TruthTable::projection(3, 2).unwrap()), vec![0, 0, 4]);
+    }
+
+    #[test]
+    fn parity_has_maximal_influence() {
+        // Flipping any input of XOR always flips the output.
+        let f = TruthTable::parity(5);
+        assert_eq!(oiv(&f), vec![16; 5]); // 2^{n-1} each
+        assert_eq!(total_influence(&f), 5 * 16);
+    }
+
+    #[test]
+    fn constants_have_zero_influence() {
+        let f = TruthTable::one(4).unwrap();
+        assert_eq!(oiv(&f), vec![0; 4]);
+    }
+
+    #[test]
+    fn influence_ignores_output_phase() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let f = TruthTable::random(6, &mut rng).unwrap();
+            assert_eq!(oiv(&f), oiv(&!&f));
+        }
+    }
+
+    #[test]
+    fn theorem1_oiv_npn_invariance() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..40 {
+            let f = TruthTable::random(6, &mut rng).unwrap();
+            let t = NpnTransform::random(6, &mut rng);
+            assert_eq!(oiv(&f), oiv(&t.apply(&f)), "transform {t}");
+        }
+    }
+
+    #[test]
+    fn lemma1_pointwise_permuted_influence() {
+        // Lemma 1: influences permute along the variable mapping.
+        let mut rng = StdRng::seed_from_u64(29);
+        for _ in 0..20 {
+            let f = TruthTable::random(5, &mut rng).unwrap();
+            let t = NpnTransform::random(5, &mut rng);
+            let g = t.apply(&f);
+            // g reads f's variable i at position perm[i]:
+            // inf(g, perm[i]) == inf(f, i).
+            for i in 0..5 {
+                assert_eq!(influence(&g, t.perm().map(i)), influence(&f, i));
+            }
+        }
+    }
+
+    #[test]
+    fn influence_bounded_by_half_cube() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..10 {
+            let f = TruthTable::random(7, &mut rng).unwrap();
+            for v in 0..7 {
+                assert!(influence(&f, v) <= 64);
+            }
+        }
+    }
+}

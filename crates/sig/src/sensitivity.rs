@@ -1,0 +1,367 @@
+//! Local sensitivity — the *point* characteristic
+//! (Definitions 3, 4 and 8 of the paper).
+//!
+//! The local sensitivity `sen(f, X)` counts the neighbours of minterm `X`
+//! (Hamming distance 1) on which `f` takes the other value. The ordered
+//! sensitivity vectors `OSV`, `OSV0`, `OSV1` sort those counts over all
+//! minterms, or over the 0-/1-minterms only.
+//!
+//! # Computation
+//!
+//! For every variable `i` the Boolean derivative `d_i = f ⊕ f[x_i ← ¬x_i]`
+//! marks exactly the minterms sensitive at `i`, so `sen(f, X)` is the
+//! column sum of an `n × 2^n` bit matrix. [`SensitivityProfile`] sums the
+//! columns *bit-sliced*: five carry-save accumulator planes of `2^n` bits
+//! each absorb one derivative per ripple-carry step, giving
+//! `O(n·2^n/64)` word operations for the whole profile — the "bitwise
+//! operation techniques" the paper credits to Hacker's Delight. A naive
+//! per-minterm reference implementation is kept for differential testing.
+
+use facepoint_truth::words::{valid_bits_mask, word_count, WORD_VARS};
+use facepoint_truth::TruthTable;
+
+/// Number of accumulator bit-planes: sensitivities reach at most
+/// [`MAX_VARS`](facepoint_truth::MAX_VARS) = 16, which needs 5 bits.
+const PLANES: usize = 5;
+
+/// Per-minterm local sensitivities of a function, stored bit-sliced.
+///
+/// Plane `p` holds bit `p` of every minterm's sensitivity count; the
+/// planes act as a carry-save adder over the `n` Boolean derivatives.
+///
+/// # Examples
+///
+/// ```
+/// use facepoint_sig::SensitivityProfile;
+/// use facepoint_truth::TruthTable;
+///
+/// let maj = TruthTable::majority(3);
+/// let prof = SensitivityProfile::compute(&maj);
+/// assert_eq!(prof.local(0b111), 0); // interior point of the majority
+/// assert_eq!(prof.local(0b110), 2);
+/// assert_eq!(prof.max_sensitivity(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SensitivityProfile {
+    num_vars: usize,
+    planes: Vec<Vec<u64>>,
+}
+
+impl SensitivityProfile {
+    /// Computes the profile with the bit-sliced carry-save accumulator.
+    pub fn compute(f: &TruthTable) -> Self {
+        let n = f.num_vars();
+        let wc = word_count(n);
+        let mut planes = vec![vec![0u64; wc]; PLANES];
+        for var in 0..n {
+            let d = f ^ &f.flip_var(var);
+            for (w, &dw) in d.words().iter().enumerate() {
+                let mut carry = dw;
+                for plane in planes.iter_mut() {
+                    if carry == 0 {
+                        break;
+                    }
+                    let t = plane[w] & carry;
+                    plane[w] ^= carry;
+                    carry = t;
+                }
+                debug_assert_eq!(carry, 0, "sensitivity exceeded plane capacity");
+            }
+        }
+        SensitivityProfile { num_vars: n, planes }
+    }
+
+    /// Reference implementation: walks every (minterm, variable) pair.
+    /// Quadratically slower; exists to differential-test
+    /// [`SensitivityProfile::compute`].
+    pub fn compute_naive(f: &TruthTable) -> Self {
+        let n = f.num_vars();
+        let wc = word_count(n);
+        let mut planes = vec![vec![0u64; wc]; PLANES];
+        for m in 0..f.num_bits() {
+            let mut s = 0u64;
+            for var in 0..n {
+                if f.bit(m) != f.bit(m ^ (1 << var)) {
+                    s += 1;
+                }
+            }
+            for (p, plane) in planes.iter_mut().enumerate() {
+                if (s >> p) & 1 == 1 {
+                    plane[(m >> WORD_VARS) as usize] |= 1 << (m & 63);
+                }
+            }
+        }
+        SensitivityProfile { num_vars: n, planes }
+    }
+
+    /// Number of variables of the profiled function.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The local sensitivity `sen(f, X)` of minterm `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= 2^n`.
+    pub fn local(&self, m: u64) -> u32 {
+        assert!(m < 1u64 << self.num_vars, "minterm index out of range");
+        let w = (m >> WORD_VARS) as usize;
+        let b = m & 63;
+        let mut s = 0u32;
+        for (p, plane) in self.planes.iter().enumerate() {
+            s |= (((plane[w] >> b) & 1) as u32) << p;
+        }
+        s
+    }
+
+    /// Bit-packed indicator of the minterms whose sensitivity equals `s`
+    /// (padding bits of sub-word tables are masked off).
+    pub fn indicator(&self, s: u32) -> Vec<u64> {
+        let wc = self.planes[0].len();
+        let mut out = vec![u64::MAX; wc];
+        for (p, plane) in self.planes.iter().enumerate() {
+            for (o, &pw) in out.iter_mut().zip(plane) {
+                *o &= if (s >> p) & 1 == 1 { pw } else { !pw };
+            }
+        }
+        if self.num_vars < WORD_VARS {
+            out[0] &= valid_bits_mask(self.num_vars);
+        }
+        out
+    }
+
+    /// Histogram of sensitivities: entry `s` counts the minterms with
+    /// `sen(f, X) = s`. Length `n + 1`.
+    ///
+    /// This is the space-efficient encoding of the paper's `OSV` (a sorted
+    /// multiset over `0..=n` is its histogram).
+    pub fn histogram(&self) -> Vec<u64> {
+        (0..=self.num_vars as u32)
+            .map(|s| self.indicator(s).iter().map(|w| w.count_ones() as u64).sum())
+            .collect()
+    }
+
+    /// Histograms of sensitivities restricted to the 0-minterms and
+    /// 1-minterms of `f` — the paper's `OSV0` and `OSV1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` has a different variable count than the profile.
+    pub fn histograms_by_value(&self, f: &TruthTable) -> (Vec<u64>, Vec<u64>) {
+        assert_eq!(f.num_vars(), self.num_vars, "profile/function arity mismatch");
+        let mut h0 = Vec::with_capacity(self.num_vars + 1);
+        let mut h1 = Vec::with_capacity(self.num_vars + 1);
+        for s in 0..=self.num_vars as u32 {
+            let ind = self.indicator(s);
+            let mut c0 = 0u64;
+            let mut c1 = 0u64;
+            // Padding bits of `!fw` are harmless: `ind` is already masked.
+            for (&iw, &fw) in ind.iter().zip(f.words()) {
+                c1 += (iw & fw).count_ones() as u64;
+                c0 += (iw & !fw).count_ones() as u64;
+            }
+            h0.push(c0);
+            h1.push(c1);
+        }
+        (h0, h1)
+    }
+
+    /// The global sensitivity `sen(f) = max_X sen(f, X)` (Definition 4).
+    pub fn max_sensitivity(&self) -> u32 {
+        let h = self.histogram();
+        h.iter().rposition(|&c| c > 0).unwrap_or(0) as u32
+    }
+
+    /// Sum of all local sensitivities, `Σ_X sen(f, X)`.
+    ///
+    /// Identity used in property tests: this equals `2·Σ_i inf(f, i)`.
+    pub fn total(&self) -> u64 {
+        self.histogram()
+            .iter()
+            .enumerate()
+            .map(|(s, &c)| s as u64 * c)
+            .sum()
+    }
+}
+
+/// The ordered sensitivity vector `OSV(f)` as the paper prints it: all
+/// `2^n` local sensitivities sorted non-decreasingly.
+///
+/// For machine use prefer [`osv_histogram`]; this expansion is exponential
+/// in `n` by construction.
+///
+/// # Examples
+///
+/// ```
+/// use facepoint_sig::osv;
+/// use facepoint_truth::TruthTable;
+///
+/// // Table I: OSV of the 3-majority is (0,0,2,2,2,2,2,2).
+/// assert_eq!(osv(&TruthTable::majority(3)), vec![0, 0, 2, 2, 2, 2, 2, 2]);
+/// ```
+pub fn osv(f: &TruthTable) -> Vec<u32> {
+    expand(&SensitivityProfile::compute(f).histogram())
+}
+
+/// The ordered 0-sensitivity vector `OSV0(f)`: sensitivities of the
+/// 0-minterms, sorted.
+pub fn osv0(f: &TruthTable) -> Vec<u32> {
+    expand(&SensitivityProfile::compute(f).histograms_by_value(f).0)
+}
+
+/// The ordered 1-sensitivity vector `OSV1(f)`: sensitivities of the
+/// 1-minterms, sorted.
+///
+/// # Examples
+///
+/// ```
+/// use facepoint_sig::osv1;
+/// use facepoint_truth::TruthTable;
+///
+/// // Table I: OSV1 of the 3-majority is (0,2,2,2).
+/// assert_eq!(osv1(&TruthTable::majority(3)), vec![0, 2, 2, 2]);
+/// ```
+pub fn osv1(f: &TruthTable) -> Vec<u32> {
+    expand(&SensitivityProfile::compute(f).histograms_by_value(f).1)
+}
+
+/// Histogram form of `OSV` (length `n + 1`).
+pub fn osv_histogram(f: &TruthTable) -> Vec<u64> {
+    SensitivityProfile::compute(f).histogram()
+}
+
+/// Histogram forms of `(OSV0, OSV1)`.
+pub fn osv_histograms_by_value(f: &TruthTable) -> (Vec<u64>, Vec<u64>) {
+    let p = SensitivityProfile::compute(f);
+    p.histograms_by_value(f)
+}
+
+/// The sensitivity `sen(f)` of the function (Definition 4).
+pub fn sen(f: &TruthTable) -> u32 {
+    SensitivityProfile::compute(f).max_sensitivity()
+}
+
+/// The 0-sensitivity `sen0(f) = max{sen(f,X) : f(X) = 0}`; `0` if `f` has
+/// no 0-minterm.
+pub fn sen0(f: &TruthTable) -> u32 {
+    let (h0, _) = osv_histograms_by_value(f);
+    h0.iter().rposition(|&c| c > 0).unwrap_or(0) as u32
+}
+
+/// The 1-sensitivity `sen1(f) = max{sen(f,X) : f(X) = 1}`; `0` if `f` has
+/// no 1-minterm.
+pub fn sen1(f: &TruthTable) -> u32 {
+    let (_, h1) = osv_histograms_by_value(f);
+    h1.iter().rposition(|&c| c > 0).unwrap_or(0) as u32
+}
+
+fn expand(hist: &[u64]) -> Vec<u32> {
+    let mut v = Vec::new();
+    for (s, &c) in hist.iter().enumerate() {
+        for _ in 0..c {
+            v.push(s as u32);
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table1_majority() {
+        let f1 = TruthTable::majority(3);
+        assert_eq!(osv1(&f1), vec![0, 2, 2, 2]);
+        assert_eq!(osv0(&f1), vec![0, 2, 2, 2]);
+        assert_eq!(osv(&f1), vec![0, 0, 2, 2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn table1_projection() {
+        let f3 = TruthTable::projection(3, 2).unwrap();
+        assert_eq!(osv1(&f3), vec![1, 1, 1, 1]);
+        assert_eq!(osv0(&f3), vec![1, 1, 1, 1]);
+        assert_eq!(osv(&f3), vec![1; 8]);
+    }
+
+    #[test]
+    fn parity_has_full_sensitivity_everywhere() {
+        let f = TruthTable::parity(4);
+        assert_eq!(osv(&f), vec![4; 16]);
+        assert_eq!(sen(&f), 4);
+        assert_eq!(sen0(&f), 4);
+        assert_eq!(sen1(&f), 4);
+    }
+
+    #[test]
+    fn constants_are_insensitive() {
+        let f = TruthTable::zero(5).unwrap();
+        assert_eq!(osv(&f), vec![0; 32]);
+        assert_eq!(sen1(&f), 0, "empty max defaults to 0");
+    }
+
+    #[test]
+    fn bit_sliced_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for n in 0..=9usize {
+            for _ in 0..6 {
+                let f = TruthTable::random(n, &mut rng).unwrap();
+                assert_eq!(
+                    SensitivityProfile::compute(&f),
+                    SensitivityProfile::compute_naive(&f),
+                    "n = {n}, f = {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_sums_to_cube_size() {
+        let mut rng = StdRng::seed_from_u64(43);
+        for n in 0..=8usize {
+            let f = TruthTable::random(n, &mut rng).unwrap();
+            let h = osv_histogram(&f);
+            assert_eq!(h.iter().sum::<u64>(), 1 << n);
+            let (h0, h1) = osv_histograms_by_value(&f);
+            for s in 0..=n {
+                assert_eq!(h0[s] + h1[s], h[s], "split histograms partition");
+            }
+        }
+    }
+
+    #[test]
+    fn total_sensitivity_equals_twice_total_influence() {
+        let mut rng = StdRng::seed_from_u64(47);
+        for n in 1..=8usize {
+            let f = TruthTable::random(n, &mut rng).unwrap();
+            let prof = SensitivityProfile::compute(&f);
+            assert_eq!(prof.total(), 2 * crate::influence::total_influence(&f));
+        }
+    }
+
+    #[test]
+    fn indicator_masks_padding() {
+        // 2-variable constant: all 4 minterms have sensitivity 0, and the
+        // 60 padding bits must not leak into the indicator.
+        let f = TruthTable::zero(2).unwrap();
+        let prof = SensitivityProfile::compute(&f);
+        let ind = prof.indicator(0);
+        assert_eq!(ind[0].count_ones(), 4);
+    }
+
+    #[test]
+    fn multiword_profile() {
+        let f = TruthTable::majority(9);
+        let prof = SensitivityProfile::compute(&f);
+        // Majority of 9: the sensitive shell is the words with 4 or 5
+        // ones; both flip through the 5 "swing" variables.
+        assert_eq!(prof.local(0b000011111), 5);
+        assert_eq!(prof.local(0b000001111), 5);
+        assert_eq!(prof.local(0b111111111), 0);
+        assert_eq!(prof.max_sensitivity(), 5);
+    }
+}

@@ -1,0 +1,134 @@
+//! Executable statements of the paper's theorems.
+//!
+//! Each function checks one theorem's conclusion on concrete inputs and
+//! returns whether it holds. They serve three purposes: as machine-checked
+//! documentation of Section III, as reusable oracles for the property-test
+//! suite, and as worked examples for library users who want to convince
+//! themselves of the invariances before trusting the classifier.
+
+use crate::distance::{osdv, osdv0, osdv1};
+use crate::influence::oiv;
+use crate::sensitivity::{osv, osv0, osv1};
+use facepoint_truth::{NpnTransform, TruthTable};
+
+/// Theorem 1: PN-equivalent functions share the ordered influence vector.
+///
+/// Given any `f` and transform `t` (here `t` may include output negation —
+/// influence is invariant under the full NPN group), checks
+/// `OIV(f) == OIV(t(f))`.
+pub fn theorem1_oiv_invariant(f: &TruthTable, t: &NpnTransform) -> bool {
+    oiv(f) == oiv(&t.apply(f))
+}
+
+/// Theorem 2: PN-equivalent functions (no output negation) share `OSV`,
+/// `OSV0` and `OSV1`.
+///
+/// # Panics
+///
+/// Panics if `t` negates the output — the theorem's hypothesis excludes
+/// that case (see [`theorem3_balanced_swap`]).
+pub fn theorem2_osv_invariant(f: &TruthTable, t: &NpnTransform) -> bool {
+    assert!(
+        !t.output_neg(),
+        "Theorem 2 is about PN equivalence; strip the output negation"
+    );
+    let g = t.apply(f);
+    osv(f) == osv(&g) && osv0(f) == osv0(&g) && osv1(f) == osv1(&g)
+}
+
+/// Theorem 3: for NPN-equivalent functions the pair `{OSV0, OSV1}` is
+/// preserved — equal componentwise, or swapped when the transform negates
+/// the output.
+///
+/// (Stated for balanced functions in the paper since unbalanced pairs can
+/// be polarity-normalized first, but the set-equality holds universally.)
+pub fn theorem3_balanced_swap(f: &TruthTable, t: &NpnTransform) -> bool {
+    let g = t.apply(f);
+    let (f0, f1) = (osv0(f), osv1(f));
+    let (g0, g1) = (osv0(&g), osv1(&g));
+    if t.output_neg() {
+        f0 == g1 && f1 == g0
+    } else {
+        f0 == g0 && f1 == g1
+    }
+}
+
+/// Theorem 4: the sensitivity-distance vectors obey the same law as the
+/// sensitivity vectors: `OSDV` is PN-invariant, and the `{OSDV0, OSDV1}`
+/// pair swaps exactly when the output is negated.
+pub fn theorem4_osdv_invariant(f: &TruthTable, t: &NpnTransform) -> bool {
+    let g = t.apply(f);
+    if osdv(f) != osdv(&g) {
+        return false;
+    }
+    let (f0, f1) = (osdv0(f), osdv1(f));
+    let (g0, g1) = (osdv0(&g), osdv1(&g));
+    if t.output_neg() {
+        f0 == g1 && f1 == g0
+    } else {
+        f0 == g0 && f1 == g1
+    }
+}
+
+/// The bridging identity between the point and point–face views:
+/// `Σ_X sen(f, X) = 2 · Σ_i inf(f, i)` — both sides count the sensitive
+/// (minterm, variable) incidences.
+pub fn sensitivity_influence_identity(f: &TruthTable) -> bool {
+    let total_sen = crate::sensitivity::SensitivityProfile::compute(f).total();
+    total_sen == 2 * crate::influence::total_influence(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_theorems_on_random_samples() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for n in 1..=6usize {
+            for _ in 0..10 {
+                let f = TruthTable::random(n, &mut rng).unwrap();
+                let t = NpnTransform::random(n, &mut rng);
+                assert!(theorem1_oiv_invariant(&f, &t));
+                assert!(theorem3_balanced_swap(&f, &t));
+                assert!(theorem4_osdv_invariant(&f, &t));
+                assert!(sensitivity_influence_identity(&f));
+                let pn = NpnTransform::new(t.perm().clone(), t.input_neg(), false);
+                assert!(theorem2_osv_invariant(&f, &pn));
+            }
+        }
+    }
+
+    #[test]
+    fn figure3_balanced_swap_witness() {
+        // Fig. 3 exhibits NPN-equivalent balanced functions whose OSV0 and
+        // OSV1 are exchanged. Any balanced f with OSV0 ≠ OSV1 and an
+        // output-negating transform witnesses the swap.
+        let mut rng = StdRng::seed_from_u64(73);
+        let mut found = false;
+        for _ in 0..200 {
+            let f = TruthTable::random(4, &mut rng).unwrap();
+            if !f.is_balanced() || osv0(&f) == osv1(&f) {
+                continue;
+            }
+            let t = NpnTransform::phase(4, 0, true); // pure output negation
+            assert!(theorem3_balanced_swap(&f, &t));
+            let g = t.apply(&f);
+            assert_eq!(osv0(&f), osv1(&g));
+            assert_eq!(osv1(&f), osv0(&g));
+            found = true;
+            break;
+        }
+        assert!(found, "a balanced function with asymmetric OSV exists");
+    }
+
+    #[test]
+    #[should_panic(expected = "PN equivalence")]
+    fn theorem2_rejects_output_negation() {
+        let f = TruthTable::majority(3);
+        let t = NpnTransform::phase(3, 0, true);
+        theorem2_osv_invariant(&f, &t);
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests of the signature machinery: the paper's
+//! Theorems 1–4 as universally quantified invariants, plus internal
+//! consistency between the fast and reference computation paths.
+
+use facepoint_sig::{
+    influence, msv, ocv, ocv1, ocv2, oiv, osdv_with, osv, osv0, osv1, osv_histogram,
+    raw_msv, MintermFilter, OsdvEngine, SensitivityProfile, SignatureSet,
+};
+use facepoint_truth::{NpnTransform, Permutation, TruthTable};
+use proptest::prelude::*;
+
+fn arb_table(max_n: usize) -> impl Strategy<Value = TruthTable> {
+    (0..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(any::<u64>(), facepoint_truth::words::word_count(n))
+            .prop_map(move |words| TruthTable::from_words(n, &words).expect("sized vec"))
+    })
+}
+
+fn arb_pair(max_n: usize) -> impl Strategy<Value = (TruthTable, NpnTransform)> {
+    (1..=max_n).prop_flat_map(|n| {
+        let table = proptest::collection::vec(any::<u64>(), facepoint_truth::words::word_count(n))
+            .prop_map(move |words| TruthTable::from_words(n, &words).expect("sized vec"));
+        let tr = (any::<u64>(), any::<u16>(), any::<bool>()).prop_map(move |(s, neg, out)| {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(s);
+            NpnTransform::new(
+                Permutation::random(n, &mut rng),
+                neg & (((1u32 << n) - 1) as u16),
+                out,
+            )
+        });
+        (table, tr)
+    })
+}
+
+proptest! {
+    // ---- Theorem 1 ----
+    #[test]
+    fn oiv_is_npn_invariant((f, t) in arb_pair(7)) {
+        prop_assert_eq!(oiv(&f), oiv(&t.apply(&f)));
+    }
+
+    // ---- Theorem 2 ----
+    #[test]
+    fn osv_triple_is_pn_invariant((f, t) in arb_pair(7)) {
+        let pn = NpnTransform::new(t.perm().clone(), t.input_neg(), false);
+        let g = pn.apply(&f);
+        prop_assert_eq!(osv(&f), osv(&g));
+        prop_assert_eq!(osv0(&f), osv0(&g));
+        prop_assert_eq!(osv1(&f), osv1(&g));
+    }
+
+    // ---- Theorem 3 (generalized to all functions) ----
+    #[test]
+    fn osv_pair_swaps_exactly_on_output_negation((f, t) in arb_pair(7)) {
+        let g = t.apply(&f);
+        if t.output_neg() {
+            prop_assert_eq!(osv0(&f), osv1(&g));
+            prop_assert_eq!(osv1(&f), osv0(&g));
+        } else {
+            prop_assert_eq!(osv0(&f), osv0(&g));
+            prop_assert_eq!(osv1(&f), osv1(&g));
+        }
+    }
+
+    // ---- Theorem 4 ----
+    #[test]
+    fn osdv_family_obeys_theorem4((f, t) in arb_pair(6)) {
+        let g = t.apply(&f);
+        let all_f = osdv_with(&f, MintermFilter::All, OsdvEngine::Auto);
+        let all_g = osdv_with(&g, MintermFilter::All, OsdvEngine::Auto);
+        prop_assert_eq!(all_f, all_g);
+        let f0 = osdv_with(&f, MintermFilter::Zeros, OsdvEngine::Auto);
+        let f1 = osdv_with(&f, MintermFilter::Ones, OsdvEngine::Auto);
+        let g0 = osdv_with(&g, MintermFilter::Zeros, OsdvEngine::Auto);
+        let g1 = osdv_with(&g, MintermFilter::Ones, OsdvEngine::Auto);
+        if t.output_neg() {
+            prop_assert_eq!(f0, g1);
+            prop_assert_eq!(f1, g0);
+        } else {
+            prop_assert_eq!(f0, g0);
+            prop_assert_eq!(f1, g1);
+        }
+    }
+
+    // ---- Cofactor vectors are NP-invariant at every arity ----
+    #[test]
+    fn ocv_is_np_invariant((f, t) in arb_pair(6)) {
+        let pn = NpnTransform::new(t.perm().clone(), t.input_neg(), false);
+        let g = pn.apply(&f);
+        prop_assert_eq!(ocv1(&f), ocv1(&g));
+        prop_assert_eq!(ocv2(&f), ocv2(&g));
+        let l = 3.min(f.num_vars());
+        prop_assert_eq!(ocv(&f, l), ocv(&g, l));
+    }
+
+    // ---- The MSV collides exactly on all theorem-backed content ----
+    #[test]
+    fn msv_is_npn_invariant((f, t) in arb_pair(7)) {
+        prop_assert_eq!(
+            msv(&f, SignatureSet::all()),
+            msv(&t.apply(&f), SignatureSet::all())
+        );
+    }
+
+    #[test]
+    fn raw_msv_is_pn_invariant((f, t) in arb_pair(6)) {
+        let pn = NpnTransform::new(t.perm().clone(), t.input_neg(), false);
+        prop_assert_eq!(
+            raw_msv(&f, SignatureSet::all()),
+            raw_msv(&pn.apply(&f), SignatureSet::all())
+        );
+    }
+
+    // ---- Internal consistency ----
+    #[test]
+    fn bit_sliced_profile_matches_naive(f in arb_table(8)) {
+        prop_assert_eq!(
+            SensitivityProfile::compute(&f),
+            SensitivityProfile::compute_naive(&f)
+        );
+    }
+
+    #[test]
+    fn osdv_engines_agree(f in arb_table(7)) {
+        for filter in [MintermFilter::All, MintermFilter::Zeros, MintermFilter::Ones] {
+            prop_assert_eq!(
+                osdv_with(&f, filter, OsdvEngine::Pairwise),
+                osdv_with(&f, filter, OsdvEngine::Wht)
+            );
+        }
+    }
+
+    #[test]
+    fn sensitivity_influence_sum_identity(f in arb_table(8)) {
+        let total: u64 = osv_histogram(&f)
+            .iter()
+            .enumerate()
+            .map(|(s, &c)| s as u64 * c)
+            .sum();
+        let inf_total: u64 = (0..f.num_vars()).map(|v| influence(&f, v) as u64).sum();
+        prop_assert_eq!(total, 2 * inf_total);
+    }
+
+    #[test]
+    fn influence_zero_iff_dead_variable(f in arb_table(7)) {
+        for v in 0..f.num_vars() {
+            prop_assert_eq!(influence(&f, v) == 0, !f.depends_on(v));
+        }
+    }
+
+    #[test]
+    fn osv_split_partitions_osv(f in arb_table(7)) {
+        let mut merged = [osv0(&f), osv1(&f)].concat();
+        merged.sort_unstable();
+        prop_assert_eq!(merged, osv(&f));
+    }
+
+    #[test]
+    fn osdv_row_sums_match_histogram(f in arb_table(6)) {
+        let hist = osv_histogram(&f);
+        let v = osdv_with(&f, MintermFilter::All, OsdvEngine::Auto);
+        for (s, &count) in hist.iter().enumerate() {
+            let pairs: u64 = if f.num_vars() == 0 { 0 } else {
+                v.sigma(s as u32).iter().sum()
+            };
+            prop_assert_eq!(pairs, count * count.saturating_sub(1) / 2);
+        }
+    }
+
+    // ---- Spectral layer ----
+    #[test]
+    fn walsh_parseval(f in arb_table(7)) {
+        let spec = facepoint_sig::spectral::walsh_spectrum(&f);
+        let energy: i64 = spec.iter().map(|w| w * w).sum();
+        let n2 = (f.num_bits() * f.num_bits()) as i64;
+        prop_assert_eq!(energy, n2);
+    }
+
+    #[test]
+    fn walsh_sorted_abs_is_npn_invariant((f, t) in arb_pair(6)) {
+        prop_assert_eq!(
+            facepoint_sig::spectral::walsh_spectrum_sorted_abs(&f),
+            facepoint_sig::spectral::walsh_spectrum_sorted_abs(&t.apply(&f))
+        );
+    }
+}

@@ -1,0 +1,281 @@
+//! Cofactors and restrictions — the *face* characteristic of the paper.
+//!
+//! The cofactor `f_{x_i = v}` fixes variable `i` to the constant `v`
+//! (Definition 1). Geometrically it is a face of the Boolean hypercube;
+//! the number of 1-minterms on that face is the cofactor signature the
+//! paper builds `OCV` vectors from. Counting never requires materializing
+//! the smaller function: it is a masked popcount over the packed words.
+
+use crate::table::TruthTable;
+use crate::words::{var_mask_word, WORD_VARS};
+
+impl TruthTable {
+    /// Satisfy count of the cofactor `|f_{x_var = v}|` — a masked popcount,
+    /// no table is materialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use facepoint_truth::TruthTable;
+    ///
+    /// let maj = TruthTable::majority(3);
+    /// assert_eq!(maj.cofactor_count(0, true), 3);  // |f_{x0=1}|
+    /// assert_eq!(maj.cofactor_count(0, false), 1); // |f_{x0=0}|
+    /// ```
+    pub fn cofactor_count(&self, var: usize, value: bool) -> u64 {
+        self.check_var(var).expect("variable index in range");
+        let mut count = 0u64;
+        for (i, &w) in self.words().iter().enumerate() {
+            let m = var_mask_word(var, i);
+            let sel = if value { w & m } else { w & !m };
+            count += sel.count_ones() as u64;
+        }
+        count
+    }
+
+    /// Satisfy count of a multi-variable cofactor: `vars` and `values` are
+    /// parallel slices fixing each listed variable.
+    ///
+    /// This realizes the higher-ary cofactor signatures of Definition 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths, a variable repeats, or
+    /// an index is out of range.
+    pub fn cofactor_count_multi(&self, vars: &[usize], values: &[bool]) -> u64 {
+        assert_eq!(vars.len(), values.len(), "vars and values must pair up");
+        for (k, &v) in vars.iter().enumerate() {
+            self.check_var(v).expect("variable index in range");
+            assert!(
+                !vars[..k].contains(&v),
+                "variable {v} repeated in cofactor specification"
+            );
+        }
+        let mut count = 0u64;
+        for (i, &w) in self.words().iter().enumerate() {
+            let mut sel = w;
+            for (&var, &value) in vars.iter().zip(values) {
+                let m = var_mask_word(var, i);
+                sel &= if value { m } else { !m };
+            }
+            count += sel.count_ones() as u64;
+        }
+        count
+    }
+
+    /// The cofactor `f_{x_var = v}` as a function of `n - 1` variables
+    /// (variables above `var` shift down by one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars` or the table has zero variables.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use facepoint_truth::TruthTable;
+    ///
+    /// // Shannon expansion: f = (¬x ∧ f0) ∨ (x ∧ f1), checked on majority.
+    /// let f = TruthTable::majority(3);
+    /// let f0 = f.cofactor(2, false); // = x0 ∧ x1
+    /// let f1 = f.cofactor(2, true);  // = x0 ∨ x1
+    /// assert_eq!(f0.to_hex(), "8");
+    /// assert_eq!(f1.to_hex(), "e");
+    /// ```
+    #[must_use]
+    pub fn cofactor(&self, var: usize, value: bool) -> TruthTable {
+        self.check_var(var).expect("variable index in range");
+        let n = self.num_vars();
+        assert!(n >= 1, "cofactor of a 0-variable function");
+        TruthTable::from_fn(n - 1, |m| {
+            // Re-insert the fixed variable into the minterm index.
+            let low = m & ((1u64 << var) - 1);
+            let high = (m >> var) << (var + 1);
+            let mid = (value as u64) << var;
+            self.bit(low | mid | high)
+        })
+        .expect("n - 1 <= MAX_VARS")
+    }
+
+    /// Restriction keeping the arity: `f[x_var ← v]` as an `n`-variable
+    /// function that no longer depends on `x_var`.
+    #[must_use]
+    pub fn restrict(&self, var: usize, value: bool) -> TruthTable {
+        self.check_var(var).expect("variable index in range");
+        let mut out = self.clone();
+        // `chosen` carries the selected face on its x_var = 1 side;
+        // `mirrored` carries the same values on the x_var = 0 side.
+        let chosen = if value { self.clone() } else { self.flip_var(var) };
+        let mirrored = chosen.flip_var(var);
+        for (i, w) in out.words_mut().iter_mut().enumerate() {
+            let m = var_mask_word(var, i);
+            *w = (chosen.words()[i] & m) | (mirrored.words()[i] & !m);
+        }
+        out.mask_padding();
+        out
+    }
+
+    /// Shannon co-expansion helper: returns both cofactors `(f0, f1)` with
+    /// respect to `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn cofactors(&self, var: usize) -> (TruthTable, TruthTable) {
+        (self.cofactor(var, false), self.cofactor(var, true))
+    }
+
+    /// Whether the function depends on `var` at all (`f_{x=0} ≠ f_{x=1}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn depends_on(&self, var: usize) -> bool {
+        self.check_var(var).expect("variable index in range");
+        if var < WORD_VARS {
+            // For the periodic in-word masks, shifting the x=1 half down by
+            // 2^var aligns it with the x=0 half; the function depends on
+            // the variable iff the halves differ somewhere.
+            let shift = 1u32 << var;
+            let m = crate::words::VAR_MASK[var];
+            self.words()
+                .iter()
+                .any(|&w| ((w & m) >> shift) != (w & !m))
+        } else {
+            let block = 1usize << (var - WORD_VARS);
+            let words = self.words();
+            let mut i = 0;
+            while i < words.len() {
+                for k in 0..block {
+                    if words[i + k] != words[i + block + k] {
+                        return true;
+                    }
+                }
+                i += 2 * block;
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cofactor_counts_sum_to_satisfy_count() {
+        let t = TruthTable::from_fn(7, |m| m.wrapping_mul(0xDEAD_BEEF) % 9 < 4).unwrap();
+        for var in 0..7 {
+            assert_eq!(
+                t.cofactor_count(var, false) + t.cofactor_count(var, true),
+                t.count_ones()
+            );
+        }
+    }
+
+    #[test]
+    fn cofactor_count_matches_extracted_table() {
+        let t = TruthTable::from_fn(8, |m| (m ^ (m >> 3)) % 5 == 1).unwrap();
+        for var in 0..8 {
+            for value in [false, true] {
+                assert_eq!(
+                    t.cofactor_count(var, value),
+                    t.cofactor(var, value).count_ones(),
+                    "var {var} value {value}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_cofactor_matches_nested_single() {
+        let t = TruthTable::from_fn(6, |m| m % 7 < 3).unwrap();
+        for a in 0..6 {
+            for b in 0..6 {
+                if a == b {
+                    continue;
+                }
+                for va in [false, true] {
+                    for vb in [false, true] {
+                        let direct = t.cofactor_count_multi(&[a, b], &[va, vb]);
+                        // Nested: take cofactor on the higher index first so
+                        // the lower index is unshifted.
+                        let (hi, vhi, lo, vlo) = if a > b { (a, va, b, vb) } else { (b, vb, a, va) };
+                        let nested = t.cofactor(hi, vhi).cofactor_count(lo, vlo);
+                        assert_eq!(direct, nested, "vars ({a},{b}) values ({va},{vb})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn multi_cofactor_rejects_repeats() {
+        let t = TruthTable::majority(3);
+        t.cofactor_count_multi(&[1, 1], &[true, false]);
+    }
+
+    #[test]
+    fn shannon_expansion_reconstructs() {
+        let t = TruthTable::from_fn(5, |m| (m * 37) % 4 == 2).unwrap();
+        for var in 0..5 {
+            let x = TruthTable::projection(5, var).unwrap();
+            let f1 = t.restrict(var, true);
+            let f0 = t.restrict(var, false);
+            let rebuilt = (&x & &f1) | (&(!&x) & &f0);
+            assert_eq!(rebuilt, t, "Shannon expansion on var {var}");
+        }
+    }
+
+    #[test]
+    fn restrict_drops_dependence() {
+        let t = TruthTable::from_fn(6, |m| (m * 11) % 3 == 0).unwrap();
+        for var in 0..6 {
+            for v in [false, true] {
+                let r = t.restrict(var, v);
+                assert!(!r.depends_on(var), "var {var} v {v}");
+                assert_eq!(r.cofactor(var, v), t.cofactor(var, v));
+            }
+        }
+    }
+
+    #[test]
+    fn depends_on_detects_support() {
+        // f = x0 xor x2 on 4 variables: depends on 0 and 2 only.
+        let x0 = TruthTable::projection(4, 0).unwrap();
+        let x2 = TruthTable::projection(4, 2).unwrap();
+        let f = &x0 ^ &x2;
+        assert!(f.depends_on(0));
+        assert!(!f.depends_on(1));
+        assert!(f.depends_on(2));
+        assert!(!f.depends_on(3));
+    }
+
+    #[test]
+    fn depends_on_high_vars_multiword() {
+        let x7 = TruthTable::projection(8, 7).unwrap();
+        let x6 = TruthTable::projection(8, 6).unwrap();
+        let f = &x7 & &x6;
+        for var in 0..8 {
+            assert_eq!(f.depends_on(var), var >= 6, "var {var}");
+        }
+    }
+
+    #[test]
+    fn cofactor_shifts_higher_variables_down() {
+        // f = x1 ∧ x3 (4 vars); cofactor on x1=1 should equal x2 of 3 vars
+        // (old x3 becomes new x2).
+        let x1 = TruthTable::projection(4, 1).unwrap();
+        let x3 = TruthTable::projection(4, 3).unwrap();
+        let f = &x1 & &x3;
+        let c = f.cofactor(1, true);
+        assert_eq!(c, TruthTable::projection(3, 2).unwrap());
+        let c0 = f.cofactor(1, false);
+        assert!(c0.is_constant());
+    }
+}

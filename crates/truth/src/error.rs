@@ -1,0 +1,72 @@
+//! Error types for truth-table construction and parsing.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by fallible [`TruthTable`](crate::TruthTable)
+/// constructors and parsers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The requested variable count exceeds [`MAX_VARS`](crate::MAX_VARS).
+    TooManyVariables {
+        /// The variable count that was requested.
+        requested: usize,
+    },
+    /// A variable index was outside `0..num_vars`.
+    VariableOutOfRange {
+        /// The offending variable index.
+        var: usize,
+        /// The function's variable count.
+        num_vars: usize,
+    },
+    /// A hexadecimal string had the wrong length for the variable count.
+    HexLength {
+        /// Number of hex digits expected.
+        expected: usize,
+        /// Number of hex digits found.
+        found: usize,
+    },
+    /// A string contained a character that is not a valid digit.
+    InvalidDigit {
+        /// The offending character.
+        ch: char,
+    },
+    /// A binary string had the wrong length for the variable count.
+    BitLength {
+        /// Number of bits expected.
+        expected: usize,
+        /// Number of bits found.
+        found: usize,
+    },
+    /// A permutation slice was not a permutation of `0..n`.
+    InvalidPermutation,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TooManyVariables { requested } => write!(
+                f,
+                "truth tables support at most {} variables, got {requested}",
+                crate::MAX_VARS
+            ),
+            Error::VariableOutOfRange { var, num_vars } => {
+                write!(f, "variable index {var} out of range for {num_vars} variables")
+            }
+            Error::HexLength { expected, found } => {
+                write!(f, "expected {expected} hex digits, found {found}")
+            }
+            Error::InvalidDigit { ch } => write!(f, "invalid digit {ch:?}"),
+            Error::BitLength { expected, found } => {
+                write!(f, "expected {expected} bits, found {found}")
+            }
+            Error::InvalidPermutation => write!(f, "slice is not a permutation of 0..n"),
+        }
+    }
+}
+
+impl StdError for Error {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;

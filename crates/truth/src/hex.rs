@@ -1,0 +1,198 @@
+//! Hexadecimal and binary string conversions.
+//!
+//! The hex format matches the convention of logic-synthesis tools (and of
+//! the C++ `kitty` library the paper's baseline uses): the most significant
+//! hex digit comes first, so the 3-input majority `0xE8` prints as `"e8"`.
+//! Functions of fewer than two variables print a single digit.
+
+use crate::error::{Error, Result};
+use crate::table::TruthTable;
+
+/// Number of hex digits in the printed form of an `n`-variable table.
+#[inline]
+pub fn hex_digits(num_vars: usize) -> usize {
+    if num_vars < 2 {
+        1
+    } else {
+        1 << (num_vars - 2)
+    }
+}
+
+impl TruthTable {
+    /// Formats the table as a lowercase hex string, most significant digit
+    /// first.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use facepoint_truth::TruthTable;
+    ///
+    /// assert_eq!(TruthTable::majority(3).to_hex(), "e8");
+    /// assert_eq!(TruthTable::one(4)?.to_hex(), "ffff");
+    /// # Ok::<(), facepoint_truth::Error>(())
+    /// ```
+    pub fn to_hex(&self) -> String {
+        let digits = hex_digits(self.num_vars());
+        let mut s = String::with_capacity(digits);
+        for d in (0..digits).rev() {
+            let word = self.words()[d / 16];
+            let nibble = (word >> ((d % 16) * 4)) & 0xF;
+            s.push(char::from_digit(nibble as u32, 16).expect("nibble < 16"));
+        }
+        s
+    }
+
+    /// Parses a hex string (as produced by [`TruthTable::to_hex`]) into an
+    /// `num_vars`-variable table. An optional `0x` prefix is accepted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::HexLength`] when the digit count does not match the
+    /// variable count and [`Error::InvalidDigit`] on non-hex characters.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use facepoint_truth::TruthTable;
+    ///
+    /// let maj = TruthTable::from_hex(3, "0xe8")?;
+    /// assert_eq!(maj, TruthTable::majority(3));
+    /// # Ok::<(), facepoint_truth::Error>(())
+    /// ```
+    pub fn from_hex(num_vars: usize, s: &str) -> Result<Self> {
+        Self::check_vars(num_vars)?;
+        let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+        let expected = hex_digits(num_vars);
+        if s.len() != expected {
+            return Err(Error::HexLength {
+                expected,
+                found: s.len(),
+            });
+        }
+        let mut t = TruthTable::zero(num_vars)?;
+        for (pos, ch) in s.chars().enumerate() {
+            let nibble = ch
+                .to_digit(16)
+                .ok_or(Error::InvalidDigit { ch })? as u64;
+            let d = expected - 1 - pos;
+            t.words_mut()[d / 16] |= nibble << ((d % 16) * 4);
+        }
+        t.mask_padding();
+        Ok(t)
+    }
+
+    /// Formats the table as a binary string, minterm `2^n - 1` first (the
+    /// truth-table column read top-down in textbook orientation).
+    pub fn to_binary(&self) -> String {
+        let n = self.num_bits();
+        let mut s = String::with_capacity(n as usize);
+        for m in (0..n).rev() {
+            s.push(if self.bit(m) { '1' } else { '0' });
+        }
+        s
+    }
+
+    /// Parses a binary string as produced by [`TruthTable::to_binary`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BitLength`] on a length mismatch and
+    /// [`Error::InvalidDigit`] on characters other than `0`/`1`.
+    pub fn from_binary(num_vars: usize, s: &str) -> Result<Self> {
+        Self::check_vars(num_vars)?;
+        let expected = 1usize << num_vars;
+        if s.len() != expected {
+            return Err(Error::BitLength {
+                expected,
+                found: s.len(),
+            });
+        }
+        let mut t = TruthTable::zero(num_vars)?;
+        for (pos, ch) in s.chars().enumerate() {
+            let m = (expected - 1 - pos) as u64;
+            match ch {
+                '1' => t.set_bit(m, true),
+                '0' => {}
+                _ => return Err(Error::InvalidDigit { ch }),
+            }
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_digit_counts() {
+        assert_eq!(hex_digits(0), 1);
+        assert_eq!(hex_digits(1), 1);
+        assert_eq!(hex_digits(2), 1);
+        assert_eq!(hex_digits(3), 2);
+        assert_eq!(hex_digits(6), 16);
+        assert_eq!(hex_digits(10), 256);
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        for n in 0..=6usize {
+            let t = TruthTable::from_fn(n, |m| m.wrapping_mul(0x9E37_79B9) % 3 == 0).unwrap();
+            let s = t.to_hex();
+            assert_eq!(TruthTable::from_hex(n, &s).unwrap(), t, "n = {n}: {s}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_multiword() {
+        let t = TruthTable::from_fn(9, |m| m % 5 < 2).unwrap();
+        assert_eq!(TruthTable::from_hex(9, &t.to_hex()).unwrap(), t);
+    }
+
+    #[test]
+    fn prefix_accepted() {
+        assert!(TruthTable::from_hex(3, "0xE8").is_ok());
+        assert!(TruthTable::from_hex(3, "0XE8").is_ok());
+    }
+
+    #[test]
+    fn wrong_lengths_rejected() {
+        assert!(matches!(
+            TruthTable::from_hex(3, "e"),
+            Err(Error::HexLength { expected: 2, found: 1 })
+        ));
+        assert!(matches!(
+            TruthTable::from_binary(2, "010"),
+            Err(Error::BitLength { expected: 4, found: 3 })
+        ));
+    }
+
+    #[test]
+    fn bad_digits_rejected() {
+        assert!(matches!(
+            TruthTable::from_hex(3, "zz"),
+            Err(Error::InvalidDigit { ch: 'z' })
+        ));
+        assert!(matches!(
+            TruthTable::from_binary(2, "01x0"),
+            Err(Error::InvalidDigit { ch: 'x' })
+        ));
+    }
+
+    #[test]
+    fn binary_orientation() {
+        // Majority-3: minterms 7,6,5,3 are 1 → "11101000".
+        assert_eq!(TruthTable::majority(3).to_binary(), "11101000");
+        assert_eq!(
+            TruthTable::from_binary(3, "11101000").unwrap(),
+            TruthTable::majority(3)
+        );
+    }
+
+    #[test]
+    fn single_variable_tables() {
+        let x = TruthTable::projection(1, 0).unwrap();
+        assert_eq!(x.to_hex(), "2");
+        assert_eq!(TruthTable::from_hex(1, "2").unwrap(), x);
+    }
+}

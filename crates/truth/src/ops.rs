@@ -1,0 +1,160 @@
+//! Bitwise Boolean operator implementations for [`TruthTable`].
+//!
+//! Truth tables combine point-wise: `&`, `|`, `^` and `!` realize the
+//! conjunction, disjunction, exclusive-or and complement of the underlying
+//! functions. All binary operators require equal variable counts.
+
+use crate::table::TruthTable;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Not};
+
+macro_rules! binary_op {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident, $op:tt) => {
+        impl $assign_trait<&TruthTable> for TruthTable {
+            /// # Panics
+            ///
+            /// Panics if the operands have different variable counts.
+            fn $assign_method(&mut self, rhs: &TruthTable) {
+                assert_eq!(
+                    self.num_vars(),
+                    rhs.num_vars(),
+                    "operands must have equal variable counts"
+                );
+                for (a, b) in self.words_mut().iter_mut().zip(rhs.words()) {
+                    *a $op *b;
+                }
+            }
+        }
+
+        impl $assign_trait for TruthTable {
+            fn $assign_method(&mut self, rhs: TruthTable) {
+                *self $op &rhs;
+            }
+        }
+
+        impl $trait for &TruthTable {
+            type Output = TruthTable;
+
+            fn $method(self, rhs: &TruthTable) -> TruthTable {
+                let mut out = self.clone();
+                out $op rhs;
+                out
+            }
+        }
+
+        impl $trait for TruthTable {
+            type Output = TruthTable;
+
+            fn $method(mut self, rhs: TruthTable) -> TruthTable {
+                self $op &rhs;
+                self
+            }
+        }
+    };
+}
+
+binary_op!(BitAnd, bitand, BitAndAssign, bitand_assign, &=);
+binary_op!(BitOr, bitor, BitOrAssign, bitor_assign, |=);
+binary_op!(BitXor, bitxor, BitXorAssign, bitxor_assign, ^=);
+
+impl TruthTable {
+    /// Complements the function in place (output negation `f ↦ ¬f`).
+    pub fn negate_in_place(&mut self) {
+        for w in self.words_mut() {
+            *w = !*w;
+        }
+        self.mask_padding();
+    }
+
+    /// Returns the complemented function `¬f`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use facepoint_truth::TruthTable;
+    ///
+    /// let maj = TruthTable::majority(3);
+    /// assert_eq!((!&maj).count_ones(), 4);
+    /// assert_eq!(!!maj.clone(), maj);
+    /// ```
+    pub fn negated(&self) -> TruthTable {
+        let mut out = self.clone();
+        out.negate_in_place();
+        out
+    }
+}
+
+impl Not for &TruthTable {
+    type Output = TruthTable;
+
+    fn not(self) -> TruthTable {
+        self.negated()
+    }
+}
+
+impl Not for TruthTable {
+    type Output = TruthTable;
+
+    fn not(mut self) -> TruthTable {
+        self.negate_in_place();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn de_morgan() {
+        let a = TruthTable::from_u64(4, 0x8F31).unwrap();
+        let b = TruthTable::from_u64(4, 0x5AC3).unwrap();
+        assert_eq!(!(&a & &b), &(!&a) | &(!&b));
+        assert_eq!(!(&a | &b), &(!&a) & &(!&b));
+    }
+
+    #[test]
+    fn xor_is_symmetric_difference() {
+        let a = TruthTable::from_u64(3, 0b1100_1010).unwrap();
+        let b = TruthTable::from_u64(3, 0b1010_0110).unwrap();
+        let x = &a ^ &b;
+        for m in 0..8 {
+            assert_eq!(x.bit(m), a.bit(m) != b.bit(m));
+        }
+    }
+
+    #[test]
+    fn not_respects_padding() {
+        let a = TruthTable::from_u64(2, 0b0110).unwrap();
+        let n = !&a;
+        assert_eq!(n.as_u64(), 0b1001);
+        assert_eq!(n.count_ones(), 2);
+    }
+
+    #[test]
+    fn multiword_ops() {
+        let a = TruthTable::from_fn(8, |m| m % 2 == 0).unwrap();
+        let b = TruthTable::from_fn(8, |m| m % 4 == 0).unwrap();
+        assert_eq!(&a & &b, b);
+        assert_eq!(&a | &b, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal variable counts")]
+    fn mismatched_arity_panics() {
+        let a = TruthTable::zero(3).unwrap();
+        let b = TruthTable::zero(4).unwrap();
+        let _ = &a & &b;
+    }
+
+    #[test]
+    fn assign_variants() {
+        let mut a = TruthTable::from_u64(3, 0xF0).unwrap();
+        let b = TruthTable::from_u64(3, 0x3C).unwrap();
+        a ^= &b;
+        assert_eq!(a.as_u64(), 0xCC);
+        a |= b.clone();
+        assert_eq!(a.as_u64(), 0xFC);
+        a &= b;
+        assert_eq!(a.as_u64(), 0x3C);
+    }
+}

@@ -1,0 +1,117 @@
+//! Random truth-table and transform generation for workloads and tests.
+
+use crate::table::TruthTable;
+use crate::transform::{NpnTransform, Permutation};
+use crate::words::{valid_bits_mask, WORD_VARS};
+use rand::{Rng, RngExt};
+
+impl TruthTable {
+    /// Samples a uniformly random `num_vars`-variable function.
+    ///
+    /// Every one of the `2^(2^n)` functions is equally likely. This is the
+    /// workload of the paper's Fig. 5 ("randomly generated 5-bit and 7-bit
+    /// Boolean functions").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TooManyVariables`](crate::Error::TooManyVariables)
+    /// if `num_vars > 16`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use facepoint_truth::TruthTable;
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// let mut rng = StdRng::seed_from_u64(42);
+    /// let f = TruthTable::random(7, &mut rng)?;
+    /// assert_eq!(f.num_vars(), 7);
+    /// # Ok::<(), facepoint_truth::Error>(())
+    /// ```
+    pub fn random<R: Rng + ?Sized>(num_vars: usize, rng: &mut R) -> crate::Result<Self> {
+        let mut t = TruthTable::zero(num_vars)?;
+        for w in t.words_mut() {
+            *w = rng.random::<u64>();
+        }
+        if num_vars < WORD_VARS {
+            t.words_mut()[0] &= valid_bits_mask(num_vars);
+        }
+        Ok(t)
+    }
+}
+
+impl Permutation {
+    /// Samples a uniformly random permutation of `0..n` (Fisher–Yates).
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        let mut v: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            v.swap(i, j);
+        }
+        Permutation::from_slice(&v).expect("shuffled identity is a permutation")
+    }
+}
+
+impl NpnTransform {
+    /// Samples a uniformly random NPN transform on `n` variables.
+    ///
+    /// Useful for property tests: signatures must be invariant under any
+    /// sample from this distribution.
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        let perm = Permutation::random(n, rng);
+        let input_neg = if n == 0 {
+            0
+        } else {
+            (rng.random::<u32>() as u16) & (((1u32 << n) - 1) as u16)
+        };
+        NpnTransform::new(perm, input_neg, rng.random::<bool>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_tables_have_valid_padding() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in 0..=8usize {
+            for _ in 0..16 {
+                let t = TruthTable::random(n, &mut rng).unwrap();
+                assert!(t.count_ones() <= t.num_bits());
+                // Round-trip through hex must preserve (padding is clean).
+                assert_eq!(TruthTable::from_hex(n, &t.to_hex()).unwrap(), t);
+            }
+        }
+    }
+
+    #[test]
+    fn random_permutations_are_valid() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in 1..=10usize {
+            for _ in 0..8 {
+                let p = Permutation::random(n, &mut rng);
+                assert!(p.compose(&p.inverse()).is_identity());
+            }
+        }
+    }
+
+    #[test]
+    fn random_transform_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..32 {
+            let f = TruthTable::random(6, &mut rng).unwrap();
+            let t = NpnTransform::random(6, &mut rng);
+            assert_eq!(t.inverse().apply(&t.apply(&f)), f);
+        }
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let a = TruthTable::random(8, &mut StdRng::seed_from_u64(99)).unwrap();
+        let b = TruthTable::random(8, &mut StdRng::seed_from_u64(99)).unwrap();
+        assert_eq!(a, b);
+    }
+}

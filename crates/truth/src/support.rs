@@ -1,0 +1,127 @@
+//! Functional support: which variables a function actually depends on.
+//!
+//! Cut enumeration routinely produces functions that ignore some of their
+//! leaves (the paper dedups truth tables after extraction, which requires
+//! first normalizing away dead variables). [`TruthTable::shrink_to_support`]
+//! produces the support-minimized function.
+
+use crate::table::TruthTable;
+
+impl TruthTable {
+    /// Bitmask of the variables in the functional support (bit `i` set iff
+    /// the function depends on `x_i`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use facepoint_truth::TruthTable;
+    ///
+    /// let x0 = TruthTable::projection(4, 0)?;
+    /// let x3 = TruthTable::projection(4, 3)?;
+    /// assert_eq!((&x0 ^ &x3).support_mask(), 0b1001);
+    /// # Ok::<(), facepoint_truth::Error>(())
+    /// ```
+    pub fn support_mask(&self) -> u16 {
+        let mut mask = 0u16;
+        for var in 0..self.num_vars() {
+            if self.depends_on(var) {
+                mask |= 1 << var;
+            }
+        }
+        mask
+    }
+
+    /// Number of variables in the functional support.
+    pub fn support_size(&self) -> usize {
+        self.support_mask().count_ones() as usize
+    }
+
+    /// Whether some declared variable is not in the support.
+    pub fn has_dead_variables(&self) -> bool {
+        self.support_size() != self.num_vars()
+    }
+
+    /// Returns the same function expressed over exactly its support
+    /// variables, relabelled to `0..k` in increasing original order.
+    ///
+    /// Constants shrink to 0-variable tables.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use facepoint_truth::TruthTable;
+    ///
+    /// let x1 = TruthTable::projection(5, 1)?;
+    /// let x4 = TruthTable::projection(5, 4)?;
+    /// let f = &x1 & &x4;
+    /// let g = f.shrink_to_support();
+    /// assert_eq!(g.num_vars(), 2);
+    /// assert_eq!(g.to_hex(), "8"); // two-input AND
+    /// # Ok::<(), facepoint_truth::Error>(())
+    /// ```
+    #[must_use]
+    pub fn shrink_to_support(&self) -> TruthTable {
+        let mask = self.support_mask();
+        let k = mask.count_ones() as usize;
+        if k == self.num_vars() {
+            return self.clone();
+        }
+        let vars: Vec<usize> = (0..self.num_vars()).filter(|&v| (mask >> v) & 1 == 1).collect();
+        TruthTable::from_fn(k, |m| {
+            // Scatter the compact minterm onto the original variables; dead
+            // variables read 0 (their value is irrelevant by definition).
+            let mut full = 0u64;
+            for (j, &v) in vars.iter().enumerate() {
+                full |= ((m >> j) & 1) << v;
+            }
+            self.bit(full)
+        })
+        .expect("k <= num_vars")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_support_is_identity() {
+        let t = TruthTable::majority(3);
+        assert_eq!(t.support_mask(), 0b111);
+        assert_eq!(t.shrink_to_support(), t);
+        assert!(!t.has_dead_variables());
+    }
+
+    #[test]
+    fn constant_shrinks_to_zero_vars() {
+        let t = TruthTable::one(5).unwrap();
+        assert_eq!(t.support_mask(), 0);
+        let s = t.shrink_to_support();
+        assert_eq!(s.num_vars(), 0);
+        assert!(s.bit(0));
+    }
+
+    #[test]
+    fn shrink_preserves_function() {
+        // f(x0..x4) = maj(x0, x2, x4) embedded in 5 variables.
+        let f = TruthTable::from_fn(5, |m| {
+            let a = m & 1;
+            let b = (m >> 2) & 1;
+            let c = (m >> 4) & 1;
+            a + b + c >= 2
+        })
+        .unwrap();
+        assert_eq!(f.support_mask(), 0b10101);
+        let s = f.shrink_to_support();
+        assert_eq!(s, TruthTable::majority(3));
+    }
+
+    #[test]
+    fn shrink_multiword() {
+        // 8-variable function depending only on x6, x7.
+        let f = TruthTable::from_fn(8, |m| (m >> 6) == 0b11).unwrap();
+        let s = f.shrink_to_support();
+        assert_eq!(s.num_vars(), 2);
+        assert_eq!(s.to_hex(), "8");
+    }
+}

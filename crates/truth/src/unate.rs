@@ -1,0 +1,213 @@
+//! Unateness and related functional properties.
+//!
+//! A function is *positive unate* in `x_i` when raising `x_i` can never
+//! lower the output (`f_{x_i=0} ≤ f_{x_i=1}` pointwise), *negative
+//! unate* when the reverse holds, and *binate* otherwise. Unateness is a
+//! classical Boolean-matching filter (binate variables can only map to
+//! binate variables) and a common structural property in logic
+//! synthesis; it complements the NPN-invariant signatures of the
+//! `facepoint-sig` crate.
+
+use crate::table::TruthTable;
+
+/// Polarity of a unate variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Unateness {
+    /// `f` never decreases when the variable rises.
+    PositiveUnate,
+    /// `f` never increases when the variable rises.
+    NegativeUnate,
+    /// Both directions occur (the variable is binate).
+    Binate,
+}
+
+impl TruthTable {
+    /// Classifies the function's dependence on `var`.
+    ///
+    /// A variable outside the support is both positive and negative
+    /// unate; this returns [`Unateness::PositiveUnate`] for it (the
+    /// conventional choice — monotone in the degenerate sense).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use facepoint_truth::{TruthTable, Unateness};
+    ///
+    /// let maj = TruthTable::majority(3);
+    /// assert_eq!(maj.unateness(0), Unateness::PositiveUnate);
+    ///
+    /// let parity = TruthTable::parity(3);
+    /// assert_eq!(parity.unateness(0), Unateness::Binate);
+    /// ```
+    pub fn unateness(&self, var: usize) -> Unateness {
+        self.check_var(var).expect("variable index in range");
+        // Compare the two faces pointwise: pos = some 0→1 rise,
+        // neg = some 1→0 fall, walking words with the face masks.
+        let mut rises = false;
+        let mut falls = false;
+        if var < crate::words::WORD_VARS {
+            let shift = 1u32 << var;
+            let m = crate::words::VAR_MASK[var];
+            for &w in self.words() {
+                let hi = (w & m) >> shift; // face x_var = 1, aligned
+                let lo = w & !m; // face x_var = 0
+                rises |= hi & !lo != 0;
+                falls |= lo & !hi != 0;
+            }
+        } else {
+            let block = 1usize << (var - crate::words::WORD_VARS);
+            let words = self.words();
+            let mut i = 0;
+            while i < words.len() {
+                for k in 0..block {
+                    let lo = words[i + k];
+                    let hi = words[i + block + k];
+                    rises |= hi & !lo != 0;
+                    falls |= lo & !hi != 0;
+                }
+                i += 2 * block;
+            }
+        }
+        match (rises, falls) {
+            (true, true) => Unateness::Binate,
+            (false, true) => Unateness::NegativeUnate,
+            _ => Unateness::PositiveUnate,
+        }
+    }
+
+    /// Whether the function is unate (not binate) in every variable.
+    pub fn is_unate(&self) -> bool {
+        (0..self.num_vars()).all(|v| self.unateness(v) != Unateness::Binate)
+    }
+
+    /// Whether the function is monotone: positive unate in every
+    /// variable.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use facepoint_truth::TruthTable;
+    ///
+    /// assert!(TruthTable::majority(5).is_monotone());
+    /// assert!(!TruthTable::parity(3).is_monotone());
+    /// ```
+    pub fn is_monotone(&self) -> bool {
+        (0..self.num_vars()).all(|v| self.unateness(v) == Unateness::PositiveUnate)
+    }
+
+    /// Whether the function is self-dual: `¬f(¬X) = f(X)`.
+    ///
+    /// Self-dual functions (like majority) have NPN orbits half the
+    /// generic size — their output-negation coset coincides with an
+    /// input-phase coset.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use facepoint_truth::TruthTable;
+    ///
+    /// assert!(TruthTable::majority(3).is_self_dual());
+    /// assert!(TruthTable::parity(3).is_self_dual()); // odd parity flips
+    /// assert!(!TruthTable::parity(2).is_self_dual());
+    /// ```
+    pub fn is_self_dual(&self) -> bool {
+        let mut g = self.clone();
+        for v in 0..self.num_vars() {
+            g.flip_var_in_place(v);
+        }
+        g.negate_in_place();
+        g == *self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_is_positive_unate_everywhere() {
+        let maj = TruthTable::majority(5);
+        for v in 0..5 {
+            assert_eq!(maj.unateness(v), Unateness::PositiveUnate);
+        }
+        assert!(maj.is_unate());
+        assert!(maj.is_monotone());
+    }
+
+    #[test]
+    fn negated_input_flips_polarity() {
+        let maj = TruthTable::majority(3);
+        let g = maj.flip_var(1);
+        assert_eq!(g.unateness(1), Unateness::NegativeUnate);
+        assert_eq!(g.unateness(0), Unateness::PositiveUnate);
+        assert!(g.is_unate());
+        assert!(!g.is_monotone());
+    }
+
+    #[test]
+    fn parity_is_binate_everywhere() {
+        let p = TruthTable::parity(4);
+        for v in 0..4 {
+            assert_eq!(p.unateness(v), Unateness::Binate);
+        }
+        assert!(!p.is_unate());
+    }
+
+    #[test]
+    fn dead_variable_counts_as_positive() {
+        let f = TruthTable::projection(3, 1).unwrap();
+        assert_eq!(f.unateness(0), Unateness::PositiveUnate);
+        assert_eq!(f.unateness(2), Unateness::PositiveUnate);
+        assert_eq!(f.unateness(1), Unateness::PositiveUnate);
+    }
+
+    #[test]
+    fn unateness_matches_cofactor_order_naive() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(307);
+        for n in 1..=8usize {
+            let f = TruthTable::random(n, &mut rng).unwrap();
+            for v in 0..n {
+                let f0 = f.cofactor(v, false);
+                let f1 = f.cofactor(v, true);
+                let le = (&f0 & &f1) == f0; // f0 ≤ f1
+                let ge = (&f0 | &f1) == f0; // f0 ≥ f1
+                let expect = match (le, ge) {
+                    (true, _) => Unateness::PositiveUnate,
+                    (false, true) => Unateness::NegativeUnate,
+                    _ => Unateness::Binate,
+                };
+                assert_eq!(f.unateness(v), expect, "n={n} v={v} f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn self_duality() {
+        assert!(TruthTable::majority(5).is_self_dual());
+        let x = TruthTable::projection(2, 0).unwrap();
+        assert!(x.is_self_dual(), "a single literal is self-dual");
+        assert!(!TruthTable::one(3).unwrap().is_self_dual());
+        // XOR of 3 variables IS self-dual (odd parity flips under total
+        // complement); XOR of 2 is not.
+        assert!(TruthTable::parity(3).is_self_dual());
+        assert!(!TruthTable::parity(2).is_self_dual());
+    }
+
+    #[test]
+    fn multiword_unateness() {
+        // x6 ∧ x7 on 8 vars: positive unate in both high variables.
+        let a = TruthTable::projection(8, 6).unwrap();
+        let b = TruthTable::projection(8, 7).unwrap();
+        let f = &a & &b;
+        assert_eq!(f.unateness(6), Unateness::PositiveUnate);
+        assert_eq!(f.unateness(7), Unateness::PositiveUnate);
+        let g = f.flip_var(7);
+        assert_eq!(g.unateness(7), Unateness::NegativeUnate);
+    }
+}

@@ -1,0 +1,322 @@
+//! Word-level bit manipulation primitives.
+//!
+//! A truth table of an `n`-variable Boolean function is stored as a packed
+//! little-endian bit string: bit `i` of the string holds `f((i)₂)` where the
+//! binary code of `i` assigns its least-significant bit to variable `x₀`.
+//! For `n ≤ 6` the whole table fits in one `u64`; beyond that the table
+//! spans `2^(n-6)` words.
+//!
+//! This module collects the constant masks and the classic
+//! delta-swap/shuffle tricks (Hacker's Delight, ch. 7) that the rest of the
+//! crate builds on. All functions here operate on raw `u64` words so the
+//! hot loops of canonicalization algorithms can run without touching heap
+//! allocated [`TruthTable`](crate::TruthTable)s.
+
+/// Maximum number of variables supported by this crate.
+///
+/// Sixteen variables means `2^16` bits = 1024 words per table, which keeps
+/// every algorithm in this workspace comfortably in cache while covering
+/// every cut size used in the paper's evaluation (n ≤ 10).
+pub const MAX_VARS: usize = 16;
+
+/// Number of variables whose truth table fits into a single `u64`.
+pub const WORD_VARS: usize = 6;
+
+/// In-word masks selecting the positions where variable `i` equals 1.
+///
+/// `VAR_MASK[0] = 0xAAAA…` picks every odd minterm (x₀ = 1), `VAR_MASK[1] =
+/// 0xCCCC…` picks minterms with x₁ = 1, and so on up to variable 5 whose
+/// mask is the upper half of the word.
+pub const VAR_MASK: [u64; WORD_VARS] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// Number of 64-bit words needed for an `n`-variable truth table.
+///
+/// Functions of fewer than seven variables still occupy one word; only the
+/// low `2^n` bits of it are meaningful (the rest are kept zero).
+#[inline]
+pub const fn word_count(num_vars: usize) -> usize {
+    if num_vars <= WORD_VARS {
+        1
+    } else {
+        1 << (num_vars - WORD_VARS)
+    }
+}
+
+/// Mask of the valid bits in the (single) word of an `n ≤ 6` variable table.
+///
+/// For `n ≥ 6` every bit of every word is valid and the mask is all ones.
+#[inline]
+pub const fn valid_bits_mask(num_vars: usize) -> u64 {
+    if num_vars >= WORD_VARS {
+        u64::MAX
+    } else {
+        (1u64 << (1usize << num_vars)) - 1
+    }
+}
+
+/// Number of minterms (`2^n`) of an `n`-variable function.
+#[inline]
+pub const fn num_minterms(num_vars: usize) -> u64 {
+    1u64 << num_vars
+}
+
+/// Mask word for variable `var` at word index `word_idx`.
+///
+/// Returns the portion of "the set of minterms with `x_var = 1`" that falls
+/// into word `word_idx`. For `var < 6` this is a constant in-word pattern;
+/// for `var ≥ 6` whole words are either fully inside (all ones) or fully
+/// outside (zero) depending on bit `var - 6` of the word index.
+#[inline]
+pub fn var_mask_word(var: usize, word_idx: usize) -> u64 {
+    if var < WORD_VARS {
+        VAR_MASK[var]
+    } else if (word_idx >> (var - WORD_VARS)) & 1 == 1 {
+        u64::MAX
+    } else {
+        0
+    }
+}
+
+/// Exchange the bit groups selected by `mask` with the groups `shift`
+/// positions above them (the classic *delta swap*).
+///
+/// `mask` must select only bits whose partner (`bit << shift`) does not
+/// overlap `mask` itself.
+#[inline]
+pub const fn delta_swap(word: u64, mask: u64, shift: u32) -> u64 {
+    let t = ((word >> shift) ^ word) & mask;
+    word ^ t ^ (t << shift)
+}
+
+/// Negate variable `var < 6` inside a single word.
+///
+/// Produces the table of `f` with `x_var` replaced by `¬x_var`: the halves
+/// of every aligned `2^(var+1)` block are exchanged.
+#[inline]
+pub const fn flip_var_word(word: u64, var: usize) -> u64 {
+    debug_assert!(var < WORD_VARS);
+    let shift = 1u32 << var;
+    let mask = VAR_MASK[var];
+    ((word & mask) >> shift) | ((word << shift) & mask)
+}
+
+/// Swap variables `a < b < 6` inside a single word.
+#[inline]
+pub const fn swap_vars_word(word: u64, a: usize, b: usize) -> u64 {
+    debug_assert!(a < b && b < WORD_VARS);
+    // Bits with x_a = 1, x_b = 0 move up by (2^b - 2^a); equivalently
+    // delta-swap the positions with x_a = 0, x_b = 1 against their partners
+    // below. `mask` selects x_a = 1, x_b = 0 (the *lower* position of each
+    // exchanged pair).
+    let mask = VAR_MASK[a] & !VAR_MASK[b];
+    let shift = (1u32 << b) - (1u32 << a);
+    delta_swap(word, mask, shift)
+}
+
+/// Number of 1-bits among the valid bits of a single-word table.
+#[inline]
+pub const fn count_ones_word(word: u64, num_vars: usize) -> u32 {
+    (word & valid_bits_mask(num_vars)).count_ones()
+}
+
+/// The positive cofactor count `|f_{x_var = 1}|` of a single-word table.
+#[inline]
+pub const fn cofactor1_count_word(word: u64, var: usize, num_vars: usize) -> u32 {
+    debug_assert!(var < WORD_VARS);
+    (word & VAR_MASK[var] & valid_bits_mask(num_vars)).count_ones()
+}
+
+/// The negative cofactor count `|f_{x_var = 0}|` of a single-word table.
+#[inline]
+pub const fn cofactor0_count_word(word: u64, var: usize, num_vars: usize) -> u32 {
+    debug_assert!(var < WORD_VARS);
+    (word & !VAR_MASK[var] & valid_bits_mask(num_vars)).count_ones()
+}
+
+/// Truth table (single word) of the projection function `f(X) = x_var`
+/// restricted to `num_vars ≤ 6` variables.
+#[inline]
+pub const fn projection_word(var: usize, num_vars: usize) -> u64 {
+    debug_assert!(var < WORD_VARS);
+    VAR_MASK[var] & valid_bits_mask(num_vars)
+}
+
+/// Apply an input-negation mask and output negation to a single-word table.
+///
+/// Bit `i` of `neg` negates variable `i`. This is the innermost operation
+/// of exhaustive NPN canonicalization, kept branch-light on purpose.
+#[inline]
+pub fn apply_phase_word(mut word: u64, neg: u16, output_neg: bool, num_vars: usize) -> u64 {
+    let mut m = neg & (((1u32 << num_vars) - 1) as u16);
+    while m != 0 {
+        let v = m.trailing_zeros() as usize;
+        word = flip_var_word(word, v);
+        m &= m - 1;
+    }
+    if output_neg {
+        word = !word & valid_bits_mask(num_vars);
+    }
+    word
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation: permute/negate minterm indices one by one.
+    fn flip_var_naive(word: u64, var: usize, num_vars: usize) -> u64 {
+        let mut out = 0u64;
+        for m in 0..(1usize << num_vars) {
+            if (word >> m) & 1 == 1 {
+                out |= 1 << (m ^ (1 << var));
+            }
+        }
+        out
+    }
+
+    fn swap_vars_naive(word: u64, a: usize, b: usize, num_vars: usize) -> u64 {
+        let mut out = 0u64;
+        for m in 0..(1usize << num_vars) {
+            if (word >> m) & 1 == 1 {
+                let ba = (m >> a) & 1;
+                let bb = (m >> b) & 1;
+                let swapped = (m & !((1 << a) | (1 << b))) | (bb << a) | (ba << b);
+                out |= 1 << swapped;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn word_count_boundaries() {
+        assert_eq!(word_count(0), 1);
+        assert_eq!(word_count(6), 1);
+        assert_eq!(word_count(7), 2);
+        assert_eq!(word_count(10), 16);
+        assert_eq!(word_count(16), 1024);
+    }
+
+    #[test]
+    fn valid_bits_small() {
+        assert_eq!(valid_bits_mask(0), 0b1);
+        assert_eq!(valid_bits_mask(1), 0b11);
+        assert_eq!(valid_bits_mask(2), 0xF);
+        assert_eq!(valid_bits_mask(5), 0xFFFF_FFFF);
+        assert_eq!(valid_bits_mask(6), u64::MAX);
+        assert_eq!(valid_bits_mask(12), u64::MAX);
+    }
+
+    #[test]
+    fn var_masks_partition_words() {
+        for (i, &m) in VAR_MASK.iter().enumerate() {
+            assert_eq!(m.count_ones(), 32, "mask {i} must select half the word");
+            // x_i = 1 positions: bit i of the position index is set.
+            for pos in 0..64u64 {
+                let expect = (pos >> i) & 1 == 1;
+                assert_eq!((m >> pos) & 1 == 1, expect, "mask {i} position {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn flip_matches_naive() {
+        let samples = [
+            0xE8u64, // 3-input majority
+            0x1234_5678_9ABC_DEF0,
+            0x8000_0000_0000_0001,
+            u64::MAX,
+            0,
+        ];
+        for &w in &samples {
+            for var in 0..WORD_VARS {
+                assert_eq!(
+                    flip_var_word(w, var),
+                    flip_var_naive(w, var, WORD_VARS),
+                    "flip var {var} of {w:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        let w = 0xDEAD_BEEF_CAFE_F00D;
+        for var in 0..WORD_VARS {
+            assert_eq!(flip_var_word(flip_var_word(w, var), var), w);
+        }
+    }
+
+    #[test]
+    fn swap_matches_naive() {
+        let samples = [0xE8u64, 0x1234_5678_9ABC_DEF0, 0x8000_0000_0000_0001];
+        for &w in &samples {
+            for a in 0..WORD_VARS {
+                for b in (a + 1)..WORD_VARS {
+                    assert_eq!(
+                        swap_vars_word(w, a, b),
+                        swap_vars_naive(w, a, b, WORD_VARS),
+                        "swap {a},{b} of {w:#x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swap_is_involution() {
+        let w = 0x0123_4567_89AB_CDEF;
+        for a in 0..WORD_VARS {
+            for b in (a + 1)..WORD_VARS {
+                assert_eq!(swap_vars_word(swap_vars_word(w, a, b), a, b), w);
+            }
+        }
+    }
+
+    #[test]
+    fn cofactor_counts_split_satisfy_count() {
+        let w = 0x1234_5678_9ABC_DEF0u64;
+        for var in 0..WORD_VARS {
+            let c0 = cofactor0_count_word(w, var, 6);
+            let c1 = cofactor1_count_word(w, var, 6);
+            assert_eq!(c0 + c1, w.count_ones());
+        }
+    }
+
+    #[test]
+    fn projection_counts() {
+        for n in 1..=6usize {
+            for var in 0..n {
+                let p = projection_word(var, n);
+                assert_eq!(p.count_ones() as u64, num_minterms(n) / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_phase_gray_roundtrip() {
+        let w = 0x6996_9669_5AA5_A55A;
+        for neg in 0u16..64 {
+            let once = apply_phase_word(w, neg, true, 6);
+            let back = apply_phase_word(once, neg, true, 6);
+            assert_eq!(back, w, "phase {neg:#b} must be an involution");
+        }
+    }
+
+    #[test]
+    fn var_mask_word_high_vars() {
+        // Variable 6 selects every odd word, variable 7 every odd pair…
+        assert_eq!(var_mask_word(6, 0), 0);
+        assert_eq!(var_mask_word(6, 1), u64::MAX);
+        assert_eq!(var_mask_word(7, 1), 0);
+        assert_eq!(var_mask_word(7, 2), u64::MAX);
+        assert_eq!(var_mask_word(7, 3), u64::MAX);
+        assert_eq!(var_mask_word(3, 17), VAR_MASK[3]);
+    }
+}

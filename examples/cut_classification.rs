@@ -1,0 +1,86 @@
+//! The paper's end-to-end pipeline on a single circuit: build an
+//! arithmetic block, enumerate cuts, harvest the cut functions, classify
+//! them, and check the signature classification against exact ground
+//! truth — Section V-A of the paper in one program.
+//!
+//! ```text
+//! cargo run --release --example cut_classification
+//! ```
+
+use facepoint::aig::{generators, Aig, Extractor};
+use facepoint::core::PartitionComparison;
+use facepoint::exact::exact_classify;
+use facepoint::{Classifier, SignatureSet};
+
+fn report(name: &str, circuit: &Aig) {
+    println!(
+        "circuit: {name}, {} inputs, {} AND gates",
+        circuit.num_inputs(),
+        circuit.num_ands()
+    );
+    for support in 3..=6usize {
+        // Harvest all distinct cut functions with exactly this support.
+        let fns = Extractor::for_support(support).extract(circuit);
+        if fns.is_empty() {
+            continue;
+        }
+        // Classify with the paper's full signature set…
+        let ours = Classifier::new(SignatureSet::all()).classify(fns.clone());
+        // …and with cofactors only, to see the point characteristics earn
+        // their keep.
+        let faces_only = Classifier::new(SignatureSet::OCV1 | SignatureSet::OCV2)
+            .classify(fns.clone());
+        // Exact ground truth via bucket + matcher.
+        let exact = exact_classify(&fns);
+
+        let cmp = PartitionComparison::compare(ours.labels(), exact.labels());
+        println!(
+            "  support {support}: {:>4} functions | exact {:>4} | ours {:>4} ({}) | OCV-only {:>4}",
+            fns.len(),
+            exact.num_classes(),
+            ours.num_classes(),
+            if cmp.is_exact() { "exact " } else { "merged" },
+            faces_only.num_classes(),
+        );
+    }
+    println!();
+}
+
+fn main() {
+    // A 16-bit ripple-carry adder — the EPFL `adder`'s little sibling.
+    report("16-bit adder", &generators::ripple_carry_adder(16));
+    // Irregular control logic and a shifter for contrast.
+    report(
+        "random control logic",
+        &generators::random_logic(14, 300, 0xC0FFEE),
+    );
+    report("4-stage barrel shifter", &generators::barrel_shifter(4));
+
+    // Per circuit the cut functions are regular enough for cofactors to
+    // cope. The differences the paper's Table II reports appear at suite
+    // scale, where thousands of distinct functions meet:
+    let fns = facepoint::aig::cut_workload(5, 8000);
+    let exact = exact_classify(&fns);
+    println!(
+        "whole suite, support 5: {} functions, {} exact classes",
+        fns.len(),
+        exact.num_classes()
+    );
+    for (name, set) in [
+        ("OIV", SignatureSet::OIV),
+        ("OCV1", SignatureSet::OCV1),
+        ("OCV1+OCV2", SignatureSet::OCV1 | SignatureSet::OCV2),
+        ("All (face+point)", SignatureSet::all()),
+    ] {
+        let c = Classifier::new(set).classify(fns.clone());
+        let cmp = PartitionComparison::compare(c.labels(), exact.labels());
+        println!(
+            "  {name:<18} {:>5} classes ({} merged)",
+            c.num_classes(),
+            cmp.merged_classes
+        );
+    }
+    println!();
+    println!("Face signatures alone merge distinct classes; the face+point MSV");
+    println!("tracks the exact count — the paper's core claim, end to end.");
+}

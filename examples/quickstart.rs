@@ -1,0 +1,63 @@
+//! Quickstart: signatures, classification, and exactness in ten minutes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use facepoint::exact::{exact_npn_canonical, npn_match};
+use facepoint::sig::{ocv1, oiv, osv1};
+use facepoint::{Classifier, NpnTransform, Permutation, SignatureSet, TruthTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Truth tables -------------------------------------------------
+    let maj = TruthTable::majority(3);
+    println!("3-input majority: 0x{} = {}", maj.to_hex(), maj.to_binary());
+
+    // --- 2. NPN transforms -----------------------------------------------
+    // g(x0,x1,x2) = ¬maj(x2, ¬x0, x1): permute and negate.
+    let t = NpnTransform::new(Permutation::from_slice(&[2, 0, 1])?, 0b010, true);
+    let g = t.apply(&maj);
+    println!("a transform of it:  0x{}", g.to_hex());
+
+    // --- 3. Signature vectors (the paper's Table I) ----------------------
+    println!("OCV1(maj) = {:?}   (face characteristic)", ocv1(&maj));
+    println!("OIV(maj)  = {:?}         (point-face characteristic)", oiv(&maj));
+    println!("OSV1(maj) = {:?}      (point characteristic)", osv1(&maj));
+    // Signatures are NPN-invariant:
+    assert_eq!(oiv(&maj), oiv(&g));
+    assert_eq!(osv1(&maj), osv1(&g.negated()));
+
+    // --- 4. Classification (Algorithm 1) ----------------------------------
+    let fns = vec![
+        maj.clone(),
+        g.clone(),
+        TruthTable::parity(3),
+        TruthTable::projection(3, 0)?,
+        TruthTable::from_hex(3, "96")?, // parity again, by its table
+    ];
+    let classifier = Classifier::new(SignatureSet::all());
+    let classes = classifier.classify(fns.clone());
+    println!(
+        "\nclassified {} functions into {} NPN classes:",
+        classes.num_functions(),
+        classes.num_classes()
+    );
+    for class in classes.classes() {
+        println!(
+            "  class {}: representative 0x{}, {} member(s)",
+            class.id(),
+            class.representative().to_hex(),
+            class.size()
+        );
+    }
+
+    // --- 5. Exactness ------------------------------------------------------
+    // The signature classifier's verdict agrees with the exact canonical
+    // form here:
+    assert_eq!(exact_npn_canonical(&maj), exact_npn_canonical(&g));
+    // And the matcher produces a witness transform:
+    let witness = npn_match(&maj, &g).expect("equivalent by construction");
+    assert_eq!(witness.apply(&maj), g);
+    println!("\nwitness transform maj → g: {witness}");
+    Ok(())
+}

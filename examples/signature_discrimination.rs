@@ -1,0 +1,50 @@
+//! Why face characteristics alone are not enough — the demonstration
+//! behind the paper's Fig. 4, run live.
+//!
+//! Exhaustively scans all 65 536 functions of four variables, groups them
+//! by cofactor signatures (`OCV1 + OCV2`), and measures how often the
+//! point characteristics (`OIV`, `OSV`, `OSDV`) split groups that
+//! cofactors cannot.
+//!
+//! ```text
+//! cargo run --release --example signature_discrimination
+//! ```
+
+use facepoint::exact::exact_classify;
+use facepoint::{Classifier, SignatureSet, TruthTable};
+
+fn count(fns: &[TruthTable], set: SignatureSet) -> usize {
+    Classifier::new(set).classify(fns.to_vec()).num_classes()
+}
+
+fn main() {
+    let all: Vec<TruthTable> = (0u64..65536)
+        .map(|bits| TruthTable::from_u64(4, bits).expect("4 variables"))
+        .collect();
+
+    let exact = exact_classify(&all).num_classes();
+    println!("all 4-variable functions: {} | exact NPN classes: {exact}", all.len());
+    println!();
+    println!("{:<22} {:>9} {:>14}", "signature set", "#classes", "vs exact");
+    println!("{}", "-".repeat(47));
+    let sets: Vec<(&str, SignatureSet)> = vec![
+        ("OCV1", SignatureSet::OCV1),
+        ("OCV1+OCV2", SignatureSet::OCV1 | SignatureSet::OCV2),
+        ("OIV", SignatureSet::OIV),
+        ("OSV", SignatureSet::OSV),
+        ("OIV+OSV", SignatureSet::OIV | SignatureSet::OSV),
+        ("OCV1+OCV2+OIV", SignatureSet::OCV1 | SignatureSet::OCV2 | SignatureSet::OIV),
+        ("OIV+OSV+OSDV", SignatureSet::OIV | SignatureSet::OSV | SignatureSet::OSDV),
+        ("All", SignatureSet::all()),
+        ("All+Walsh (ext.)", SignatureSet::all_extended()),
+    ];
+    for (name, set) in sets {
+        let c = count(&all, set);
+        let pct = 100.0 * c as f64 / exact as f64;
+        println!("{name:<22} {c:>9} {pct:>13.1}%");
+    }
+    println!();
+    println!("The exact count for n = 4 is a classical constant: 222 classes.");
+    println!("Face signatures saturate below it; adding the point signatures");
+    println!("closes the gap — the paper's Fig. 4 argument, exhaustively.");
+}

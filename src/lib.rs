@@ -1,0 +1,50 @@
+//! # facepoint
+//!
+//! NPN classification of Boolean functions from face and point
+//! characteristics — a Rust reproduction of the DATE 2023 paper
+//! *"Rethinking NPN Classification from Face and Point Characteristics of
+//! Boolean Functions"* (arXiv:2301.12122).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`truth`] — packed truth tables and the NPN transform group,
+//! * [`sig`] — cofactor / influence / sensitivity signature vectors and
+//!   the Mixed Signature Vector (MSV),
+//! * [`core`] — the signature-hash NPN classifier (Algorithm 1),
+//! * [`exact`] — exact canonicalization, exact classification, and the
+//!   baseline classifiers from the paper's Table III,
+//! * [`aig`] — and-inverter graphs, cut enumeration and the synthetic
+//!   EPFL-style benchmark suite.
+//!
+//! The most common entry points are lifted to the crate root.
+//!
+//! # Quick start
+//!
+//! ```
+//! use facepoint::{Classifier, SignatureSet, TruthTable};
+//!
+//! // Three functions, two NPN classes: majority, a transform of majority,
+//! // and a projection.
+//! let fns = vec![
+//!     TruthTable::majority(3),
+//!     TruthTable::from_hex(3, "d4")?, // maj with x0 negated
+//!     TruthTable::projection(3, 0)?,
+//! ];
+//! let result = Classifier::new(SignatureSet::all()).classify(fns);
+//! assert_eq!(result.num_classes(), 2);
+//! # Ok::<(), facepoint::truth::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub use facepoint_aig as aig;
+pub use facepoint_core as core;
+pub use facepoint_exact as exact;
+pub use facepoint_sig as sig;
+pub use facepoint_truth as truth;
+
+pub use facepoint_core::{Classification, Classifier};
+pub use facepoint_sig::{msv, Msv, SignatureSet};
+pub use facepoint_truth::{NpnTransform, Permutation, TruthTable};

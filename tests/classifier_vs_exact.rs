@@ -1,0 +1,98 @@
+//! Integration tests of the classifier's accuracy contract against exact
+//! ground truth, across workload styles.
+
+use facepoint::core::{refine_to_exact, PartitionComparison};
+use facepoint::exact::{exact_classify, exact_classify_canonical};
+use facepoint::{Classifier, NpnTransform, SignatureSet, TruthTable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn transform_closure_workload(n: usize, classes: usize, copies: usize, seed: u64) -> Vec<TruthTable> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fns = Vec::new();
+    for _ in 0..classes {
+        let f = TruthTable::random(n, &mut rng).unwrap();
+        for _ in 0..copies {
+            fns.push(NpnTransform::random(n, &mut rng).apply(&f));
+        }
+    }
+    fns
+}
+
+#[test]
+fn exhaustive_small_space_is_classified_exactly() {
+    // Every function of up to 3 variables; known class counts 1/2/4/14
+    // for the full per-arity spaces.
+    for (n, expect) in [(2usize, 4usize), (3, 14)] {
+        let fns: Vec<TruthTable> = (0..1u64 << (1 << n))
+            .map(|b| TruthTable::from_u64(n, b).unwrap())
+            .collect();
+        let ours = Classifier::new(SignatureSet::all()).classify(fns.clone());
+        assert_eq!(ours.num_classes(), expect, "n = {n}");
+        let exact = exact_classify_canonical(&fns);
+        let cmp = PartitionComparison::compare(ours.labels(), exact.labels());
+        assert!(cmp.is_exact(), "n = {n}: {cmp:?}");
+    }
+}
+
+#[test]
+fn four_variable_space_has_222_classes() {
+    let fns: Vec<TruthTable> = (0u64..65536)
+        .map(|b| TruthTable::from_u64(4, b).unwrap())
+        .collect();
+    // The count of NPN classes of 4-variable functions is the classical
+    // 222; the full signature set reaches it exactly (paper Table II,
+    // where the cut workload's 4-variable row is likewise exact).
+    let ours = Classifier::new(SignatureSet::all()).classify(fns);
+    assert_eq!(ours.num_classes(), 222);
+}
+
+#[test]
+fn classifier_never_splits_exact_classes() {
+    // Candidate keys are necessary conditions: every disagreement with
+    // ground truth must be a merge, never a split.
+    for n in 3..=6usize {
+        let fns = transform_closure_workload(n, 12, 5, n as u64 * 31);
+        let exact = exact_classify(&fns);
+        for (_, set) in SignatureSet::table2_columns() {
+            let ours = Classifier::new(set).classify(fns.clone());
+            let cmp = PartitionComparison::compare(ours.labels(), exact.labels());
+            assert_eq!(cmp.split_classes, 0, "n = {n}, set = {set}: {cmp:?}");
+        }
+    }
+}
+
+#[test]
+fn full_set_is_exact_on_transform_closures_small_n() {
+    for n in 2..=6usize {
+        let fns = transform_closure_workload(n, 15, 4, n as u64 * 101);
+        let ours = Classifier::new(SignatureSet::all()).classify(fns.clone());
+        let exact = exact_classify(&fns);
+        let cmp = PartitionComparison::compare(ours.labels(), exact.labels());
+        assert!(cmp.is_exact(), "n = {n}: {cmp:?}");
+    }
+}
+
+#[test]
+fn refinement_closes_any_gap() {
+    // Even if a weak signature set merges, refine_to_exact recovers the
+    // exact partition.
+    let fns = transform_closure_workload(5, 10, 4, 777);
+    let weak = Classifier::new(SignatureSet::OIV).classify(fns.clone());
+    let refined = refine_to_exact(&fns, &weak);
+    let exact = exact_classify(&fns);
+    let cmp = PartitionComparison::compare(refined.labels(), exact.labels());
+    assert!(cmp.is_exact(), "{cmp:?}");
+}
+
+#[test]
+fn mixed_arity_workloads() {
+    let mut fns = transform_closure_workload(3, 5, 3, 1);
+    fns.extend(transform_closure_workload(4, 5, 3, 2));
+    fns.extend(transform_closure_workload(5, 5, 3, 3));
+    let ours = Classifier::new(SignatureSet::all()).classify(fns.clone());
+    let exact = exact_classify(&fns);
+    let cmp = PartitionComparison::compare(ours.labels(), exact.labels());
+    assert_eq!(cmp.split_classes, 0);
+    assert!(ours.num_classes() <= exact.num_classes());
+}

@@ -1,0 +1,57 @@
+//! Heavy exhaustive validation over the complete 4-variable function
+//! space (65 536 functions, 222 NPN classes).
+//!
+//! The partition-equality test is tagged `#[ignore]` because it runs the
+//! exhaustive canonicalizer on every function (~a minute in release);
+//! run it with `cargo test --release -- --ignored`.
+
+use facepoint::exact::{canonical_u64, exact_classify_canonical};
+use facepoint::{Classifier, SignatureSet, TruthTable};
+
+fn all_4var() -> Vec<TruthTable> {
+    (0u64..65536)
+        .map(|b| TruthTable::from_u64(4, b).unwrap())
+        .collect()
+}
+
+#[test]
+fn classifier_class_count_is_222() {
+    let fns = all_4var();
+    let c = Classifier::new(SignatureSet::all()).classify(fns);
+    assert_eq!(c.num_classes(), 222);
+}
+
+#[test]
+#[ignore = "runs the exhaustive canonicalizer on 65 536 functions"]
+fn classifier_partition_equals_exhaustive_partition() {
+    let fns = all_4var();
+    let ours = Classifier::new(SignatureSet::all()).classify(fns.clone());
+    let exact = exact_classify_canonical(&fns);
+    assert_eq!(exact.num_classes(), 222);
+    // Partition equality via per-class fingerprints: both labelings must
+    // induce the same grouping of indices.
+    let mut ours_to_exact = vec![usize::MAX; ours.num_classes()];
+    for i in 0..fns.len() {
+        let o = ours.label(i);
+        let e = exact.label(i);
+        if ours_to_exact[o] == usize::MAX {
+            ours_to_exact[o] = e;
+        } else {
+            assert_eq!(ours_to_exact[o], e, "function {i} splits a class");
+        }
+    }
+    // Injectivity: no two of our classes map to one exact class.
+    let mut seen = vec![false; exact.num_classes()];
+    for &e in &ours_to_exact {
+        assert!(!seen[e], "two candidate classes merged one exact class");
+        seen[e] = true;
+    }
+}
+
+#[test]
+#[ignore = "canonicalizes 65 536 functions"]
+fn canonical_u64_has_222_images_on_4var() {
+    use std::collections::HashSet;
+    let images: HashSet<u64> = (0u64..65536).map(|b| canonical_u64(b, 4)).collect();
+    assert_eq!(images.len(), 222);
+}

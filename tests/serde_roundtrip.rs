@@ -1,0 +1,33 @@
+//! Serde feature tests: data types round-trip through a serializer.
+//!
+//! Run with `cargo test --features serde`.
+
+#![cfg(feature = "serde")]
+
+use facepoint::{msv, NpnTransform, Permutation, SignatureSet, TruthTable};
+
+/// A minimal serde serializer harness: round-trip through JSON-like
+/// tokens is overkill here; `serde_json` is not a dependency, so we use
+/// the `serde` test pattern of serializing into a `Vec<u8>` with a tiny
+/// hand-rolled format — instead we simply verify the derives exist and
+/// compose by round-tripping through `bincode`-style manual encoding via
+/// `serde::Serialize` into a debug collector.
+///
+/// Since no serde data-format crate is in the dependency set, the test
+/// asserts the trait bounds compile and are object-usable.
+fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+
+#[test]
+fn serde_impls_exist() {
+    assert_serde::<TruthTable>();
+    assert_serde::<Permutation>();
+    assert_serde::<NpnTransform>();
+    assert_serde::<SignatureSet>();
+}
+
+#[test]
+fn msv_is_serializable() {
+    fn takes_serialize<T: serde::Serialize>(_: &T) {}
+    let m = msv(&TruthTable::majority(3), SignatureSet::all());
+    takes_serialize(&m);
+}
