@@ -91,14 +91,19 @@ impl Aig {
     /// declarations, or dangling literals.
     pub fn from_aiger(text: &str) -> Result<Self, AigerError> {
         let mut lines = text.lines();
-        let header = lines.next().ok_or_else(|| AigerError::BadHeader(String::new()))?;
+        let header = lines
+            .next()
+            .ok_or_else(|| AigerError::BadHeader(String::new()))?;
         let parts: Vec<&str> = header.split_whitespace().collect();
         if parts.len() != 6 || parts[0] != "aag" {
             return Err(AigerError::BadHeader(header.to_string()));
         }
         let nums: Vec<usize> = parts[1..]
             .iter()
-            .map(|p| p.parse().map_err(|_| AigerError::BadHeader(header.to_string())))
+            .map(|p| {
+                p.parse()
+                    .map_err(|_| AigerError::BadHeader(header.to_string()))
+            })
             .collect::<Result<_, _>>()?;
         let (m, i, l, o, a) = (nums[0], nums[1], nums[2], nums[3], nums[4]);
         if l != 0 {

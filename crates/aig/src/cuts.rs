@@ -85,12 +85,12 @@ impl Cut {
     /// Whether `self` dominates `other` (`self ⊆ other`): the dominated
     /// cut is redundant for enumeration purposes.
     pub fn dominates(&self, other: &Cut) -> bool {
-        if self.leaves.len() > other.leaves.len()
-            || self.signature & !other.signature != 0
-        {
+        if self.leaves.len() > other.leaves.len() || self.signature & !other.signature != 0 {
             return false;
         }
-        self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+        self.leaves
+            .iter()
+            .all(|l| other.leaves.binary_search(l).is_ok())
     }
 }
 
@@ -168,12 +168,16 @@ pub fn enumerate_cuts(aig: &Aig, config: &CutConfig) -> CutSet {
         cuts[node as usize] = vec![Cut::trivial(node)];
     }
     let sort_by_priority = |v: &mut Vec<Cut>| match config.priority {
-        CutPriority::SmallFirst => {
-            v.sort_by(|x, y| x.size().cmp(&y.size()).then_with(|| x.leaves.cmp(&y.leaves)))
-        }
-        CutPriority::LargeFirst => {
-            v.sort_by(|x, y| y.size().cmp(&x.size()).then_with(|| x.leaves.cmp(&y.leaves)))
-        }
+        CutPriority::SmallFirst => v.sort_by(|x, y| {
+            x.size()
+                .cmp(&y.size())
+                .then_with(|| x.leaves.cmp(&y.leaves))
+        }),
+        CutPriority::LargeFirst => v.sort_by(|x, y| {
+            y.size()
+                .cmp(&x.size())
+                .then_with(|| x.leaves.cmp(&y.leaves))
+        }),
     };
     for node in aig.and_nodes() {
         let (a, b) = aig.fanins(node).expect("AND node");

@@ -20,10 +20,7 @@ pub fn cut_function(aig: &Aig, node: u32, cut: &Cut) -> TruthTable {
     assert!(k <= 16, "cut function limited to 16 leaves");
     let mut memo: HashMap<u32, TruthTable> = HashMap::new();
     for (i, &leaf) in cut.leaves().iter().enumerate() {
-        memo.insert(
-            leaf,
-            TruthTable::projection(k, i).expect("k <= 16 checked"),
-        );
+        memo.insert(leaf, TruthTable::projection(k, i).expect("k <= 16 checked"));
     }
     cone_table(aig, node, k, &mut memo)
 }
@@ -162,7 +159,11 @@ mod tests {
         // Cut functions are *node* functions; maj3 ends in an OR, whose
         // literal is complemented, so the node computes ¬maj.
         let node_fn = cut_function(&aig, top, full);
-        let out_fn = if m.is_complemented() { !node_fn } else { node_fn };
+        let out_fn = if m.is_complemented() {
+            !node_fn
+        } else {
+            node_fn
+        };
         assert_eq!(out_fn, TruthTable::majority(3));
     }
 
@@ -189,7 +190,11 @@ mod tests {
             .find(|cut| cut.leaves() == [1, 2, 3, 4])
             .expect("primary-input cut");
         let local = cut_function(&aig, top, input_cut);
-        let global = if f.is_complemented() { !&tts[0] } else { tts[0].clone() };
+        let global = if f.is_complemented() {
+            !&tts[0]
+        } else {
+            tts[0].clone()
+        };
         assert_eq!(local, global);
     }
 
@@ -208,8 +213,7 @@ mod tests {
         // cut {x, y} — two distinct 2-variable functions in total.
         assert_eq!(fns.len(), 2);
         assert!(fns.iter().all(|f| f.num_vars() == 2));
-        let hexes: std::collections::HashSet<String> =
-            fns.iter().map(|f| f.to_hex()).collect();
+        let hexes: std::collections::HashSet<String> = fns.iter().map(|f| f.to_hex()).collect();
         assert!(hexes.contains("8"), "the AND function survives once");
         assert!(hexes.contains("1"), "the top NOR-shaped node function");
     }

@@ -265,8 +265,7 @@ mod tests {
                 let out = outputs_as_u64(&aig, m);
                 // Output i reads data[(i + shift) mod width]: a right
                 // rotation by `shift` within `width` bits.
-                let expect =
-                    ((data >> shift) | (data << (width as u64 - shift))) & ((1 << width) - 1);
+                let expect = ((data >> shift) | (data << (width - shift))) & ((1 << width) - 1);
                 assert_eq!(out, expect, "data {data:#b} shift {shift}");
             }
         }

@@ -13,7 +13,11 @@ pub fn decoder(sel_bits: usize) -> Aig {
         let mut acc = Lit::TRUE;
         for s in 0..sel_bits {
             let sel = aig.input(s);
-            let lit = if (line >> s) & 1 == 1 { sel } else { sel.complement() };
+            let lit = if (line >> s) & 1 == 1 {
+                sel
+            } else {
+                sel.complement()
+            };
             acc = aig.and(acc, lit);
         }
         outs.push(acc);
@@ -82,14 +86,21 @@ pub fn majority_voter(n: usize) -> Aig {
         }
     }
     // The count is now a plain binary number; compare count >= (n+1)/2.
-    let count: Vec<Lit> = bits.iter().map(|level| level.first().copied().unwrap_or(Lit::FALSE)).collect();
-    let threshold = (n as u64 + 1) / 2;
+    let count: Vec<Lit> = bits
+        .iter()
+        .map(|level| level.first().copied().unwrap_or(Lit::FALSE))
+        .collect();
+    let threshold = (n as u64).div_ceil(2);
     // count >= threshold  ⇔  count + (2^w − threshold) carries out.
     let width = count.len();
     let addend = (1u64 << width) - threshold;
     let mut carry = Lit::FALSE;
     for (i, &c) in count.iter().enumerate() {
-        let a_bit = if (addend >> i) & 1 == 1 { Lit::TRUE } else { Lit::FALSE };
+        let a_bit = if (addend >> i) & 1 == 1 {
+            Lit::TRUE
+        } else {
+            Lit::FALSE
+        };
         let (_, cout) = full_adder(&mut aig, c, a_bit, carry);
         carry = cout;
     }

@@ -199,6 +199,9 @@ mod tests {
         // prefix adder sits on a shallower, wider cone.
         let ks = kogge_stone_adder(8);
         let rc = crate::generators::ripple_carry_adder(8);
-        assert!(ks.num_ands() > rc.num_ands(), "prefix trades area for depth");
+        assert!(
+            ks.num_ands() > rc.num_ands(),
+            "prefix trades area for depth"
+        );
     }
 }

@@ -79,7 +79,9 @@ mod tests {
         assert_eq!(a.num_nodes(), b.num_nodes());
         assert_eq!(a.outputs().len(), b.outputs().len());
         // Same structure ⇒ same simulated behaviour.
-        let pat: Vec<u64> = (0..8).map(|i| 0x123456789ABCDEF0u64.rotate_left(i * 7)).collect();
+        let pat: Vec<u64> = (0..8)
+            .map(|i| 0x123456789ABCDEF0u64.rotate_left(i * 7))
+            .collect();
         assert_eq!(a.simulate_words(&pat), b.simulate_words(&pat));
     }
 
@@ -88,7 +90,9 @@ mod tests {
         let a = random_logic(8, 60, 1);
         let b = random_logic(8, 60, 2);
         // Structures almost surely differ in size or behaviour.
-        let pat: Vec<u64> = (0..8).map(|i| 0xDEADBEEFCAFEF00Du64.rotate_left(i * 5)).collect();
+        let pat: Vec<u64> = (0..8)
+            .map(|i| 0xDEADBEEFCAFEF00Du64.rotate_left(i * 5))
+            .collect();
         let same = a.num_nodes() == b.num_nodes()
             && a.outputs().len() == b.outputs().len()
             && a.simulate_words(&pat) == b.simulate_words(&pat);

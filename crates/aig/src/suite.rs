@@ -35,29 +35,92 @@ pub struct Benchmark {
 /// ```
 pub fn synthetic_suite() -> Vec<Benchmark> {
     vec![
-        Benchmark { name: "adder", aig: generators::ripple_carry_adder(24) },
-        Benchmark { name: "adder_ks", aig: generators::kogge_stone_adder(16) },
-        Benchmark { name: "alu", aig: generators::alu_slice(6) },
-        Benchmark { name: "multiplier", aig: generators::array_multiplier(7) },
-        Benchmark { name: "square", aig: generators::squarer(8) },
-        Benchmark { name: "bar", aig: generators::barrel_shifter(4) },
-        Benchmark { name: "max", aig: generators::max_unit(10) },
-        Benchmark { name: "comparator", aig: generators::comparator(12) },
-        Benchmark { name: "parity", aig: generators::parity_tree(16) },
-        Benchmark { name: "dec", aig: generators::decoder(5) },
-        Benchmark { name: "arbiter", aig: generators::priority_arbiter(16) },
-        Benchmark { name: "voter", aig: generators::majority_voter(11) },
-        Benchmark { name: "ctrl", aig: generators::mux_tree(3) },
-        Benchmark { name: "random1", aig: generators::random_logic(16, 360, 0xFACE) },
-        Benchmark { name: "random2", aig: generators::random_logic(14, 280, 0xB00C) },
-        Benchmark { name: "random3", aig: generators::random_logic(12, 200, 0x5EED) },
-        Benchmark { name: "random4", aig: generators::random_logic(18, 420, 0xC0DE) },
+        Benchmark {
+            name: "adder",
+            aig: generators::ripple_carry_adder(24),
+        },
+        Benchmark {
+            name: "adder_ks",
+            aig: generators::kogge_stone_adder(16),
+        },
+        Benchmark {
+            name: "alu",
+            aig: generators::alu_slice(6),
+        },
+        Benchmark {
+            name: "multiplier",
+            aig: generators::array_multiplier(7),
+        },
+        Benchmark {
+            name: "square",
+            aig: generators::squarer(8),
+        },
+        Benchmark {
+            name: "bar",
+            aig: generators::barrel_shifter(4),
+        },
+        Benchmark {
+            name: "max",
+            aig: generators::max_unit(10),
+        },
+        Benchmark {
+            name: "comparator",
+            aig: generators::comparator(12),
+        },
+        Benchmark {
+            name: "parity",
+            aig: generators::parity_tree(16),
+        },
+        Benchmark {
+            name: "dec",
+            aig: generators::decoder(5),
+        },
+        Benchmark {
+            name: "arbiter",
+            aig: generators::priority_arbiter(16),
+        },
+        Benchmark {
+            name: "voter",
+            aig: generators::majority_voter(11),
+        },
+        Benchmark {
+            name: "ctrl",
+            aig: generators::mux_tree(3),
+        },
+        Benchmark {
+            name: "random1",
+            aig: generators::random_logic(16, 360, 0xFACE),
+        },
+        Benchmark {
+            name: "random2",
+            aig: generators::random_logic(14, 280, 0xB00C),
+        },
+        Benchmark {
+            name: "random3",
+            aig: generators::random_logic(12, 200, 0x5EED),
+        },
+        Benchmark {
+            name: "random4",
+            aig: generators::random_logic(18, 420, 0xC0DE),
+        },
         // Wide-cone circuits feeding the n ≥ 8 rows: their outputs depend
         // on many inputs, so large-support cuts are plentiful.
-        Benchmark { name: "ctrl_wide", aig: generators::mux_tree(4) },
-        Benchmark { name: "voter_wide", aig: generators::majority_voter(13) },
-        Benchmark { name: "random_wide", aig: generators::random_logic(24, 700, 0xD1CE) },
-        Benchmark { name: "adder_wide", aig: generators::ripple_carry_adder(32) },
+        Benchmark {
+            name: "ctrl_wide",
+            aig: generators::mux_tree(4),
+        },
+        Benchmark {
+            name: "voter_wide",
+            aig: generators::majority_voter(13),
+        },
+        Benchmark {
+            name: "random_wide",
+            aig: generators::random_logic(24, 700, 0xD1CE),
+        },
+        Benchmark {
+            name: "adder_wide",
+            aig: generators::ripple_carry_adder(32),
+        },
     ]
 }
 

@@ -2,7 +2,7 @@
 //! simulate consistently, round-trip through AIGER, and yield cut
 //! functions that agree with whole-circuit simulation.
 
-use facepoint_aig::{enumerate_cuts, cut_function, generators, Aig, CutConfig};
+use facepoint_aig::{cut_function, enumerate_cuts, generators, Aig, CutConfig};
 use proptest::prelude::*;
 
 /// Strategy: a random-logic circuit described by (inputs, gates, seed).

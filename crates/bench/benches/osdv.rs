@@ -16,17 +16,13 @@ fn bench_osdv_engines(c: &mut Criterion) {
             ("wht", OsdvEngine::Wht),
             ("auto", OsdvEngine::Auto),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, n),
-                &fns,
-                |b, fns| {
-                    b.iter(|| {
-                        for f in fns {
-                            black_box(osdv_with(f, MintermFilter::All, engine));
-                        }
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, n), &fns, |b, fns| {
+                b.iter(|| {
+                    for f in fns {
+                        black_box(osdv_with(f, MintermFilter::All, engine));
+                    }
+                })
+            });
         }
     }
     group.finish();

@@ -35,10 +35,7 @@ fn main() {
     let target_ocv1_g = vec![3u32, 4, 4, 4, 4, 4, 4, 5];
     let target_oiv_g1 = vec![6u32, 6, 6, 8];
     let target_oiv_g2 = vec![2u32, 6, 6, 8];
-    let g_candidates: Vec<&TruthTable> = all
-        .iter()
-        .filter(|f| ocv1(f) == target_ocv1_g)
-        .collect();
+    let g_candidates: Vec<&TruthTable> = all.iter().filter(|f| ocv1(f) == target_ocv1_g).collect();
     println!(
         "step 1: {} functions have OCV1 = {} (g-pair profile)",
         g_candidates.len(),

@@ -37,14 +37,17 @@ fn main() {
     for n in min_n..=max_n {
         let (fns, t_gen) = timed(|| cut_workload(n, limit));
         let (exact, _t_exact) = timed(|| exact_classify(&fns).num_classes());
-        let mut cells: Vec<String> =
-            vec![n.to_string(), fns.len().to_string(), exact.to_string()];
+        let mut cells: Vec<String> = vec![n.to_string(), fns.len().to_string(), exact.to_string()];
         for (_, set) in columns {
             let count = Classifier::new(set).classify(fns.clone()).num_classes();
             cells.push(count.to_string());
         }
         print_row(&cells, &widths);
-        eprintln!("  [n={n}: {} functions extracted in {}s]", fns.len(), t_gen.as_secs_f64());
+        eprintln!(
+            "  [n={n}: {} functions extracted in {}s]",
+            fns.len(),
+            t_gen.as_secs_f64()
+        );
     }
     println!();
     println!("Reading: every column is a lower bound of #Exact (signatures can only");

@@ -19,9 +19,7 @@
 use facepoint_aig::cut_workload;
 use facepoint_bench::{arg_num, print_row, secs, timed};
 use facepoint_core::Classifier;
-use facepoint_exact::baselines::{
-    Abdollahi08, CanonicalClassifier, Huang13, Petkovska16, Zhou20,
-};
+use facepoint_exact::baselines::{Abdollahi08, CanonicalClassifier, Huang13, Petkovska16, Zhou20};
 use facepoint_exact::{exact_classify, exact_classify_canonical};
 use facepoint_sig::SignatureSet;
 

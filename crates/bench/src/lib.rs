@@ -31,7 +31,11 @@ pub fn random_workload(n: usize, count: usize, seed: u64) -> Vec<TruthTable> {
     let mut out = Vec::with_capacity(count);
     // For tiny n the space may be smaller than `count`.
     let space: f64 = 2f64.powi(1 << n.min(20));
-    let target = if space < count as f64 { space as usize } else { count };
+    let target = if space < count as f64 {
+        space as usize
+    } else {
+        count
+    };
     while out.len() < target {
         let t = TruthTable::random(n, &mut rng).expect("n validated by caller");
         if seen.insert(t.clone()) {
@@ -39,6 +43,31 @@ pub fn random_workload(n: usize, count: usize, seed: u64) -> Vec<TruthTable> {
         }
     }
     out
+}
+
+/// Generates `groups` random `n`-variable functions, each echoed as
+/// `copies` uniformly random NPN transforms of itself — a workload
+/// with planted equivalences, deterministic in `seed`. This is the
+/// standard cross-check stream: a classifier must map every echo of a
+/// group to one class, so partitions can be compared against ground
+/// truth (or against another classifier) with the planted structure
+/// known.
+pub fn transform_closure_workload(
+    n: usize,
+    groups: usize,
+    copies: usize,
+    seed: u64,
+) -> Vec<TruthTable> {
+    use facepoint_truth::NpnTransform;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fns = Vec::with_capacity(groups * copies);
+    for _ in 0..groups {
+        let f = TruthTable::random(n, &mut rng).expect("n validated by caller");
+        for _ in 0..copies {
+            fns.push(NpnTransform::random(n, &mut rng).apply(&f));
+        }
+    }
+    fns
 }
 
 /// Generates `count` truth tables with **consecutive binary encodings**

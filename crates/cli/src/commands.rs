@@ -3,7 +3,8 @@
 
 use crate::parse::parse_table;
 use facepoint_aig::{Aig, Extractor};
-use facepoint_core::Classifier;
+use facepoint_core::{Classification, Classifier};
+use facepoint_engine::{Engine, EngineConfig};
 use facepoint_exact::baselines::{CanonicalClassifier, Huang13, Petkovska16, Zhou20};
 use facepoint_exact::{exact_npn_canonical, npn_match};
 use facepoint_sig::{ocv1, ocv2, oiv, osdv, osdv0, osdv1, osv, osv0, osv1, SignatureSet};
@@ -35,12 +36,18 @@ impl fmt::Display for CliError {
 impl std::error::Error for CliError {}
 
 const USAGE: &str = "facepoint <classify|sig|canon|match|cuts|suite> [args]
-  classify [--set SET] [--exact] [FILE]   classify hex tables (stdin or FILE)
+  classify [--set SET] [--exact] [--parallel N] [FILE]
+                                           classify hex tables (stdin or FILE);
+                                           --parallel routes through the sharded
+                                           engine with N workers (0 = all cores)
   sig <table>                              print every signature vector
   canon <table> [--method M]               canonical form (exact default)
   match <a> <b>                            NPN equivalence + witness
   cuts <file.aag> [--support N] [--limit K]  cut functions of an AIGER file
-  suite [--support N] [--limit K]          synthetic benchmark workload";
+  suite [--support N] [--limit K] [--classify] [--parallel N]
+                                           synthetic benchmark workload; with
+                                           --classify, stream it through the
+                                           engine and report classes instead";
 
 /// Dispatches a full argument vector (without the program name) and
 /// returns the textual report.
@@ -78,13 +85,48 @@ fn positional(args: &[String]) -> Vec<&String> {
         }
         if a.starts_with("--") {
             // Flags with values; boolean flags are known by name.
-            skip = !matches!(a.as_str(), "--exact" | "--verbose");
+            skip = !matches!(a.as_str(), "--exact" | "--verbose" | "--classify");
             let _ = i;
             continue;
         }
         out.push(a);
     }
     out
+}
+
+/// Parses `--parallel N` (`Some(workers)` when present; `0` = all
+/// cores). A bare trailing `--parallel` is an error, not a silent
+/// fallback to the serial path.
+fn parallel_flag(args: &[String]) -> Result<Option<usize>, CliError> {
+    let usage = || CliError::Usage("--parallel N (a worker count, 0 = auto)".into());
+    match args.iter().position(|a| a == "--parallel") {
+        None => Ok(None),
+        Some(i) => {
+            let value = args.get(i + 1).ok_or_else(usage)?;
+            value.parse().map(Some).map_err(|_| usage())
+        }
+    }
+}
+
+/// Streams `fns` through the sharded engine and returns the partition
+/// plus a one-line stats report.
+fn engine_classify(
+    fns: Vec<TruthTable>,
+    set: SignatureSet,
+    workers: usize,
+) -> (Classification, String) {
+    let mut engine = Engine::with_config(EngineConfig {
+        set,
+        workers,
+        // Command-line streams routinely repeat functions (cut files,
+        // concatenated dumps): a modest memo cache is nearly free and
+        // pays off exactly there.
+        cache_capacity: 1 << 16,
+        ..EngineConfig::default()
+    });
+    engine.submit_batch(fns);
+    let report = engine.finish();
+    (report.classification, format!("engine: {}\n", report.stats))
 }
 
 fn classify(args: &[String]) -> Result<String, CliError> {
@@ -95,10 +137,12 @@ fn classify(args: &[String]) -> Result<String, CliError> {
     };
     let exact = args.iter().any(|a| a == "--exact");
     let verbose = args.iter().any(|a| a == "--verbose");
+    let parallel = parallel_flag(args)?;
     let files = positional(args);
     let text = match files.first() {
-        Some(path) => std::fs::read_to_string(path)
-            .map_err(|e| CliError::BadInput(format!("{path}: {e}")))?,
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| CliError::BadInput(format!("{path}: {e}")))?
+        }
         None => {
             use std::io::Read;
             let mut buf = String::new();
@@ -116,14 +160,26 @@ fn classify(args: &[String]) -> Result<String, CliError> {
         }
         fns.push(parse_table(line)?);
     }
-    let classification = Classifier::new(set).classify(fns.clone());
+    // Only --exact needs the tables after classification; skip the
+    // full-stream clone otherwise (streams can be huge).
+    let fns_for_refine = if exact { fns.clone() } else { Vec::new() };
+    let (classification, engine_line) = match parallel {
+        Some(workers) => {
+            let (c, line) = engine_classify(fns, set, workers);
+            (c, Some(line))
+        }
+        None => (Classifier::new(set).classify(fns), None),
+    };
     let mut out = format!(
         "{} functions, {} candidate classes (signatures: {set})\n",
         classification.num_functions(),
         classification.num_classes()
     );
+    if let Some(line) = engine_line {
+        out.push_str(&line);
+    }
     if exact {
-        let exact_labels = facepoint_core::refine_to_exact(&fns, &classification);
+        let exact_labels = facepoint_core::refine_to_exact(&fns_for_refine, &classification);
         out.push_str(&format!(
             "{} exact classes after in-bucket matching\n",
             exact_labels.num_classes()
@@ -252,6 +308,20 @@ fn suite(args: &[String]) -> Result<String, CliError> {
         .transpose()?
         .unwrap_or(1000);
     let fns = facepoint_aig::cut_workload(support, limit);
+    if args.iter().any(|a| a == "--classify") {
+        // Route the workload through the streaming engine instead of
+        // printing it — the end-to-end Section V flow as one command.
+        let workers = parallel_flag(args)?.unwrap_or(0);
+        let (classification, engine_line) = engine_classify(fns, SignatureSet::all(), workers);
+        let mut out = format!(
+            "{} cut functions, {} candidate classes (signatures: {})\n",
+            classification.num_functions(),
+            classification.num_classes(),
+            SignatureSet::all(),
+        );
+        out.push_str(&engine_line);
+        return Ok(out);
+    }
     Ok(format_tables(&fns))
 }
 
@@ -273,7 +343,10 @@ mod tests {
 
     #[test]
     fn usage_on_unknown_command() {
-        assert!(matches!(run(&args(&["frobnicate"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&args(&["frobnicate"])),
+            Err(CliError::Usage(_))
+        ));
         assert!(matches!(run(&[]), Err(CliError::Usage(_))));
     }
 
@@ -321,6 +394,65 @@ mod tests {
         assert!(out.contains("4 functions, 2 candidate classes"), "{out}");
         let out = run(&args(&["classify", "--exact", path.to_str().unwrap()])).unwrap();
         assert!(out.contains("2 exact classes"), "{out}");
+    }
+
+    #[test]
+    fn classify_parallel_routes_through_engine() {
+        let dir = std::env::temp_dir().join("facepoint-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tables-parallel.txt");
+        std::fs::write(&path, "e8\nd4\n96\n3:69\n").unwrap();
+        let serial = run(&args(&["classify", path.to_str().unwrap()])).unwrap();
+        let parallel = run(&args(&[
+            "classify",
+            "--parallel",
+            "2",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(
+            parallel.contains("4 functions, 2 candidate classes"),
+            "{parallel}"
+        );
+        assert!(parallel.contains("engine:"), "{parallel}");
+        // Same partition summary as the one-shot classifier.
+        assert_eq!(
+            serial.lines().next().unwrap(),
+            parallel.lines().next().unwrap()
+        );
+        assert!(matches!(
+            run(&args(&[
+                "classify",
+                "--parallel",
+                "nope",
+                path.to_str().unwrap()
+            ])),
+            Err(CliError::Usage(_))
+        ));
+        // A bare trailing --parallel must error, not silently run the
+        // serial path.
+        assert!(matches!(
+            run(&args(&["classify", path.to_str().unwrap(), "--parallel"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn suite_classify_reports_classes() {
+        let out = run(&args(&[
+            "suite",
+            "--support",
+            "4",
+            "--limit",
+            "200",
+            "--classify",
+            "--parallel",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("cut functions"), "{out}");
+        assert!(out.contains("candidate classes"), "{out}");
+        assert!(out.contains("engine:"), "{out}");
     }
 
     #[test]

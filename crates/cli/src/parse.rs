@@ -38,7 +38,10 @@ pub fn parse_table(spec: &str) -> Result<TruthTable, CliError> {
         return TruthTable::from_hex(n, hex)
             .map_err(|e| CliError::BadTable(format!("{spec:?}: {e}")));
     }
-    let hex = spec.strip_prefix("0x").or_else(|| spec.strip_prefix("0X")).unwrap_or(spec);
+    let hex = spec
+        .strip_prefix("0x")
+        .or_else(|| spec.strip_prefix("0X"))
+        .unwrap_or(spec);
     let n = infer_num_vars(hex.len()).ok_or_else(|| {
         CliError::BadTable(format!(
             "{spec:?}: cannot infer the variable count from {} digits; use n:hex",
@@ -68,13 +71,19 @@ mod tests {
         assert_eq!(parse_table("e8").unwrap(), TruthTable::majority(3));
         assert_eq!(parse_table("0xE8").unwrap(), TruthTable::majority(3));
         assert_eq!(parse_table("3:e8").unwrap(), TruthTable::majority(3));
-        assert_eq!(parse_table("1:2").unwrap(), TruthTable::projection(1, 0).unwrap());
+        assert_eq!(
+            parse_table("1:2").unwrap(),
+            TruthTable::projection(1, 0).unwrap()
+        );
     }
 
     #[test]
     fn rejects_garbage() {
         assert!(parse_table("zzz").is_err());
-        assert!(parse_table("abc").is_err(), "3 digits is not a power of two");
+        assert!(
+            parse_table("abc").is_err(),
+            "3 digits is not a power of two"
+        );
         assert!(parse_table("x:e8").is_err());
         assert!(parse_table("").is_err());
     }

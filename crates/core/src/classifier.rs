@@ -52,6 +52,31 @@ pub struct Classifier {
     threads: usize,
 }
 
+/// The 128-bit signature key of one function — the per-function work of
+/// Algorithm 1 in digest form: `fnv128(msv(f, set))`.
+///
+/// This is exactly the key [`Classifier::classify`] buckets on in
+/// [`KeyMode::Digest`], exposed so external drivers (the streaming
+/// engine, caches, persistent stores) can compute keys without going
+/// through a `Classifier`. Equal keys of same-`set` calls are necessary
+/// for NPN equivalence (up to the ≈ 10⁻²⁰ digest-collision odds).
+///
+/// # Examples
+///
+/// ```
+/// use facepoint_core::signature_key;
+/// use facepoint_sig::SignatureSet;
+/// use facepoint_truth::TruthTable;
+///
+/// let maj = TruthTable::majority(3);
+/// let equiv = maj.flip_var(0);
+/// let set = SignatureSet::all();
+/// assert_eq!(signature_key(&maj, set), signature_key(&equiv, set));
+/// ```
+pub fn signature_key(f: &TruthTable, set: SignatureSet) -> u128 {
+    fnv128(msv(f, set).as_words())
+}
+
 impl Classifier {
     /// Creates a classifier over the given signature families
     /// (digest keys, single-threaded).
@@ -99,6 +124,7 @@ impl Classifier {
         let fns: Vec<TruthTable> = fns.into_iter().collect();
         let msvs = self.compute_msvs(&fns);
         match self.key_mode {
+            // The digest path buckets on exactly `signature_key`.
             KeyMode::Digest => self.group(fns, msvs.iter().map(|m| fnv128(m.as_words()))),
             KeyMode::Full => self.group(fns, msvs),
         }
@@ -119,7 +145,9 @@ impl Classifier {
                 });
             }
         });
-        out.into_iter().map(|m| m.expect("all slots filled")).collect()
+        out.into_iter()
+            .map(|m| m.expect("all slots filled"))
+            .collect()
     }
 
     fn group<K: std::hash::Hash + Eq>(
@@ -185,6 +213,18 @@ pub struct NpnClass {
 }
 
 impl NpnClass {
+    /// Assembles a class record directly — for external classification
+    /// drivers (such as the streaming engine) that group functions
+    /// themselves and then package the result as a [`Classification`]
+    /// via [`Classification::from_parts`].
+    pub fn new(id: usize, representative: TruthTable, size: usize) -> Self {
+        NpnClass {
+            id,
+            representative,
+            size,
+        }
+    }
+
     /// Compact class id (`0..num_classes`, first-occurrence order).
     pub fn id(&self) -> usize {
         self.id
@@ -214,6 +254,33 @@ pub struct Classification {
 }
 
 impl Classification {
+    /// Assembles a classification from a label vector and a class table
+    /// — for external drivers (such as the streaming engine) that build
+    /// the partition themselves but want the standard result type, so
+    /// downstream consumers ([`refine_to_exact`](crate::refine_to_exact),
+    /// [`PartitionComparison`](crate::PartitionComparison)) keep working.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `classes[i].id() == i` for all `i`, every label
+    /// indexes into `classes`, and each class's `size` equals the number
+    /// of labels referring to it — the invariants `classify` guarantees.
+    pub fn from_parts(labels: Vec<usize>, classes: Vec<NpnClass>) -> Self {
+        let mut counts = vec![0usize; classes.len()];
+        for &l in &labels {
+            assert!(l < classes.len(), "label {l} out of range");
+            counts[l] += 1;
+        }
+        for (i, class) in classes.iter().enumerate() {
+            assert_eq!(class.id, i, "class ids must be dense and in order");
+            assert_eq!(
+                class.size, counts[i],
+                "class {i} size disagrees with its label count"
+            );
+        }
+        Classification { labels, classes }
+    }
+
     /// Number of candidate NPN classes found.
     pub fn num_classes(&self) -> usize {
         self.classes.len()

@@ -43,12 +43,12 @@
 #![forbid(unsafe_code)]
 
 mod classifier;
-mod hierarchical;
 mod fnv;
+mod hierarchical;
 mod metrics;
 mod refine;
 
-pub use classifier::{Classification, Classifier, KeyMode, NpnClass};
+pub use classifier::{signature_key, Classification, Classifier, KeyMode, NpnClass};
 pub use fnv::fnv128;
 pub use metrics::PartitionComparison;
 pub use refine::refine_to_exact;

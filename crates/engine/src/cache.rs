@@ -1,0 +1,150 @@
+//! A sharded table→key memo cache for repeated-function traffic.
+//!
+//! Cut streams from real netlists repeat functions heavily (the same
+//! AND/MUX/XOR shapes appear in every cone), so memoizing the
+//! signature-key computation — the engine's only expensive step —
+//! converts repeat traffic into a hash probe. The cache is sharded
+//! like the partition store so workers rarely contend, and bounded:
+//! once a shard is full new entries are simply not recorded (no
+//! eviction churn; the hot entries of a repeating stream are inserted
+//! early by construction).
+
+use facepoint_truth::TruthTable;
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of cache shards (fixed; the capacity knob is what matters).
+const CACHE_SHARDS: usize = 16;
+
+#[derive(Debug)]
+pub(crate) struct MemoCache {
+    shards: Vec<Mutex<HashMap<TruthTable, u128>>>,
+    /// Per-shard entry limits; they sum to exactly the requested
+    /// capacity (the remainder after dividing by the shard count goes
+    /// to the first shards).
+    shard_capacity: Vec<usize>,
+    disabled: bool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MemoCache {
+    /// A cache holding at most `capacity` entries in total; `0`
+    /// disables caching entirely (every lookup is a miss and nothing is
+    /// stored).
+    pub fn new(capacity: usize) -> Self {
+        MemoCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            shard_capacity: (0..CACHE_SHARDS)
+                .map(|i| capacity / CACHE_SHARDS + usize::from(i < capacity % CACHE_SHARDS))
+                .collect(),
+            disabled: capacity == 0,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, table: &TruthTable) -> usize {
+        let mut h = DefaultHasher::new();
+        table.hash(&mut h);
+        (h.finish() as usize) % CACHE_SHARDS
+    }
+
+    /// Returns the memoized key of `table`, or computes, records and
+    /// returns it.
+    pub fn key_or_compute(&self, table: &TruthTable, compute: impl FnOnce() -> u128) -> u128 {
+        if self.disabled {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return compute();
+        }
+        let idx = self.shard_of(table);
+        if let Some(&key) = self.shards[idx]
+            .lock()
+            .expect("cache shard poisoned")
+            .get(table)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return key;
+        }
+        // Compute outside the lock: duplicate concurrent computation of
+        // the same table is possible and harmless (keys are pure).
+        let key = compute();
+        let mut shard = self.shards[idx].lock().expect("cache shard poisoned");
+        if shard.len() < self.shard_capacity[idx] {
+            shard.insert(table.clone(), key);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        key
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(bits: u64) -> TruthTable {
+        TruthTable::from_u64(4, bits).unwrap()
+    }
+
+    #[test]
+    fn caches_repeat_lookups() {
+        let cache = MemoCache::new(1024);
+        let mut computed = 0;
+        for _ in 0..5 {
+            let k = cache.key_or_compute(&t(0xbeef), || {
+                computed += 1;
+                42
+            });
+            assert_eq!(k, 42);
+        }
+        assert_eq!(computed, 1);
+        assert_eq!(cache.hits(), 4);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = MemoCache::new(0);
+        let mut computed = 0;
+        for _ in 0..3 {
+            cache.key_or_compute(&t(1), || {
+                computed += 1;
+                7
+            });
+        }
+        assert_eq!(computed, 3);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn bounded_capacity_stops_growing() {
+        // The total entry count must never exceed the requested
+        // capacity, whatever it is (the bound the docs promise).
+        for capacity in [1usize, 5, 16, 40] {
+            let cache = MemoCache::new(capacity);
+            for i in 0..1000u64 {
+                cache.key_or_compute(&t(i), || i as u128);
+            }
+            let total: usize = cache.shards.iter().map(|s| s.lock().unwrap().len()).sum();
+            assert!(total <= capacity, "capacity {capacity} grew to {total}");
+        }
+        // Entries that made it in still hit.
+        let cache = MemoCache::new(16);
+        cache.key_or_compute(&t(0), || 0);
+        let hits_before = cache.hits();
+        cache.key_or_compute(&t(0), || 0);
+        assert_eq!(cache.hits(), hits_before + 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Engine tuning knobs.
+
+use facepoint_sig::SignatureSet;
+
+/// Configuration of an [`Engine`](crate::Engine).
+///
+/// The defaults are tuned for throughput on commodity multi-core
+/// machines; every knob exists because it moved a benchmark
+/// (`facepoint-bench`'s `engine` bench exercises the space).
+///
+/// ```
+/// use facepoint_engine::{Engine, EngineConfig};
+/// use facepoint_sig::SignatureSet;
+///
+/// let engine = Engine::with_config(EngineConfig {
+///     set: SignatureSet::OIV | SignatureSet::OSV,
+///     workers: 2,
+///     shards: 16,
+///     ..EngineConfig::default()
+/// });
+/// assert_eq!(engine.config().workers, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Signature families used for keys (default: the paper's "All").
+    pub set: SignatureSet,
+    /// Worker threads computing signature keys. `0` selects the
+    /// machine's available parallelism.
+    pub workers: usize,
+    /// Shard count of the partition store (rounded up to a power of
+    /// two). More shards mean less lock contention and a finer-grained
+    /// occupancy report; 64 is plenty below a few hundred cores.
+    pub shards: usize,
+    /// Functions per work item. Chunking amortizes channel and queue
+    /// costs; within a chunk a worker runs lock-free except for store
+    /// inserts.
+    pub chunk_size: usize,
+    /// Bounded ingest-queue capacity in *chunks*. `submit` blocks when
+    /// the queue is full — backpressure instead of unbounded memory.
+    pub queue_chunks: usize,
+    /// Capacity of the table→key memo cache in entries (`0` disables
+    /// it). The cache pays off exactly when the stream repeats
+    /// functions, as AIG cut traffic does.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            set: SignatureSet::all(),
+            workers: 0,
+            shards: 64,
+            chunk_size: 256,
+            queue_chunks: 32,
+            cache_capacity: 0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The configuration with a specific signature set and defaults
+    /// elsewhere.
+    pub fn with_set(set: SignatureSet) -> Self {
+        EngineConfig {
+            set,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Resolved worker count (`workers` unless `0`, then the machine's
+    /// available parallelism).
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.workers
+        }
+    }
+
+    /// Resolved shard count: `shards` rounded up to a power of two (so
+    /// shard selection is a shift of the key's high bits), minimum 1.
+    pub fn resolved_shards(&self) -> usize {
+        self.shards.max(1).next_power_of_two()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_resolve() {
+        let cfg = EngineConfig::default();
+        assert!(cfg.resolved_workers() >= 1);
+        assert_eq!(cfg.resolved_shards(), 64);
+        assert_eq!(cfg.set, SignatureSet::all());
+    }
+
+    #[test]
+    fn shards_round_up_to_powers_of_two() {
+        for (requested, resolved) in [(0, 1), (1, 1), (3, 4), (64, 64), (65, 128)] {
+            let cfg = EngineConfig {
+                shards: requested,
+                ..EngineConfig::default()
+            };
+            assert_eq!(cfg.resolved_shards(), resolved, "requested {requested}");
+        }
+    }
+}

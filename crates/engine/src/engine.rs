@@ -1,0 +1,444 @@
+//! The engine proper: ingestion, the worker pool, and result assembly.
+
+use crate::cache::MemoCache;
+use crate::config::EngineConfig;
+use crate::stats::{EngineSnapshot, EngineStats};
+use crate::store::{ClassSummary, ShardedStore};
+use facepoint_core::{signature_key, Classification, NpnClass};
+use facepoint_truth::TruthTable;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A chunk of work: `tables[i]` is submission number `base_seq + i`.
+struct Job {
+    base_seq: u64,
+    tables: Vec<TruthTable>,
+}
+
+/// Per-worker record of what went where: `(submission seq, key)`.
+/// Collected at [`Engine::finish`] to rebuild the input-ordered
+/// partition without any cross-worker coordination during the run.
+type WorkerLog = Vec<(u64, u128)>;
+
+/// The sharded, parallel, streaming NPN classification engine.
+///
+/// See the [crate docs](crate) for the architecture. Lifecycle:
+///
+/// 1. create ([`Engine::new`] / [`Engine::with_config`]) — workers
+///    start idle;
+/// 2. feed it ([`Engine::submit`], [`Engine::submit_batch`]) — keys are
+///    computed and classes recorded concurrently with ingestion;
+/// 3. observe mid-stream ([`Engine::snapshot`], [`Engine::top_classes`])
+///    — no pause, no drain;
+/// 4. [`Engine::finish`] — drains the queue, joins the workers and
+///    returns the input-ordered [`Classification`] plus [`EngineStats`].
+///
+/// Dropping an unfinished engine shuts the workers down without
+/// assembling a result.
+pub struct Engine {
+    cfg: EngineConfig,
+    workers: usize,
+    shards: usize,
+    store: Arc<ShardedStore>,
+    cache: Arc<MemoCache>,
+    processed: Arc<AtomicU64>,
+    tx: Option<SyncSender<Job>>,
+    handles: Vec<JoinHandle<WorkerLog>>,
+    /// Chunk being accumulated by `submit` calls.
+    pending: Vec<TruthTable>,
+    next_seq: u64,
+    started: Instant,
+}
+
+/// What [`Engine::finish`] returns.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// The partition, identical to what a one-shot
+    /// [`Classifier`](facepoint_core::Classifier) on the same stream
+    /// (in submission order) would produce.
+    pub classification: Classification,
+    /// Throughput and occupancy counters for the run.
+    pub stats: EngineStats,
+}
+
+impl Engine {
+    /// An engine over `set` with default tuning (all cores, 64 shards,
+    /// cache off).
+    pub fn new(set: facepoint_sig::SignatureSet) -> Self {
+        Self::with_config(EngineConfig::with_set(set))
+    }
+
+    /// An engine with explicit tuning.
+    pub fn with_config(cfg: EngineConfig) -> Self {
+        let workers = cfg.resolved_workers();
+        let shards = cfg.resolved_shards();
+        let store = Arc::new(ShardedStore::new(shards));
+        let cache = Arc::new(MemoCache::new(cfg.cache_capacity));
+        let processed = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(cfg.queue_chunks.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let store = Arc::clone(&store);
+                let cache = Arc::clone(&cache);
+                let processed = Arc::clone(&processed);
+                let set = cfg.set;
+                std::thread::spawn(move || worker_loop(&rx, &store, &cache, &processed, set))
+            })
+            .collect();
+        Engine {
+            workers,
+            shards,
+            store,
+            cache,
+            processed,
+            tx: Some(tx),
+            handles,
+            pending: Vec::with_capacity(cfg.chunk_size),
+            next_seq: 0,
+            started: Instant::now(),
+            cfg,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Submits one function for classification and returns its
+    /// submission number (the index it will have in the final
+    /// [`Classification`]'s label vector).
+    ///
+    /// Functions are buffered into chunks; a full chunk is handed to
+    /// the worker pool, **blocking if the ingest queue is full**
+    /// (backpressure). Use [`Engine::flush`] to push a partial chunk
+    /// early.
+    pub fn submit(&mut self, f: TruthTable) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push(f);
+        if self.pending.len() >= self.cfg.chunk_size.max(1) {
+            self.dispatch_pending();
+        }
+        seq
+    }
+
+    /// Submits every function of `fns` in order; returns the submission
+    /// number of the first one (they are consecutive).
+    pub fn submit_batch(&mut self, fns: impl IntoIterator<Item = TruthTable>) -> u64 {
+        let first = self.next_seq;
+        for f in fns {
+            self.submit(f);
+        }
+        first
+    }
+
+    /// Hands any buffered partial chunk to the workers now.
+    pub fn flush(&mut self) {
+        self.dispatch_pending();
+    }
+
+    fn dispatch_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let tables = std::mem::take(&mut self.pending);
+        let base_seq = self.next_seq - tables.len() as u64;
+        self.pending = Vec::with_capacity(self.cfg.chunk_size);
+        let tx = self.tx.as_ref().expect("engine already finished");
+        tx.send(Job { base_seq, tables })
+            .expect("worker pool hung up while the engine is alive");
+    }
+
+    /// Functions accepted so far (including any buffered, queued or
+    /// in-flight ones).
+    pub fn functions_submitted(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// A mid-stream view: how much is classified, how many classes
+    /// exist, and how they spread over shards. Runs concurrently with
+    /// ingestion (locks shards one at a time, briefly).
+    ///
+    /// Buffered-but-undispatched functions count as backlog; call
+    /// [`Engine::flush`] first if you want them moving.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let shard_class_counts = self.store.shard_class_counts();
+        EngineSnapshot {
+            functions_submitted: self.next_seq,
+            functions_processed: self.processed.load(Ordering::Acquire),
+            num_classes: shard_class_counts.iter().sum(),
+            shard_class_counts,
+        }
+    }
+
+    /// The `limit` largest classes discovered so far, largest first —
+    /// a heavy-hitter report usable while the stream is still running.
+    pub fn top_classes(&self, limit: usize) -> Vec<ClassSummary> {
+        self.store.top_classes(limit)
+    }
+
+    /// Drains the pipeline, joins the workers and assembles the final
+    /// input-ordered [`Classification`] plus run statistics.
+    pub fn finish(mut self) -> EngineReport {
+        self.dispatch_pending();
+        drop(self.tx.take()); // close the channel: workers drain and exit
+        let mut keyed: Vec<(u64, u128)> = Vec::with_capacity(self.next_seq as usize);
+        for handle in self.handles.drain(..) {
+            keyed.extend(handle.join().expect("worker panicked"));
+        }
+        debug_assert_eq!(keyed.len() as u64, self.next_seq);
+        // Rebuild submission order, then group by first occurrence —
+        // the exact grouping rule of `Classifier::classify`, so the
+        // result is independent of worker count and interleaving.
+        keyed.sort_unstable_by_key(|&(seq, _)| seq);
+        let mut ids: HashMap<u128, usize> = HashMap::new();
+        let mut class_keys: Vec<u128> = Vec::new();
+        let mut sizes: Vec<usize> = Vec::new();
+        let mut labels: Vec<usize> = Vec::with_capacity(keyed.len());
+        for (_, key) in keyed {
+            let id = *ids.entry(key).or_insert_with(|| {
+                class_keys.push(key);
+                sizes.push(0);
+                class_keys.len() - 1
+            });
+            sizes[id] += 1;
+            labels.push(id);
+        }
+        let classes: Vec<NpnClass> = class_keys
+            .iter()
+            .enumerate()
+            .map(|(id, &key)| {
+                let (representative, _) = self
+                    .store
+                    .get(key)
+                    .expect("every processed key has a store entry");
+                NpnClass::new(id, representative, sizes[id])
+            })
+            .collect();
+        let stats = self.stats_inner(Some(classes.len()));
+        EngineReport {
+            classification: Classification::from_parts(labels, classes),
+            stats,
+        }
+    }
+
+    /// Current run statistics (also available mid-stream; `num_classes`
+    /// and shard occupancy reflect what is classified so far).
+    pub fn stats(&self) -> EngineStats {
+        self.stats_inner(None)
+    }
+
+    /// One shard sweep for all counters, so `num_classes` and the
+    /// occupancy figures come from the same consistent view (and the
+    /// shards are locked once, not twice).
+    fn stats_inner(&self, num_classes_override: Option<usize>) -> EngineStats {
+        let shard_counts = self.store.shard_class_counts();
+        let num_classes = num_classes_override.unwrap_or_else(|| shard_counts.iter().sum());
+        EngineStats {
+            functions_submitted: self.next_seq,
+            functions_processed: self.processed.load(Ordering::Acquire),
+            num_classes,
+            workers: self.workers,
+            shards: self.shards,
+            occupied_shards: shard_counts.iter().filter(|&&c| c > 0).count(),
+            max_shard_classes: shard_counts.iter().copied().max().unwrap_or(0),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            elapsed: self.started.elapsed(),
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Close the channel so detached workers terminate; `finish`
+        // already took `tx` on the normal path.
+        drop(self.tx.take());
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<Job>>,
+    store: &ShardedStore,
+    cache: &MemoCache,
+    processed: &AtomicU64,
+    set: facepoint_sig::SignatureSet,
+) -> WorkerLog {
+    let mut log: WorkerLog = Vec::new();
+    loop {
+        // Hold the receiver lock only to pop one chunk.
+        let job = match rx.lock().expect("ingest queue poisoned").recv() {
+            Ok(job) => job,
+            Err(_) => return log, // channel closed: engine is finishing
+        };
+        let n = job.tables.len() as u64;
+        for (i, table) in job.tables.into_iter().enumerate() {
+            let seq = job.base_seq + i as u64;
+            let key = cache.key_or_compute(&table, || signature_key(&table, set));
+            store.insert(key, &table, seq);
+            log.push((seq, key));
+        }
+        processed.fetch_add(n, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facepoint_bench::transform_closure_workload as workload;
+    use facepoint_core::Classifier;
+    use facepoint_sig::SignatureSet;
+
+    #[test]
+    fn empty_engine_finishes_clean() {
+        let report = Engine::new(SignatureSet::all()).finish();
+        assert_eq!(report.classification.num_functions(), 0);
+        assert_eq!(report.classification.num_classes(), 0);
+        assert_eq!(report.stats.functions_processed, 0);
+    }
+
+    #[test]
+    fn matches_one_shot_classifier() {
+        let fns = workload(5, 10, 6, 42);
+        let expected = Classifier::new(SignatureSet::all()).classify(fns.clone());
+        let mut engine = Engine::with_config(EngineConfig {
+            workers: 4,
+            chunk_size: 7, // force many small, oddly-sized chunks
+            ..EngineConfig::default()
+        });
+        engine.submit_batch(fns);
+        let report = engine.finish();
+        assert_eq!(report.classification.labels(), expected.labels());
+        assert_eq!(report.classification.num_classes(), expected.num_classes());
+    }
+
+    #[test]
+    fn representatives_are_class_members() {
+        let fns = workload(4, 6, 4, 7);
+        let mut engine = Engine::with_config(EngineConfig {
+            workers: 3,
+            chunk_size: 5,
+            ..EngineConfig::default()
+        });
+        engine.submit_batch(fns);
+        let report = engine.finish();
+        for class in report.classification.classes() {
+            // A representative must carry the key of its own class.
+            let key = signature_key(class.representative(), SignatureSet::all());
+            let others: Vec<u128> = report
+                .classification
+                .classes()
+                .iter()
+                .map(|c| signature_key(c.representative(), SignatureSet::all()))
+                .collect();
+            assert_eq!(others.iter().filter(|&&k| k == key).count(), 1);
+            assert!(class.size() >= 1);
+        }
+    }
+
+    #[test]
+    fn snapshot_mid_stream_progresses() {
+        let fns = workload(5, 8, 8, 99);
+        let total = fns.len() as u64;
+        let mut engine = Engine::with_config(EngineConfig {
+            workers: 2,
+            chunk_size: 16,
+            ..EngineConfig::default()
+        });
+        engine.submit_batch(fns);
+        engine.flush();
+        let snap = engine.snapshot();
+        assert_eq!(snap.functions_submitted, total);
+        assert!(snap.functions_processed <= total);
+        let report = engine.finish();
+        assert_eq!(report.stats.functions_processed, total);
+        assert_eq!(report.stats.functions_submitted, total);
+        // After finish, every submitted function is classified.
+        let final_classes = report.classification.num_classes();
+        assert!(final_classes >= snap.num_classes);
+    }
+
+    #[test]
+    fn memo_cache_sees_repeat_traffic() {
+        let f = TruthTable::majority(5);
+        let mut engine = Engine::with_config(EngineConfig {
+            workers: 2,
+            cache_capacity: 1024,
+            chunk_size: 8,
+            ..EngineConfig::default()
+        });
+        for _ in 0..64 {
+            engine.submit(f.clone());
+        }
+        let report = engine.finish();
+        assert_eq!(report.classification.num_classes(), 1);
+        assert_eq!(report.stats.cache_hits + report.stats.cache_misses, 64);
+        // With one distinct function, almost everything hits; allow for
+        // racy duplicate computation across workers.
+        assert!(report.stats.cache_hits >= 32, "{}", report.stats);
+    }
+
+    #[test]
+    fn top_classes_reports_heavy_hitters() {
+        let mut fns = workload(4, 1, 9, 5); // 9 copies of one class
+        fns.extend(workload(4, 1, 2, 6)); // 2 of another
+        let expected = Classifier::new(SignatureSet::all()).classify(fns.clone());
+        let total = fns.len() as u64;
+        let mut engine = Engine::with_config(EngineConfig {
+            workers: 2,
+            chunk_size: 3,
+            ..EngineConfig::default()
+        });
+        engine.submit_batch(fns);
+        engine.flush();
+        // Wait (bounded) for the stream to drain, then the mid-stream
+        // report must be complete and correct.
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        while engine.snapshot().functions_processed < total {
+            assert!(Instant::now() < deadline, "engine failed to drain");
+            std::thread::yield_now();
+        }
+        let top = engine.top_classes(usize::MAX);
+        assert_eq!(top.len(), expected.num_classes());
+        assert_eq!(
+            top.iter().map(|c| c.size).sum::<usize>(),
+            expected.num_functions()
+        );
+        // Largest first, and the heavy hitter matches the classifier's.
+        assert!(top.windows(2).all(|w| w[0].size >= w[1].size));
+        let expected_max = expected
+            .classes_by_size()
+            .first()
+            .map(|c| c.size())
+            .unwrap();
+        assert_eq!(top[0].size, expected_max);
+        // Its representative carries the heavy class's signature key.
+        let top1 = engine.top_classes(1);
+        assert_eq!(top1.len(), 1);
+        assert_eq!(
+            signature_key(&top1[0].representative, SignatureSet::all()),
+            top1[0].key
+        );
+        let report = engine.finish();
+        assert_eq!(report.classification.labels(), expected.labels());
+    }
+
+    #[test]
+    fn stats_display_is_informative() {
+        let mut engine = Engine::new(SignatureSet::all());
+        engine.submit(TruthTable::majority(3));
+        let report = engine.finish();
+        let line = report.stats.to_string();
+        assert!(line.contains("1 functions -> 1 classes"), "{line}");
+    }
+}

@@ -1,0 +1,65 @@
+//! # facepoint-engine
+//!
+//! A sharded, parallel, **streaming** NPN classification engine on top
+//! of [`facepoint_core`] — the throughput layer the paper's scalability
+//! claim calls for: signature-hash classification is embarrassingly
+//! parallel because every function is processed independently (no
+//! transformation search), so an engine only has to keep workers fed
+//! and partition state contention-free.
+//!
+//! Where [`facepoint_core::Classifier`] is one-shot (`Vec` in, map
+//! out), the [`Engine`]:
+//!
+//! * **streams** — [`Engine::submit`] / [`Engine::submit_batch`] accept
+//!   functions while classification is in flight, and
+//!   [`Engine::snapshot`] answers queries mid-stream;
+//! * **parallelizes** — a worker pool over bounded channels computes
+//!   [`signature_key`](facepoint_core::signature_key)s concurrently
+//!   with ingestion (backpressure instead of unbounded buffering);
+//! * **shards** — the partition store spreads classes over `S` shards
+//!   keyed by the *high bits* of the 128-bit MSV digest (the digest is
+//!   uniform, so shards load-balance), each behind its own lock, so
+//!   workers touching different classes never contend;
+//! * **memoizes** — an optional sharded table→key cache short-circuits
+//!   repeated-function traffic (cut workloads repeat heavily);
+//! * **reports** — [`EngineStats`] carries throughput, shard occupancy
+//!   and cache hit rates.
+//!
+//! [`Engine::finish`] drains the pipeline and returns the exact same
+//! partition a single-threaded [`Classifier`](facepoint_core::Classifier)
+//! would produce, as a standard
+//! [`Classification`](facepoint_core::Classification) — worker count
+//! and interleaving never change the result.
+//!
+//! # Quick start
+//!
+//! ```
+//! use facepoint_engine::Engine;
+//! use facepoint_sig::SignatureSet;
+//! use facepoint_truth::TruthTable;
+//!
+//! let mut engine = Engine::new(SignatureSet::all());
+//! engine.submit(TruthTable::majority(3));
+//! engine.submit_batch([
+//!     TruthTable::majority(3).flip_var(0), // same class as majority
+//!     TruthTable::parity(3),               // a different class
+//! ]);
+//! let report = engine.finish();
+//! assert_eq!(report.classification.num_classes(), 2);
+//! assert_eq!(report.stats.functions_processed, 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+mod cache;
+mod config;
+mod engine;
+mod stats;
+mod store;
+
+pub use config::EngineConfig;
+pub use engine::{Engine, EngineReport};
+pub use stats::{EngineSnapshot, EngineStats};
+pub use store::ClassSummary;

@@ -1,0 +1,154 @@
+//! Engine observability: mid-stream snapshots and end-of-run stats.
+
+use std::time::Duration;
+
+/// A consistent-enough view of the engine while a stream is still being
+/// ingested — see [`Engine::snapshot`](crate::Engine::snapshot).
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    /// Functions accepted by `submit`/`submit_batch` so far (some may
+    /// still be queued or in flight).
+    pub functions_submitted: u64,
+    /// Functions whose class is already recorded in the store.
+    pub functions_processed: u64,
+    /// Candidate classes discovered so far.
+    pub num_classes: usize,
+    /// Classes currently held by each store shard, in shard order. The
+    /// MSV digest is uniform, so a healthy engine shows a flat profile.
+    pub shard_class_counts: Vec<usize>,
+}
+
+impl EngineSnapshot {
+    /// Functions submitted but not yet classified (queued or in
+    /// flight).
+    pub fn backlog(&self) -> u64 {
+        self.functions_submitted - self.functions_processed
+    }
+
+    /// Occupancy skew: largest shard count over the ideal per-shard
+    /// average (1.0 is perfectly flat). Meaningful once a few hundred
+    /// classes exist.
+    pub fn shard_skew(&self) -> f64 {
+        let max = self.shard_class_counts.iter().copied().max().unwrap_or(0);
+        let avg = self.num_classes as f64 / self.shard_class_counts.len().max(1) as f64;
+        if avg == 0.0 {
+            1.0
+        } else {
+            max as f64 / avg
+        }
+    }
+}
+
+/// End-of-run report of an [`Engine`](crate::Engine).
+#[derive(Debug, Clone)]
+pub struct EngineStats {
+    /// Total functions ingested.
+    pub functions_submitted: u64,
+    /// Total functions classified (equals `functions_submitted` after
+    /// [`finish`](crate::Engine::finish)).
+    pub functions_processed: u64,
+    /// Candidate NPN classes found.
+    pub num_classes: usize,
+    /// Worker threads the engine ran.
+    pub workers: usize,
+    /// Shards of the partition store.
+    pub shards: usize,
+    /// Shards holding at least one class.
+    pub occupied_shards: usize,
+    /// Classes in the fullest shard.
+    pub max_shard_classes: usize,
+    /// Memo-cache hits (0 when the cache is disabled).
+    pub cache_hits: u64,
+    /// Memo-cache misses (every function, when the cache is disabled).
+    pub cache_misses: u64,
+    /// Wall-clock time from engine creation to the report.
+    pub elapsed: Duration,
+}
+
+impl EngineStats {
+    /// Classified functions per second of wall-clock time.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.functions_processed as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// Fraction of key computations answered by the memo cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} functions -> {} classes | {} workers, {} shards \
+             ({} occupied, max {}) | {:.0} fn/s | cache {:.1}% of {}",
+            self.functions_processed,
+            self.num_classes,
+            self.workers,
+            self.shards,
+            self.occupied_shards,
+            self.max_shard_classes,
+            self.throughput(),
+            self.cache_hit_rate() * 100.0,
+            self.cache_hits + self.cache_misses,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> EngineStats {
+        EngineStats {
+            functions_submitted: 100,
+            functions_processed: 100,
+            num_classes: 10,
+            workers: 4,
+            shards: 8,
+            occupied_shards: 6,
+            max_shard_classes: 3,
+            cache_hits: 25,
+            cache_misses: 75,
+            elapsed: Duration::from_secs(2),
+        }
+    }
+
+    #[test]
+    fn derived_rates() {
+        let s = stats();
+        assert_eq!(s.throughput(), 50.0);
+        assert_eq!(s.cache_hit_rate(), 0.25);
+        let display = s.to_string();
+        assert!(display.contains("100 functions -> 10 classes"), "{display}");
+    }
+
+    #[test]
+    fn snapshot_backlog_and_skew() {
+        let snap = EngineSnapshot {
+            functions_submitted: 10,
+            functions_processed: 7,
+            num_classes: 4,
+            shard_class_counts: vec![2, 0, 2, 0],
+        };
+        assert_eq!(snap.backlog(), 3);
+        assert_eq!(snap.shard_skew(), 2.0);
+        let empty = EngineSnapshot {
+            functions_submitted: 0,
+            functions_processed: 0,
+            num_classes: 0,
+            shard_class_counts: vec![0; 4],
+        };
+        assert_eq!(empty.shard_skew(), 1.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! The sharded partition store: classes spread over independently
+//! locked shards, selected by the high bits of the 128-bit MSV digest.
+
+use facepoint_truth::TruthTable;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// One NPN class as the store sees it.
+#[derive(Debug, Clone)]
+pub(crate) struct ClassEntry {
+    /// The member with the smallest submission number seen so far.
+    /// Workers insert out of order, so the earliest-submitted member
+    /// may arrive late; tracking `rep_seq` keeps the representative
+    /// deterministic (input order) regardless of interleaving — the
+    /// same member `Classifier::classify` would pick.
+    pub representative: TruthTable,
+    /// Submission number of `representative`.
+    pub rep_seq: u64,
+    /// Members inserted so far.
+    pub size: usize,
+}
+
+/// A mid-stream view of one class, returned by
+/// [`Engine::top_classes`](crate::Engine::top_classes).
+#[derive(Debug, Clone)]
+pub struct ClassSummary {
+    /// The class's 128-bit signature key.
+    pub key: u128,
+    /// A member of the class (the earliest-submitted one recorded so
+    /// far).
+    pub representative: TruthTable,
+    /// Members counted so far.
+    pub size: usize,
+}
+
+/// Classes sharded by the top bits of their key.
+///
+/// The MSV digest is an FNV-1a output, uniform over `u128`, so high-bit
+/// sharding load-balances without any extra hashing, and every key's
+/// shard is stable for the lifetime of the engine. Each shard is an
+/// independent `Mutex<HashMap>`: with `S` shards and `W` workers the
+/// collision probability of two workers needing the same lock at the
+/// same instant is ~`W/S` and inserts hold the lock for a map probe
+/// only (signature computation — the expensive part — happens outside).
+#[derive(Debug)]
+pub(crate) struct ShardedStore {
+    shards: Vec<Mutex<HashMap<u128, ClassEntry>>>,
+    /// How far to shift a key right so its top bits index `shards`.
+    shift: u32,
+}
+
+impl ShardedStore {
+    /// Creates a store with `shards` shards (must be a power of two).
+    pub fn new(shards: usize) -> Self {
+        assert!(shards.is_power_of_two(), "shard count must be 2^k");
+        ShardedStore {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            shift: 128 - shards.trailing_zeros(),
+        }
+    }
+
+    fn shard_of(&self, key: u128) -> usize {
+        if self.shift == 128 {
+            0 // single shard: `>> 128` would overflow
+        } else {
+            (key >> self.shift) as usize
+        }
+    }
+
+    /// Records the member with submission number `seq` into class
+    /// `key`; the earliest-submitted member becomes (or stays) the
+    /// representative. Returns `true` when this insert created the
+    /// class.
+    pub fn insert(&self, key: u128, table: &TruthTable, seq: u64) -> bool {
+        let mut shard = self.shards[self.shard_of(key)]
+            .lock()
+            .expect("store shard poisoned");
+        match shard.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let entry = e.get_mut();
+                entry.size += 1;
+                if seq < entry.rep_seq {
+                    entry.representative = table.clone();
+                    entry.rep_seq = seq;
+                }
+                false
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(ClassEntry {
+                    representative: table.clone(),
+                    rep_seq: seq,
+                    size: 1,
+                });
+                true
+            }
+        }
+    }
+
+    /// The representative and current size of class `key`, if present.
+    pub fn get(&self, key: u128) -> Option<(TruthTable, usize)> {
+        let shard = self.shards[self.shard_of(key)]
+            .lock()
+            .expect("store shard poisoned");
+        shard.get(&key).map(|e| (e.representative.clone(), e.size))
+    }
+
+    /// Classes per shard (locks each shard briefly, one at a time).
+    pub fn shard_class_counts(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("store shard poisoned").len())
+            .collect()
+    }
+
+    /// Total number of classes. (Production callers derive this from
+    /// one `shard_class_counts` sweep to keep counters consistent.)
+    #[cfg(test)]
+    pub fn num_classes(&self) -> usize {
+        self.shard_class_counts().iter().sum()
+    }
+
+    /// The `limit` largest classes so far, largest first (ties broken
+    /// by key for determinism). A mid-stream heavy-hitter report: locks
+    /// shards one at a time, so it runs concurrently with ingestion.
+    pub fn top_classes(&self, limit: usize) -> Vec<ClassSummary> {
+        let mut all: Vec<ClassSummary> = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.lock().expect("store shard poisoned");
+            all.extend(guard.iter().map(|(&key, e)| ClassSummary {
+                key,
+                representative: e.representative.clone(),
+                size: e.size,
+            }));
+        }
+        all.sort_by(|a, b| b.size.cmp(&a.size).then(a.key.cmp(&b.key)));
+        all.truncate(limit);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(bits: u64) -> TruthTable {
+        TruthTable::from_u64(3, bits).unwrap()
+    }
+
+    #[test]
+    fn insert_counts_and_representatives() {
+        let store = ShardedStore::new(4);
+        assert!(store.insert(7, &t(0xe8), 0));
+        assert!(!store.insert(7, &t(0xd4), 1));
+        assert!(store.insert(u128::MAX, &t(0x96), 2));
+        assert_eq!(store.num_classes(), 2);
+        let (rep, size) = store.get(7).unwrap();
+        assert_eq!(rep, t(0xe8)); // earliest submission wins
+        assert_eq!(size, 2);
+        assert!(store.get(8).is_none());
+    }
+
+    #[test]
+    fn representative_is_earliest_submission_not_insert_order() {
+        // Workers race: the member submitted first may be inserted
+        // last. The representative must still be the earliest
+        // submission, matching `Classifier::classify`.
+        let store = ShardedStore::new(4);
+        store.insert(7, &t(0xd4), 5);
+        store.insert(7, &t(0x2b), 3);
+        store.insert(7, &t(0xe8), 0);
+        store.insert(7, &t(0x17), 9);
+        let (rep, size) = store.get(7).unwrap();
+        assert_eq!(rep, t(0xe8));
+        assert_eq!(size, 4);
+    }
+
+    #[test]
+    fn high_bits_select_shard() {
+        let store = ShardedStore::new(4);
+        assert_eq!(store.shard_of(0), 0);
+        assert_eq!(store.shard_of(u128::MAX), 3);
+        assert_eq!(store.shard_of(1u128 << 127), 2);
+        assert_eq!(store.shard_of(1u128 << 126), 1);
+        let single = ShardedStore::new(1);
+        assert_eq!(single.shard_of(u128::MAX), 0);
+    }
+
+    #[test]
+    fn top_classes_orders_by_size_then_key() {
+        let store = ShardedStore::new(2);
+        for seq in 0..3 {
+            store.insert(1, &t(1), seq);
+        }
+        store.insert(2, &t(2), 3);
+        store.insert(u128::MAX / 3, &t(3), 4);
+        let top = store.top_classes(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].size, 3);
+        assert_eq!(top[0].key, 1);
+        assert_eq!(top[1].size, 1);
+    }
+}

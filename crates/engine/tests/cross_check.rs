@@ -1,0 +1,155 @@
+//! The engine's correctness contract: whatever the worker count, the
+//! partition is *identical* to the one-shot `Classifier` on the same
+//! stream — same labels, same class count, same class sizes.
+
+use facepoint_bench::transform_closure_workload as workload;
+use facepoint_core::{signature_key, Classifier};
+use facepoint_engine::{Engine, EngineConfig};
+use facepoint_sig::SignatureSet;
+use facepoint_truth::TruthTable;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn engine_with(workers: usize, set: SignatureSet, chunk_size: usize) -> Engine {
+    Engine::with_config(EngineConfig {
+        set,
+        workers,
+        chunk_size,
+        ..EngineConfig::default()
+    })
+}
+
+/// The acceptance-scale cross-check: ≥ 10k random tables spanning
+/// 3 ≤ n ≤ 6, classified by the engine with 1, 2 and 8 workers, must
+/// reproduce `Classifier::classify` exactly.
+#[test]
+fn ten_thousand_tables_all_worker_counts() {
+    let mut fns = Vec::new();
+    for n in 3..=6usize {
+        fns.extend(workload(n, 13, 50, n as u64 * 0x9E37));
+        // Plus fully-random singletons so not everything has a twin.
+        let mut rng = StdRng::seed_from_u64(n as u64 * 0x51ED);
+        for _ in 0..1950 {
+            fns.push(TruthTable::random(n, &mut rng).unwrap());
+        }
+    }
+    assert!(fns.len() >= 10_000, "workload holds {} tables", fns.len());
+    let expected = Classifier::new(SignatureSet::all()).classify(fns.clone());
+    for workers in [1usize, 2, 8] {
+        let mut engine = engine_with(workers, SignatureSet::all(), 128);
+        engine.submit_batch(fns.iter().cloned());
+        let report = engine.finish();
+        assert_eq!(
+            report.classification.labels(),
+            expected.labels(),
+            "labels diverge at {workers} workers"
+        );
+        assert_eq!(report.classification.num_classes(), expected.num_classes());
+        assert_eq!(report.stats.functions_processed, fns.len() as u64);
+    }
+}
+
+/// Every Table II signature-set preset, cross-checked at 1, 2 and 8
+/// workers on a smaller mixed-arity stream.
+#[test]
+fn all_signature_presets_match() {
+    let mut fns = Vec::new();
+    for n in 3..=6usize {
+        fns.extend(workload(n, 6, 5, n as u64 * 31 + 7));
+    }
+    for (name, set) in SignatureSet::table2_columns() {
+        let expected = Classifier::new(set).classify(fns.clone());
+        for workers in [1usize, 2, 8] {
+            let mut engine = engine_with(workers, set, 17);
+            engine.submit_batch(fns.iter().cloned());
+            let got = engine.finish().classification;
+            assert_eq!(
+                got.labels(),
+                expected.labels(),
+                "preset {name} diverges at {workers} workers"
+            );
+            assert_eq!(got.num_classes(), expected.num_classes(), "preset {name}");
+        }
+    }
+}
+
+/// Class sizes and representatives stay coherent under concurrency:
+/// sizes sum to the stream length and each representative belongs to
+/// the class it fronts.
+#[test]
+fn classes_stay_coherent_under_concurrency() {
+    let fns = workload(5, 20, 12, 0xC0FFEE);
+    let mut engine = engine_with(8, SignatureSet::all(), 9);
+    engine.submit_batch(fns.iter().cloned());
+    let report = engine.finish();
+    let c = &report.classification;
+    let total: usize = c.classes().iter().map(|k| k.size()).sum();
+    assert_eq!(total, fns.len());
+    for class in c.classes() {
+        let rep_key = signature_key(class.representative(), SignatureSet::all());
+        // Find one member of the class and compare keys.
+        let member_idx = c
+            .labels()
+            .iter()
+            .position(|&l| l == class.id())
+            .expect("non-empty class");
+        let member_key = signature_key(&fns[member_idx], SignatureSet::all());
+        assert_eq!(rep_key, member_key, "class {}", class.id());
+    }
+}
+
+/// Streaming in several waves — with snapshots taken in between — ends
+/// at the same partition as one-shot classification of the whole
+/// stream.
+#[test]
+fn interleaved_waves_and_snapshots() {
+    let waves: Vec<Vec<TruthTable>> = (0..4)
+        .map(|w| workload(4 + (w as usize % 2), 8, 4, 0xABC + w))
+        .collect();
+    let all: Vec<TruthTable> = waves.iter().flatten().cloned().collect();
+    let expected = Classifier::new(SignatureSet::all()).classify(all.clone());
+
+    let mut engine = engine_with(4, SignatureSet::all(), 16);
+    let mut seen_classes = 0usize;
+    for wave in waves {
+        engine.submit_batch(wave);
+        engine.flush();
+        let snap = engine.snapshot();
+        // Classes only ever accumulate, and the snapshot stays sane.
+        assert!(snap.num_classes >= seen_classes);
+        seen_classes = snap.num_classes;
+        assert!(snap.functions_processed <= snap.functions_submitted);
+        assert_eq!(
+            snap.shard_class_counts.iter().sum::<usize>(),
+            snap.num_classes
+        );
+    }
+    let report = engine.finish();
+    assert_eq!(report.classification.labels(), expected.labels());
+    assert_eq!(report.stats.functions_submitted, all.len() as u64);
+}
+
+/// The memo cache must be transparent: same partition with and without
+/// it, and repeat traffic must actually hit.
+#[test]
+fn cache_is_transparent_and_hits() {
+    let base = workload(5, 10, 3, 77);
+    // Repeat the stream so the cache has something to win on.
+    let mut fns = base.clone();
+    fns.extend(base.iter().cloned());
+    let expected = Classifier::new(SignatureSet::all()).classify(fns.clone());
+    let mut cached = Engine::with_config(EngineConfig {
+        workers: 4,
+        cache_capacity: 4096,
+        chunk_size: 8,
+        ..EngineConfig::default()
+    });
+    cached.submit_batch(fns.iter().cloned());
+    let report = cached.finish();
+    assert_eq!(report.classification.labels(), expected.labels());
+    assert!(
+        report.stats.cache_hits >= base.len() as u64 / 2,
+        "expected heavy cache traffic, saw {}",
+        report.stats
+    );
+}

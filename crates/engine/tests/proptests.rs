@@ -1,0 +1,89 @@
+//! Property-based tests of the engine's streaming API: how functions
+//! are fed in (one at a time, batched, chunk sizing, worker count) must
+//! never change the partition.
+
+use facepoint_bench::transform_closure_workload;
+use facepoint_core::Classifier;
+use facepoint_engine::{Engine, EngineConfig};
+use facepoint_sig::SignatureSet;
+use facepoint_truth::TruthTable;
+use proptest::prelude::*;
+
+/// Strategy: a mixed workload with planted equivalent copies.
+fn arb_workload() -> impl Strategy<Value = Vec<TruthTable>> {
+    (2usize..=5, 1usize..=10, any::<u64>()).prop_map(|(n, groups, seed)| {
+        transform_closure_workload(n, groups, 1 + (seed as usize % 4), seed)
+    })
+}
+
+fn arb_set() -> impl Strategy<Value = SignatureSet> {
+    prop_oneof![
+        Just(SignatureSet::OIV),
+        Just(SignatureSet::OCV1 | SignatureSet::OSV),
+        Just(SignatureSet::OIV | SignatureSet::OSV | SignatureSet::OSDV),
+        Just(SignatureSet::all()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn submit_equals_submit_batch(
+        fns in arb_workload(),
+        set in arb_set(),
+        workers in 1usize..=4,
+        chunk in 1usize..=32,
+    ) {
+        let mut one_by_one = Engine::with_config(EngineConfig {
+            set,
+            workers,
+            chunk_size: chunk,
+            ..EngineConfig::default()
+        });
+        for f in fns.iter().cloned() {
+            one_by_one.submit(f);
+        }
+        let a = one_by_one.finish().classification;
+
+        let mut batched = Engine::with_config(EngineConfig {
+            set,
+            workers,
+            chunk_size: chunk,
+            ..EngineConfig::default()
+        });
+        batched.submit_batch(fns.clone());
+        let b = batched.finish().classification;
+
+        prop_assert_eq!(a.labels(), b.labels());
+        prop_assert_eq!(a.num_classes(), b.num_classes());
+    }
+
+    #[test]
+    fn engine_equals_classifier(
+        fns in arb_workload(),
+        set in arb_set(),
+        workers in 1usize..=4,
+    ) {
+        let expected = Classifier::new(set).classify(fns.clone());
+        let mut engine = Engine::with_config(EngineConfig {
+            set,
+            workers,
+            chunk_size: 5,
+            ..EngineConfig::default()
+        });
+        engine.submit_batch(fns);
+        let got = engine.finish().classification;
+        prop_assert_eq!(got.labels(), expected.labels());
+    }
+
+    #[test]
+    fn submission_numbers_are_dense(fns in arb_workload()) {
+        let mut engine = Engine::new(SignatureSet::all());
+        for (expected_seq, f) in fns.iter().cloned().enumerate() {
+            prop_assert_eq!(engine.submit(f), expected_seq as u64);
+        }
+        let report = engine.finish();
+        prop_assert_eq!(report.classification.num_functions(), fns.len());
+    }
+}

@@ -24,7 +24,9 @@ impl Abdollahi08 {
     /// Creates the classifier with an enumeration budget for residual
     /// ties.
     pub fn new(budget: usize) -> Self {
-        Abdollahi08 { budget: budget.max(1) }
+        Abdollahi08 {
+            budget: budget.max(1),
+        }
     }
 }
 
@@ -111,7 +113,7 @@ impl CanonicalClassifier for Abdollahi08 {
 }
 
 fn consider(cand: TruthTable, best: &mut Option<TruthTable>) {
-    if best.as_ref().map_or(true, |b| cand < *b) {
+    if best.as_ref().is_none_or(|b| cand < *b) {
         *best = Some(cand);
     }
 }
@@ -249,7 +251,10 @@ mod tests {
         for n in 1..=6usize {
             for _ in 0..5 {
                 let f = TruthTable::random(n, &mut rng).unwrap();
-                assert!(crate::matcher::are_npn_equivalent(&f, &a.canonical_form(&f)));
+                assert!(crate::matcher::are_npn_equivalent(
+                    &f,
+                    &a.canonical_form(&f)
+                ));
             }
         }
     }

@@ -61,8 +61,7 @@ impl Zhou20 {
         }
         let mut order_combos: u128 = 1;
         for g in profile_groups(&t) {
-            order_combos =
-                order_combos.saturating_mul((1..=g.len() as u128).product::<u128>());
+            order_combos = order_combos.saturating_mul((1..=g.len() as u128).product::<u128>());
         }
         out_phases
             .saturating_mul(phase_combos)
@@ -166,7 +165,7 @@ impl CanonicalClassifier for Zhou20 {
 }
 
 fn consider(cand: TruthTable, best: &mut Option<TruthTable>) {
-    if best.as_ref().map_or(true, |b| cand < *b) {
+    if best.as_ref().is_none_or(|b| cand < *b) {
         *best = Some(cand);
     }
 }
@@ -336,11 +335,7 @@ mod tests {
         for _ in 0..15 {
             let f = TruthTable::random(4, &mut rng).unwrap();
             let g = NpnTransform::random(4, &mut rng).apply(&f);
-            assert_eq!(
-                fast.canonical_form(&f),
-                fast.canonical_form(&g),
-                "f = {f}"
-            );
+            assert_eq!(fast.canonical_form(&f), fast.canonical_form(&g), "f = {f}");
         }
     }
 }

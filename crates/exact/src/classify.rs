@@ -85,7 +85,10 @@ pub fn exact_classify(fns: &[TruthTable]) -> ClassLabels {
     let mut uf = UnionFind::new(fns.len());
     let mut buckets: HashMap<Msv, Vec<usize>> = HashMap::new();
     for (i, f) in fns.iter().enumerate() {
-        buckets.entry(msv(f, SignatureSet::all())).or_default().push(i);
+        buckets
+            .entry(msv(f, SignatureSet::all()))
+            .or_default()
+            .push(i);
     }
     for members in buckets.values() {
         // Within a bucket, compare each member against one representative
@@ -107,7 +110,10 @@ pub fn exact_classify(fns: &[TruthTable]) -> ClassLabels {
     }
     let labels = uf.labels();
     let num_classes = uf.num_sets();
-    ClassLabels { labels, num_classes }
+    ClassLabels {
+        labels,
+        num_classes,
+    }
 }
 
 /// Exact class count via the exhaustive canonical form — usable for

@@ -113,8 +113,7 @@ pub fn all_transforms(n: usize) -> impl Iterator<Item = NpnTransform> {
 pub fn npn_orbit_size(f: &facepoint_truth::TruthTable) -> usize {
     let n = f.num_vars();
     assert!(n <= 6, "orbit enumeration is limited to n ≤ 6");
-    let orbit: std::collections::HashSet<_> =
-        all_transforms(n).map(|t| t.apply(f)).collect();
+    let orbit: std::collections::HashSet<_> = all_transforms(n).map(|t| t.apply(f)).collect();
     orbit.len()
 }
 

@@ -129,7 +129,7 @@ pub fn exact_npn_canonical_with_witness(
     let mut best: Option<(TruthTable, facepoint_truth::NpnTransform)> = None;
     for t in crate::enumerate::all_transforms(n) {
         let g = t.apply(f);
-        if best.as_ref().map_or(true, |(b, _)| g < *b) {
+        if best.as_ref().is_none_or(|(b, _)| g < *b) {
             best = Some((g, t));
         }
     }
@@ -238,9 +238,7 @@ mod tests {
         use std::collections::HashSet;
         for (n, expect) in [(0usize, 1usize), (1, 2), (2, 4), (3, 14)] {
             let total = 1u64 << (1u64 << n);
-            let classes: HashSet<u64> = (0..total)
-                .map(|bits| canonical_u64(bits, n))
-                .collect();
+            let classes: HashSet<u64> = (0..total).map(|bits| canonical_u64(bits, n)).collect();
             assert_eq!(classes.len(), expect, "n = {n}");
         }
     }

@@ -216,11 +216,7 @@ fn match_pn(h: &TruthTable, g: &TruthTable) -> Option<(Permutation, u16)> {
     // Candidate g-variables per h-variable; search scarcest-first.
     let mut order: Vec<usize> = (0..n).collect();
     let candidates: Vec<Vec<usize>> = (0..n)
-        .map(|i| {
-            (0..n)
-                .filter(|&j| g_profiles[j] == h_profiles[i])
-                .collect()
-        })
+        .map(|i| (0..n).filter(|&j| g_profiles[j] == h_profiles[i]).collect())
         .collect();
     order.sort_by_key(|&i| candidates[i].len());
 
@@ -395,7 +391,10 @@ mod tests {
     fn constants_and_arity_zero() {
         let zero = TruthTable::zero(0).unwrap();
         let one = TruthTable::one(0).unwrap();
-        assert!(are_npn_equivalent(&zero, &one), "output negation links them");
+        assert!(
+            are_npn_equivalent(&zero, &one),
+            "output negation links them"
+        );
         let c0 = TruthTable::zero(3).unwrap();
         let c1 = TruthTable::one(3).unwrap();
         assert!(are_npn_equivalent(&c0, &c1));

@@ -2,9 +2,7 @@
 //! invariance, matcher soundness/completeness, and baseline contracts.
 
 use facepoint_exact::baselines::{CanonicalClassifier, Huang13, Petkovska16, Zhou20};
-use facepoint_exact::{
-    are_npn_equivalent, exact_npn_canonical, npn_match, plain_changes,
-};
+use facepoint_exact::{are_npn_equivalent, exact_npn_canonical, npn_match, plain_changes};
 use facepoint_truth::{NpnTransform, Permutation, TruthTable};
 use proptest::prelude::*;
 
@@ -22,7 +20,11 @@ fn arb_pair(min_n: usize, max_n: usize) -> impl Strategy<Value = (TruthTable, Np
         let tr = (any::<u64>(), any::<u16>(), any::<bool>()).prop_map(move |(s, neg, out)| {
             use rand::SeedableRng;
             let mut rng = rand::rngs::StdRng::seed_from_u64(s);
-            let mask = if n == 0 { 0 } else { neg & (((1u32 << n) - 1) as u16) };
+            let mask = if n == 0 {
+                0
+            } else {
+                neg & (((1u32 << n) - 1) as u16)
+            };
             NpnTransform::new(Permutation::random(n, &mut rng), mask, out)
         });
         (table, tr)

@@ -142,7 +142,10 @@ pub fn osdv_from_profile(
 ) -> Osdv {
     let n = f.num_vars();
     if n == 0 {
-        return Osdv { num_vars: 0, rows: Vec::new() };
+        return Osdv {
+            num_vars: 0,
+            rows: Vec::new(),
+        };
     }
     let mut rows = vec![0u64; (n + 1) * n];
     for s in 0..=n as u32 {
@@ -260,7 +263,11 @@ mod tests {
         for n in 1..=8usize {
             for _ in 0..4 {
                 let f = TruthTable::random(n, &mut rng).unwrap();
-                for filter in [MintermFilter::All, MintermFilter::Zeros, MintermFilter::Ones] {
+                for filter in [
+                    MintermFilter::All,
+                    MintermFilter::Zeros,
+                    MintermFilter::Ones,
+                ] {
                     let a = osdv_with(&f, filter, OsdvEngine::Pairwise);
                     let b = osdv_with(&f, filter, OsdvEngine::Wht);
                     assert_eq!(a, b, "n = {n}, filter = {filter:?}, f = {f}");

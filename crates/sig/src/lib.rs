@@ -52,7 +52,9 @@ pub mod symmetry;
 pub mod theorems;
 
 pub use cofactor::{ocv, ocv1, ocv2};
-pub use distance::{osdv, osdv0, osdv1, osdv_from_profile, osdv_with, MintermFilter, Osdv, OsdvEngine};
+pub use distance::{
+    osdv, osdv0, osdv1, osdv_from_profile, osdv_with, MintermFilter, Osdv, OsdvEngine,
+};
 pub use influence::{influence, influences, oiv, total_influence};
 pub use msv::{msv, push_stage_sections, raw_msv, Msv, SignatureSet, STAGE_ORDER};
 pub use sensitivity::{

@@ -287,8 +287,10 @@ pub fn push_stage_sections(f: &TruthTable, stage: SignatureSet, out: &mut Vec<u6
         }
         s if s == SignatureSet::OCV3 => {
             if f.num_vars() >= 3 {
-                let v: Vec<u64> =
-                    crate::cofactor::ocv(f, 3).iter().map(|&x| x as u64).collect();
+                let v: Vec<u64> = crate::cofactor::ocv(f, 3)
+                    .iter()
+                    .map(|&x| x as u64)
+                    .collect();
                 push_section(out, 9, &v);
             }
         }
@@ -351,7 +353,10 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert_eq!(format!("{}", SignatureSet::OIV | SignatureSet::OSV), "OIV+OSV");
+        assert_eq!(
+            format!("{}", SignatureSet::OIV | SignatureSet::OSV),
+            "OIV+OSV"
+        );
         assert_eq!(format!("{}", SignatureSet::EMPTY), "∅");
     }
 
@@ -434,10 +439,7 @@ mod tests {
             SignatureSet::parse("extended"),
             Some(SignatureSet::all_extended())
         );
-        assert_eq!(
-            SignatureSet::parse("ocv3"),
-            Some(SignatureSet::OCV3)
-        );
+        assert_eq!(SignatureSet::parse("ocv3"), Some(SignatureSet::OCV3));
         assert!(SignatureSet::all_extended().contains(SignatureSet::all()));
         assert!(!SignatureSet::all().contains(SignatureSet::WALSH));
         assert_eq!(format!("{}", SignatureSet::WALSH), "WALSH");

@@ -68,7 +68,10 @@ impl SensitivityProfile {
                 debug_assert_eq!(carry, 0, "sensitivity exceeded plane capacity");
             }
         }
-        SensitivityProfile { num_vars: n, planes }
+        SensitivityProfile {
+            num_vars: n,
+            planes,
+        }
     }
 
     /// Reference implementation: walks every (minterm, variable) pair.
@@ -91,7 +94,10 @@ impl SensitivityProfile {
                 }
             }
         }
-        SensitivityProfile { num_vars: n, planes }
+        SensitivityProfile {
+            num_vars: n,
+            planes,
+        }
     }
 
     /// Number of variables of the profiled function.
@@ -138,7 +144,12 @@ impl SensitivityProfile {
     /// multiset over `0..=n` is its histogram).
     pub fn histogram(&self) -> Vec<u64> {
         (0..=self.num_vars as u32)
-            .map(|s| self.indicator(s).iter().map(|w| w.count_ones() as u64).sum())
+            .map(|s| {
+                self.indicator(s)
+                    .iter()
+                    .map(|w| w.count_ones() as u64)
+                    .sum()
+            })
             .collect()
     }
 
@@ -149,7 +160,11 @@ impl SensitivityProfile {
     ///
     /// Panics if `f` has a different variable count than the profile.
     pub fn histograms_by_value(&self, f: &TruthTable) -> (Vec<u64>, Vec<u64>) {
-        assert_eq!(f.num_vars(), self.num_vars, "profile/function arity mismatch");
+        assert_eq!(
+            f.num_vars(),
+            self.num_vars,
+            "profile/function arity mismatch"
+        );
         let mut h0 = Vec::with_capacity(self.num_vars + 1);
         let mut h1 = Vec::with_capacity(self.num_vars + 1);
         for s in 0..=self.num_vars as u32 {

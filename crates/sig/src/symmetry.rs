@@ -123,8 +123,7 @@ impl SymmetryReport {
 
     /// Whether the function is totally symmetric (all pairs NE).
     pub fn is_totally_symmetric(&self) -> bool {
-        (0..self.num_vars)
-            .all(|a| (a + 1..self.num_vars).all(|b| self.ne(a, b)))
+        (0..self.num_vars).all(|a| (a + 1..self.num_vars).all(|b| self.ne(a, b)))
     }
 
     /// The NE-symmetry classes: a partition of the variables where every
@@ -140,10 +139,10 @@ impl SymmetryReport {
             }
             let mut class = vec![a];
             assigned[a] = true;
-            for b in (a + 1)..n {
-                if !assigned[b] && self.ne(a, b) {
+            for (b, done) in assigned.iter_mut().enumerate().skip(a + 1) {
+                if !*done && self.ne(a, b) {
                     class.push(b);
-                    assigned[b] = true;
+                    *done = true;
                 }
             }
             classes.push(class);

@@ -3,8 +3,8 @@
 //! consistency between the fast and reference computation paths.
 
 use facepoint_sig::{
-    influence, msv, ocv, ocv1, ocv2, oiv, osdv_with, osv, osv0, osv1, osv_histogram,
-    raw_msv, MintermFilter, OsdvEngine, SensitivityProfile, SignatureSet,
+    influence, msv, ocv, ocv1, ocv2, oiv, osdv_with, osv, osv0, osv1, osv_histogram, raw_msv,
+    MintermFilter, OsdvEngine, SensitivityProfile, SignatureSet,
 };
 use facepoint_truth::{NpnTransform, Permutation, TruthTable};
 use proptest::prelude::*;

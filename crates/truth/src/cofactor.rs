@@ -109,7 +109,11 @@ impl TruthTable {
         let mut out = self.clone();
         // `chosen` carries the selected face on its x_var = 1 side;
         // `mirrored` carries the same values on the x_var = 0 side.
-        let chosen = if value { self.clone() } else { self.flip_var(var) };
+        let chosen = if value {
+            self.clone()
+        } else {
+            self.flip_var(var)
+        };
         let mirrored = chosen.flip_var(var);
         for (i, w) in out.words_mut().iter_mut().enumerate() {
             let m = var_mask_word(var, i);
@@ -142,9 +146,7 @@ impl TruthTable {
             // the variable iff the halves differ somewhere.
             let shift = 1u32 << var;
             let m = crate::words::VAR_MASK[var];
-            self.words()
-                .iter()
-                .any(|&w| ((w & m) >> shift) != (w & !m))
+            self.words().iter().any(|&w| ((w & m) >> shift) != (w & !m))
         } else {
             let block = 1usize << (var - WORD_VARS);
             let words = self.words();
@@ -204,7 +206,11 @@ mod tests {
                         let direct = t.cofactor_count_multi(&[a, b], &[va, vb]);
                         // Nested: take cofactor on the higher index first so
                         // the lower index is unshifted.
-                        let (hi, vhi, lo, vlo) = if a > b { (a, va, b, vb) } else { (b, vb, a, va) };
+                        let (hi, vhi, lo, vlo) = if a > b {
+                            (a, va, b, vb)
+                        } else {
+                            (b, vb, a, va)
+                        };
                         let nested = t.cofactor(hi, vhi).cofactor_count(lo, vlo);
                         assert_eq!(direct, nested, "vars ({a},{b}) values ({va},{vb})");
                     }

@@ -52,7 +52,10 @@ impl fmt::Display for Error {
                 crate::MAX_VARS
             ),
             Error::VariableOutOfRange { var, num_vars } => {
-                write!(f, "variable index {var} out of range for {num_vars} variables")
+                write!(
+                    f,
+                    "variable index {var} out of range for {num_vars} variables"
+                )
             }
             Error::HexLength { expected, found } => {
                 write!(f, "expected {expected} hex digits, found {found}")

@@ -61,7 +61,10 @@ impl TruthTable {
     /// ```
     pub fn from_hex(num_vars: usize, s: &str) -> Result<Self> {
         Self::check_vars(num_vars)?;
-        let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+        let s = s
+            .strip_prefix("0x")
+            .or_else(|| s.strip_prefix("0X"))
+            .unwrap_or(s);
         let expected = hex_digits(num_vars);
         if s.len() != expected {
             return Err(Error::HexLength {
@@ -71,9 +74,7 @@ impl TruthTable {
         }
         let mut t = TruthTable::zero(num_vars)?;
         for (pos, ch) in s.chars().enumerate() {
-            let nibble = ch
-                .to_digit(16)
-                .ok_or(Error::InvalidDigit { ch })? as u64;
+            let nibble = ch.to_digit(16).ok_or(Error::InvalidDigit { ch })? as u64;
             let d = expected - 1 - pos;
             t.words_mut()[d / 16] |= nibble << ((d % 16) * 4);
         }
@@ -159,11 +160,17 @@ mod tests {
     fn wrong_lengths_rejected() {
         assert!(matches!(
             TruthTable::from_hex(3, "e"),
-            Err(Error::HexLength { expected: 2, found: 1 })
+            Err(Error::HexLength {
+                expected: 2,
+                found: 1
+            })
         ));
         assert!(matches!(
             TruthTable::from_binary(2, "010"),
-            Err(Error::BitLength { expected: 4, found: 3 })
+            Err(Error::BitLength {
+                expected: 4,
+                found: 3
+            })
         ));
     }
 

@@ -66,7 +66,9 @@ impl TruthTable {
         if k == self.num_vars() {
             return self.clone();
         }
-        let vars: Vec<usize> = (0..self.num_vars()).filter(|&v| (mask >> v) & 1 == 1).collect();
+        let vars: Vec<usize> = (0..self.num_vars())
+            .filter(|&v| (mask >> v) & 1 == 1)
+            .collect();
         TruthTable::from_fn(k, |m| {
             // Scatter the compact minterm onto the original variables; dead
             // variables read 0 (their value is irrelevant by definition).

@@ -2,9 +2,7 @@
 //! function.
 
 use crate::error::{Error, Result};
-use crate::words::{
-    num_minterms, valid_bits_mask, var_mask_word, word_count, MAX_VARS, WORD_VARS,
-};
+use crate::words::{num_minterms, valid_bits_mask, var_mask_word, word_count, MAX_VARS, WORD_VARS};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -93,7 +91,10 @@ impl TruthTable {
     ///
     /// Panics if `n` is even, zero, or greater than 16.
     pub fn majority(num_vars: usize) -> Self {
-        assert!(num_vars % 2 == 1 && num_vars <= MAX_VARS, "majority needs odd n ≤ 16");
+        assert!(
+            num_vars % 2 == 1 && num_vars <= MAX_VARS,
+            "majority needs odd n ≤ 16"
+        );
         Self::from_fn(num_vars, |m| (m.count_ones() as usize) > num_vars / 2)
             .expect("validated above")
     }
@@ -143,7 +144,9 @@ impl TruthTable {
     /// Returns [`Error::TooManyVariables`] if `num_vars > 6`.
     pub fn from_u64(num_vars: usize, bits: u64) -> Result<Self> {
         if num_vars > WORD_VARS {
-            return Err(Error::TooManyVariables { requested: num_vars });
+            return Err(Error::TooManyVariables {
+                requested: num_vars,
+            });
         }
         Ok(Self {
             num_vars: num_vars as u8,
@@ -304,7 +307,9 @@ impl TruthTable {
     #[inline]
     pub(crate) fn check_vars(num_vars: usize) -> Result<()> {
         if num_vars > MAX_VARS {
-            Err(Error::TooManyVariables { requested: num_vars })
+            Err(Error::TooManyVariables {
+                requested: num_vars,
+            })
         } else {
             Ok(())
         }
@@ -421,7 +426,10 @@ mod tests {
     fn projection_var_out_of_range() {
         assert!(matches!(
             TruthTable::projection(3, 3),
-            Err(Error::VariableOutOfRange { var: 3, num_vars: 3 })
+            Err(Error::VariableOutOfRange {
+                var: 3,
+                num_vars: 3
+            })
         ));
     }
 

@@ -395,9 +395,9 @@ impl NpnTransform {
         let n = self.len();
         let mut perm = vec![0usize; n];
         let mut neg = 0u16;
-        for i in 0..n {
+        for (i, slot) in perm.iter_mut().enumerate() {
             let p1i = first.perm.map(i);
-            perm[i] = self.perm.map(p1i);
+            *slot = self.perm.map(p1i);
             let bit = ((first.input_neg >> i) & 1) ^ ((self.input_neg >> p1i) & 1);
             neg |= bit << i;
         }
@@ -414,7 +414,7 @@ impl NpnTransform {
         let inv = self.perm.inverse();
         let mut neg = 0u16;
         for j in 0..self.len() {
-            neg |= (((self.input_neg >> inv.map(j)) & 1) as u16) << j;
+            neg |= ((self.input_neg >> inv.map(j)) & 1) << j;
         }
         NpnTransform {
             perm: inv,
@@ -524,8 +524,16 @@ mod tests {
     #[test]
     fn transform_composition_law() {
         let f = table(4, 0x7A2C);
-        let t1 = NpnTransform::new(Permutation::from_slice(&[1, 3, 0, 2]).unwrap(), 0b0101, false);
-        let t2 = NpnTransform::new(Permutation::from_slice(&[2, 0, 3, 1]).unwrap(), 0b1010, true);
+        let t1 = NpnTransform::new(
+            Permutation::from_slice(&[1, 3, 0, 2]).unwrap(),
+            0b0101,
+            false,
+        );
+        let t2 = NpnTransform::new(
+            Permutation::from_slice(&[2, 0, 3, 1]).unwrap(),
+            0b1010,
+            true,
+        );
         let sequential = t2.apply(&t1.apply(&f));
         let composed = t2.compose(&t1).apply(&f);
         assert_eq!(sequential, composed);

@@ -17,13 +17,18 @@ fn arb_table_and_transform(max_n: usize) -> impl Strategy<Value = (TruthTable, N
     (0..=max_n).prop_flat_map(|n| {
         let table = proptest::collection::vec(any::<u64>(), facepoint_truth::words::word_count(n))
             .prop_map(move |words| TruthTable::from_words(n, &words).expect("sized vec"));
-        let transform = (any::<u64>(), any::<u16>(), any::<bool>()).prop_map(move |(s, neg, out)| {
-            use rand::SeedableRng;
-            let mut rng = rand::rngs::StdRng::seed_from_u64(s);
-            let perm = Permutation::random(n, &mut rng);
-            let mask = if n == 0 { 0 } else { neg & (((1u32 << n) - 1) as u16) };
-            NpnTransform::new(perm, mask, out)
-        });
+        let transform =
+            (any::<u64>(), any::<u16>(), any::<bool>()).prop_map(move |(s, neg, out)| {
+                use rand::SeedableRng;
+                let mut rng = rand::rngs::StdRng::seed_from_u64(s);
+                let perm = Permutation::random(n, &mut rng);
+                let mask = if n == 0 {
+                    0
+                } else {
+                    neg & (((1u32 << n) - 1) as u16)
+                };
+                NpnTransform::new(perm, mask, out)
+            });
         (table, transform)
     })
 }

@@ -28,8 +28,8 @@ fn report(name: &str, circuit: &Aig) {
         let ours = Classifier::new(SignatureSet::all()).classify(fns.clone());
         // …and with cofactors only, to see the point characteristics earn
         // their keep.
-        let faces_only = Classifier::new(SignatureSet::OCV1 | SignatureSet::OCV2)
-            .classify(fns.clone());
+        let faces_only =
+            Classifier::new(SignatureSet::OCV1 | SignatureSet::OCV2).classify(fns.clone());
         // Exact ground truth via bucket + matcher.
         let exact = exact_classify(&fns);
 

@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- 3. Signature vectors (the paper's Table I) ----------------------
     println!("OCV1(maj) = {:?}   (face characteristic)", ocv1(&maj));
-    println!("OIV(maj)  = {:?}         (point-face characteristic)", oiv(&maj));
+    println!(
+        "OIV(maj)  = {:?}         (point-face characteristic)",
+        oiv(&maj)
+    );
     println!("OSV1(maj) = {:?}      (point characteristic)", osv1(&maj));
     // Signatures are NPN-invariant:
     assert_eq!(oiv(&maj), oiv(&g));

@@ -23,9 +23,15 @@ fn main() {
         .collect();
 
     let exact = exact_classify(&all).num_classes();
-    println!("all 4-variable functions: {} | exact NPN classes: {exact}", all.len());
+    println!(
+        "all 4-variable functions: {} | exact NPN classes: {exact}",
+        all.len()
+    );
     println!();
-    println!("{:<22} {:>9} {:>14}", "signature set", "#classes", "vs exact");
+    println!(
+        "{:<22} {:>9} {:>14}",
+        "signature set", "#classes", "vs exact"
+    );
     println!("{}", "-".repeat(47));
     let sets: Vec<(&str, SignatureSet)> = vec![
         ("OCV1", SignatureSet::OCV1),
@@ -33,8 +39,14 @@ fn main() {
         ("OIV", SignatureSet::OIV),
         ("OSV", SignatureSet::OSV),
         ("OIV+OSV", SignatureSet::OIV | SignatureSet::OSV),
-        ("OCV1+OCV2+OIV", SignatureSet::OCV1 | SignatureSet::OCV2 | SignatureSet::OIV),
-        ("OIV+OSV+OSDV", SignatureSet::OIV | SignatureSet::OSV | SignatureSet::OSDV),
+        (
+            "OCV1+OCV2+OIV",
+            SignatureSet::OCV1 | SignatureSet::OCV2 | SignatureSet::OIV,
+        ),
+        (
+            "OIV+OSV+OSDV",
+            SignatureSet::OIV | SignatureSet::OSV | SignatureSet::OSDV,
+        ),
         ("All", SignatureSet::all()),
         ("All+Walsh (ext.)", SignatureSet::all_extended()),
     ];

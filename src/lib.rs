@@ -14,7 +14,9 @@
 //! * [`exact`] — exact canonicalization, exact classification, and the
 //!   baseline classifiers from the paper's Table III,
 //! * [`aig`] — and-inverter graphs, cut enumeration and the synthetic
-//!   EPFL-style benchmark suite.
+//!   EPFL-style benchmark suite,
+//! * [`engine`] — the sharded, parallel, streaming classification
+//!   engine for throughput-oriented workloads.
 //!
 //! The most common entry points are lifted to the crate root.
 //!
@@ -41,10 +43,12 @@
 
 pub use facepoint_aig as aig;
 pub use facepoint_core as core;
+pub use facepoint_engine as engine;
 pub use facepoint_exact as exact;
 pub use facepoint_sig as sig;
 pub use facepoint_truth as truth;
 
-pub use facepoint_core::{Classification, Classifier};
+pub use facepoint_core::{signature_key, Classification, Classifier};
+pub use facepoint_engine::{Engine, EngineConfig, EngineReport, EngineStats};
 pub use facepoint_sig::{msv, Msv, SignatureSet};
 pub use facepoint_truth::{NpnTransform, Permutation, TruthTable};

@@ -3,21 +3,8 @@
 
 use facepoint::core::{refine_to_exact, PartitionComparison};
 use facepoint::exact::{exact_classify, exact_classify_canonical};
-use facepoint::{Classifier, NpnTransform, SignatureSet, TruthTable};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-fn transform_closure_workload(n: usize, classes: usize, copies: usize, seed: u64) -> Vec<TruthTable> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut fns = Vec::new();
-    for _ in 0..classes {
-        let f = TruthTable::random(n, &mut rng).unwrap();
-        for _ in 0..copies {
-            fns.push(NpnTransform::random(n, &mut rng).apply(&f));
-        }
-    }
-    fns
-}
+use facepoint::{Classifier, SignatureSet, TruthTable};
+use facepoint_bench::transform_closure_workload;
 
 #[test]
 fn exhaustive_small_space_is_classified_exactly() {

@@ -21,11 +21,7 @@ fn figure1_f1_and_f2_are_npn_equivalent() {
     // Fig. 1b shows *an* NPN-equivalent transform of majority; any
     // transform must stay in the class and have an isomorphic induced
     // subgraph (equal signature vectors).
-    let t = NpnTransform::new(
-        Permutation::from_slice(&[1, 2, 0]).unwrap(),
-        0b101,
-        true,
-    );
+    let t = NpnTransform::new(Permutation::from_slice(&[1, 2, 0]).unwrap(), 0b101, true);
     let f2 = t.apply(&f1());
     assert!(are_npn_equivalent(&f1(), &f2));
     assert_eq!(oiv(&f1()), oiv(&f2));
@@ -64,7 +60,10 @@ fn table1_complete_row_check() {
         osdv1(&f3).flatten(),
         vec![0, 0, 0, 4, 2, 0, 0, 0, 0, 0, 0, 0]
     );
-    assert_eq!(osdv(&f1).flatten(), vec![0, 0, 1, 0, 0, 0, 6, 6, 3, 0, 0, 0]);
+    assert_eq!(
+        osdv(&f1).flatten(),
+        vec![0, 0, 1, 0, 0, 0, 6, 6, 3, 0, 0, 0]
+    );
     assert_eq!(
         osdv(&f3).flatten(),
         vec![0, 0, 0, 12, 12, 4, 0, 0, 0, 0, 0, 0]

@@ -1,0 +1,319 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the macro and type surface the facepoint benches use
+//! ([`Criterion`], [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`],
+//! [`Throughput`], [`criterion_group!`], [`criterion_main!`]) on top of
+//! a simple median-of-samples wall-clock timer.
+//!
+//! Reported numbers are honest medians but lack criterion's outlier
+//! analysis, regression tracking and HTML reports. Each benchmark
+//! prints one line:
+//!
+//! ```text
+//! classifier_sets/set/OIV   time: 1.234 ms/iter   thrpt: 1.62 Melem/s
+//! ```
+//!
+//! Passing `--test` (as `cargo test --benches` does) runs every
+//! closure exactly once, so benches double as smoke tests.
+//!
+//! [`criterion_group!`]: macro@crate::criterion_group
+//! [`criterion_main!`]: macro@crate::criterion_main
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Workload size declared for a benchmark, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter display.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id that is only a parameter display.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives the timing loop of one benchmark.
+pub struct Bencher<'a> {
+    samples: Vec<Duration>,
+    cfg: &'a RunConfig,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, collecting `sample_size` samples (or running it
+    /// once in `--test` mode).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.cfg.test_mode {
+            let _ = routine();
+            return;
+        }
+        // Warm-up: run until the warm-up budget elapses at least once.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.cfg.warm_up_time || warm_iters == 0 {
+            let _ = std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        // Size each sample so total measurement stays near the budget.
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+        let budget_per_sample = self.cfg.measurement_time / self.cfg.sample_size as u32;
+        let iters_per_sample = if per_iter.is_zero() {
+            16
+        } else {
+            (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 20) as u32
+        };
+        for _ in 0..self.cfg.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                let _ = std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters_per_sample);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RunConfig {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl RunConfig {
+    fn median(samples: &mut [Duration]) -> Duration {
+        if samples.is_empty() {
+            return Duration::ZERO;
+        }
+        samples.sort_unstable();
+        samples[samples.len() / 2]
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    cfg: RunConfig,
+    throughput: Option<Throughput>,
+    _criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Declares per-iteration throughput for reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark named `id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            cfg: &self.cfg,
+        };
+        f(&mut b);
+        let mut samples = b.samples;
+        let median = RunConfig::median(&mut samples);
+        report(
+            &format!("{}/{id}", self.name),
+            median,
+            self.throughput,
+            self.cfg.test_mode,
+        );
+        self
+    }
+
+    /// Runs a benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finishes the group (upstream writes reports here; we already
+    /// printed per-benchmark lines).
+    pub fn finish(&mut self) {}
+}
+
+fn report(id: &str, median: Duration, throughput: Option<Throughput>, test_mode: bool) {
+    if test_mode {
+        println!("{id:<48} ok (test mode)");
+        return;
+    }
+    let time = if median.as_secs_f64() >= 1.0 {
+        format!("{:.3} s/iter", median.as_secs_f64())
+    } else if median.as_micros() >= 1000 {
+        format!("{:.3} ms/iter", median.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.3} µs/iter", median.as_secs_f64() * 1e6)
+    };
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) if !median.is_zero() => {
+            let per_sec = n as f64 / median.as_secs_f64();
+            if per_sec >= 1e6 {
+                format!("   thrpt: {:.2} Melem/s", per_sec / 1e6)
+            } else {
+                format!("   thrpt: {:.1} Kelem/s", per_sec / 1e3)
+            }
+        }
+        Some(Throughput::Bytes(n)) if !median.is_zero() => {
+            format!(
+                "   thrpt: {:.2} MiB/s",
+                n as f64 / median.as_secs_f64() / (1 << 20) as f64
+            )
+        }
+        _ => String::new(),
+    };
+    println!("{id:<48} time: {time}{thrpt}");
+}
+
+/// The benchmark harness: create groups, run benches, print a line per
+/// benchmark.
+pub struct Criterion {
+    cfg: RunConfig,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let test_mode = args.iter().any(|a| a == "--test");
+        Criterion {
+            cfg: RunConfig {
+                sample_size: 10,
+                warm_up_time: Duration::from_millis(300),
+                measurement_time: Duration::from_secs(1),
+                test_mode,
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default sample count per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the default warm-up budget per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Sets the default measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Parses command-line arguments (accepted for API compatibility;
+    /// only `--test` changes behavior, matching `cargo test --benches`).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            cfg: self.cfg.clone(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let name = id.to_string();
+        self.benchmark_group(name.clone())
+            .bench_function("bench", f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, optionally with a shared
+/// configuration — same surface as upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` that runs every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,502 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate reimplements the subset of proptest that the facepoint test
+//! suites use: the [`Strategy`](strategy::Strategy) trait with
+//! `prop_map` / `prop_flat_map`, [`any`](arbitrary::any),
+//! [`Just`](strategy::Just), range and tuple strategies,
+//! [`collection::vec()`], the [`proptest!`] / [`prop_oneof!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros and
+//! [`ProptestConfig`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * **no shrinking** — a failing case reports its case index and the
+//!   deterministic seed, which is enough to reproduce it (every run uses
+//!   the same sequence);
+//! * string strategies support only the `.{a,b}` pattern facepoint uses;
+//! * `prop_assert*` panics directly instead of routing a `TestCaseError`.
+//!
+//! [`proptest!`]: macro@crate::proptest
+//! [`ProptestConfig`]: test_runner::ProptestConfig
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// A recipe for generating test values.
+    ///
+    /// Unlike upstream proptest there is no value tree / shrinking: a
+    /// strategy simply draws a value from a deterministic RNG.
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Feeds generated values into `f` to pick a dependent strategy.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Keeps only values satisfying `f` (rejection sampling, capped).
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, S2> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) whence: &'static str,
+        pub(crate) f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter {:?} rejected 1000 candidates", self.whence);
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between same-typed strategies — the engine behind
+    /// [`prop_oneof!`](crate::prop_oneof).
+    #[derive(Debug, Clone)]
+    pub struct Union<S> {
+        options: Vec<S>,
+    }
+
+    impl<S: Strategy> Union<S> {
+        /// Creates a union over `options` (must be non-empty).
+        pub fn new(options: Vec<S>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<S: Strategy> Strategy for Union<S> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let i = rng.random_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// Minimal regex-string strategy: supports exactly the `.{a,b}`
+    /// pattern (a string of `a..=b` arbitrary characters). Upstream
+    /// proptest accepts full regexes; extend here as tests need.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let (min, max) = parse_dot_repeat(self).unwrap_or_else(|| {
+                panic!(
+                    "vendored proptest only supports \".{{a,b}}\" string \
+                     patterns, got {self:?}"
+                )
+            });
+            let len = rng.random_range(min..=max);
+            // A parser-hostile alphabet: printable ASCII, whitespace and
+            // a couple of multi-byte characters.
+            const ALPHABET: &[char] = &[
+                'a', 'g', '0', '1', '9', ' ', '\t', '\n', '-', '+', 'x', '~', 'é', '✓',
+            ];
+            (0..len)
+                .map(|_| ALPHABET[rng.random_range(0..ALPHABET.len())])
+                .collect()
+        }
+    }
+
+    fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+        let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+        let (a, b) = rest.split_once(',')?;
+        Some((a.trim().parse().ok()?, b.trim().parse().ok()?))
+    }
+
+    /// Yields uniform samples of `T` — returned by [`any`](crate::arbitrary::any).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        pub(crate) _marker: core::marker::PhantomData<T>,
+    }
+
+    impl<T: rand::Random> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.random::<T>()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! The [`any`] entry point.
+
+    use crate::strategy::Any;
+
+    /// A strategy producing uniform samples of `T`.
+    pub fn any<T: rand::Random>() -> Any<T> {
+        Any {
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// Sizes accepted by [`vec()`]: an exact `usize` or a
+    /// `Range<usize>`.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of values drawn from `element`, with a length
+    /// in `size` (a `usize` for an exact length, or a range).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.min..self.size.max_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-loop configuration and the deterministic case runner.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// How many cases each property runs, among other knobs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        /// 64 cases — smaller than upstream's 256 to keep offline CI
+        /// fast; raise per-block with `proptest_config` when needed.
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic per-test RNG: seeded from the test's name so every
+    /// run (and every machine) sees the same case sequence.
+    pub fn deterministic_rng(test_name: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+pub mod prelude {
+    //! The usual imports: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Uniform choice between strategies of the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($strategy),+])
+    };
+}
+
+/// Declares property tests: each `fn` runs its body over `cases`
+/// generated inputs.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u32..100, b in 0u32..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            config = (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (
+        config = ($config:expr);
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident ( $( $pat:pat in $strategy:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::deterministic_rng(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    let ( $($pat,)+ ) = (
+                        $( $crate::strategy::Strategy::generate(&($strategy), &mut rng), )+
+                    );
+                    let run = || -> () { $body };
+                    let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                    if let Err(payload) = outcome {
+                        eprintln!(
+                            "proptest case {case}/{} of {} failed (deterministic seed; \
+                             rerun reproduces it)",
+                            config.cases,
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
