@@ -1,0 +1,126 @@
+//! Writes the machine-readable performance trajectory:
+//! `BENCH_signatures.json` (single-thread `signature_key` throughput,
+//! kernel vs. two-pass reference, on balanced tables for n = 6..10)
+//! and `BENCH_engine.json` (end-to-end engine throughput), both at the
+//! repo root by default.
+//!
+//! ```text
+//! cargo run --release -p facepoint-bench --bin trajectory [-- --out DIR]
+//! ```
+//!
+//! The JSON is hand-serialized (no serde in the offline build) and
+//! append-friendly: each run produces one self-contained file that
+//! future PRs diff against to catch regressions.
+
+use facepoint_bench::{arg_value, balanced_workload, random_workload};
+use facepoint_core::{fnv128, SignatureKernel};
+use facepoint_engine::{Engine, EngineConfig};
+use facepoint_sig::{msv_reference, SignatureSet};
+use facepoint_truth::TruthTable;
+use std::time::{Duration, Instant};
+
+/// Repeats `work` over `fns` until at least `budget` has elapsed and
+/// returns functions/second.
+fn throughput(fns: &[TruthTable], budget: Duration, mut work: impl FnMut(&TruthTable)) -> f64 {
+    // Warm-up pass (grows scratch buffers, faults in the tables).
+    for f in fns {
+        work(f);
+    }
+    let start = Instant::now();
+    let mut done = 0u64;
+    while start.elapsed() < budget {
+        for f in fns {
+            work(f);
+        }
+        done += fns.len() as u64;
+    }
+    done as f64 / start.elapsed().as_secs_f64()
+}
+
+fn unix_time() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_dir = arg_value(&args, "--out").unwrap_or_else(|| ".".to_string());
+    let budget = Duration::from_millis(600);
+    let set = SignatureSet::all();
+
+    // --- signature_key: kernel vs reference, balanced tables ---------
+    let mut sig_rows = String::new();
+    for n in 6..=10usize {
+        let count = (2048 >> (n - 6)).max(32);
+        let fns = balanced_workload(n, count, 0x5EED ^ n as u64);
+        let mut kernel = SignatureKernel::new(set);
+        let kernel_fps = throughput(&fns, budget, |f| {
+            std::hint::black_box(kernel.key(f));
+        });
+        let reference_fps = throughput(&fns, budget, |f| {
+            std::hint::black_box(fnv128(msv_reference(f, set).as_words()));
+        });
+        let speedup = kernel_fps / reference_fps;
+        println!(
+            "signatures n={n}: kernel {kernel_fps:.0} fn/s, \
+             reference {reference_fps:.0} fn/s, speedup {speedup:.2}x"
+        );
+        if !sig_rows.is_empty() {
+            sig_rows.push_str(",\n");
+        }
+        sig_rows.push_str(&format!(
+            "    {{\"n\": {n}, \"functions\": {count}, \
+             \"kernel_fns_per_sec\": {kernel_fps:.1}, \
+             \"reference_fns_per_sec\": {reference_fps:.1}, \
+             \"speedup\": {speedup:.3}}}"
+        ));
+    }
+    let sig_json = format!(
+        "{{\n  \"bench\": \"signature_key\",\n  \"set\": \"{set}\",\n  \
+         \"workload\": \"balanced random tables, single thread\",\n  \
+         \"baseline\": \"reference = two-pass msv_reference + fnv128, \
+         the pre-kernel signature_key algorithm\",\n  \
+         \"unix_time\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        unix_time(),
+        sig_rows
+    );
+    let sig_path = format!("{out_dir}/BENCH_signatures.json");
+    std::fs::write(&sig_path, sig_json).expect("write BENCH_signatures.json");
+    println!("wrote {sig_path}");
+
+    // --- engine: end-to-end streaming throughput ---------------------
+    let mut eng_rows = String::new();
+    for n in 6..=10usize {
+        let count = (16384 >> (n - 6)).max(512);
+        let fns = random_workload(n, count, 0xE61E ^ n as u64);
+        let mut engine = Engine::with_config(EngineConfig {
+            set,
+            ..EngineConfig::default()
+        });
+        let workers = engine.config().resolved_workers();
+        engine.submit_batch(fns.iter().cloned());
+        let report = engine.finish();
+        let fps = report.stats.throughput();
+        println!("engine n={n}: {fps:.0} fn/s over {count} functions ({workers} workers)");
+        if !eng_rows.is_empty() {
+            eng_rows.push_str(",\n");
+        }
+        eng_rows.push_str(&format!(
+            "    {{\"n\": {n}, \"functions\": {count}, \"workers\": {workers}, \
+             \"fns_per_sec\": {fps:.1}, \"classes\": {}}}",
+            report.classification.num_classes()
+        ));
+    }
+    let eng_json = format!(
+        "{{\n  \"bench\": \"engine\",\n  \"set\": \"{set}\",\n  \
+         \"workload\": \"distinct random tables, default engine config\",\n  \
+         \"unix_time\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        unix_time(),
+        eng_rows
+    );
+    let eng_path = format!("{out_dir}/BENCH_engine.json");
+    std::fs::write(&eng_path, eng_json).expect("write BENCH_engine.json");
+    println!("wrote {eng_path}");
+}

@@ -45,6 +45,43 @@ pub fn random_workload(n: usize, count: usize, seed: u64) -> Vec<TruthTable> {
     out
 }
 
+/// Generates `count` uniformly random **balanced** `n`-variable truth
+/// tables (`|f| = 2^{n-1}`), deterministic in `seed` — the
+/// adversarial workload for output-phase canonicalization: the satisfy
+/// count cannot fix the polarity, so every function exercises the
+/// dual-polarity (lexicographic-minimum) path of the signature
+/// pipeline.
+///
+/// Each table is a uniformly random half-size subset of the minterms
+/// (partial Fisher–Yates selection).
+///
+/// # Panics
+///
+/// Panics if `n` is 0 (a 0-variable function cannot be balanced).
+pub fn balanced_workload(n: usize, count: usize, seed: u64) -> Vec<TruthTable> {
+    use rand::RngExt;
+    assert!(n >= 1, "balanced tables need at least one variable");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bits = 1usize << n;
+    let half = bits / 2;
+    let mut idx: Vec<u64> = Vec::with_capacity(bits);
+    (0..count)
+        .map(|_| {
+            idx.clear();
+            idx.extend(0..bits as u64);
+            for i in 0..half {
+                let j = rng.random_range(i..bits);
+                idx.swap(i, j);
+            }
+            let mut t = TruthTable::zero(n).expect("n validated by caller");
+            for &m in &idx[..half] {
+                t.set_bit(m, true);
+            }
+            t
+        })
+        .collect()
+}
+
 /// Generates `groups` random `n`-variable functions, each echoed as
 /// `copies` uniformly random NPN transforms of itself — a workload
 /// with planted equivalences, deterministic in `seed`. This is the
@@ -143,6 +180,16 @@ mod tests {
         assert_eq!(a, b);
         let set: std::collections::HashSet<_> = a.iter().collect();
         assert_eq!(set.len(), a.len());
+    }
+
+    #[test]
+    fn balanced_workload_is_balanced_and_deterministic() {
+        for n in [1usize, 4, 7] {
+            let a = balanced_workload(n, 20, 11);
+            let b = balanced_workload(n, 20, 11);
+            assert_eq!(a, b);
+            assert!(a.iter().all(|t| t.is_balanced()), "n = {n}");
+        }
     }
 
     #[test]

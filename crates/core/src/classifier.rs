@@ -6,8 +6,8 @@
 //! function of *bit-width and function count only* — the stability
 //! property the paper demonstrates in its Fig. 5.
 
-use crate::fnv::fnv128;
-use facepoint_sig::{msv, Msv, SignatureSet};
+use crate::kernel::SignatureKernel;
+use facepoint_sig::{Msv, SignatureSet};
 use facepoint_truth::TruthTable;
 use std::collections::HashMap;
 
@@ -74,7 +74,7 @@ pub struct Classifier {
 /// assert_eq!(signature_key(&maj, set), signature_key(&equiv, set));
 /// ```
 pub fn signature_key(f: &TruthTable, set: SignatureSet) -> u128 {
-    fnv128(msv(f, set).as_words())
+    SignatureKernel::new(set).key(f)
 }
 
 impl Classifier {
@@ -122,25 +122,42 @@ impl Classifier {
     /// `n ≤ 7` with `OIV+OSV+OSDV`).
     pub fn classify(&self, fns: impl IntoIterator<Item = TruthTable>) -> Classification {
         let fns: Vec<TruthTable> = fns.into_iter().collect();
-        let msvs = self.compute_msvs(&fns);
         match self.key_mode {
-            // The digest path buckets on exactly `signature_key`.
-            KeyMode::Digest => self.group(fns, msvs.iter().map(|m| fnv128(m.as_words()))),
-            KeyMode::Full => self.group(fns, msvs),
+            // The digest path buckets on exactly `signature_key`,
+            // streamed off the kernel — the MSV is never materialized.
+            KeyMode::Digest => {
+                let keys = self.map_with_kernel(&fns, |kernel, f| kernel.key(f));
+                self.group(fns, keys)
+            }
+            KeyMode::Full => {
+                let msvs: Vec<Msv> = self.map_with_kernel(&fns, |kernel, f| kernel.msv(f));
+                self.group(fns, msvs)
+            }
         }
     }
 
-    fn compute_msvs(&self, fns: &[TruthTable]) -> Vec<Msv> {
+    /// Applies `per_fn` to every table, giving each worker thread one
+    /// reusable [`SignatureKernel`] for the whole chunk (scratch
+    /// buffers warm up once per thread, not once per function).
+    fn map_with_kernel<T, F>(&self, fns: &[TruthTable], per_fn: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut SignatureKernel, &TruthTable) -> T + Sync,
+    {
         if self.threads <= 1 || fns.len() < 2 * self.threads {
-            return fns.iter().map(|f| msv(f, self.set)).collect();
+            let mut kernel = SignatureKernel::new(self.set);
+            return fns.iter().map(|f| per_fn(&mut kernel, f)).collect();
         }
         let chunk = fns.len().div_ceil(self.threads);
-        let mut out: Vec<Option<Msv>> = vec![None; fns.len()];
+        let mut out: Vec<Option<T>> = Vec::with_capacity(fns.len());
+        out.resize_with(fns.len(), || None);
         std::thread::scope(|scope| {
             for (fns_chunk, out_chunk) in fns.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                let per_fn = &per_fn;
                 scope.spawn(move || {
+                    let mut kernel = SignatureKernel::new(self.set);
                     for (f, slot) in fns_chunk.iter().zip(out_chunk.iter_mut()) {
-                        *slot = Some(msv(f, self.set));
+                        *slot = Some(per_fn(&mut kernel, f));
                     }
                 });
             }
@@ -155,7 +172,7 @@ impl Classifier {
         fns: Vec<TruthTable>,
         keys: impl IntoIterator<Item = K>,
     ) -> Classification {
-        let mut map: HashMap<K, usize> = HashMap::new();
+        let mut map: HashMap<K, usize> = HashMap::with_capacity(fns.len());
         let mut classes: Vec<NpnClass> = Vec::new();
         let mut labels = Vec::with_capacity(fns.len());
         for (f, key) in fns.into_iter().zip(keys) {
@@ -183,7 +200,7 @@ pub(crate) struct NpnClassBuilder;
 impl NpnClassBuilder {
     pub(crate) fn build(fns: Vec<TruthTable>, group_of: &[usize]) -> Classification {
         debug_assert_eq!(fns.len(), group_of.len());
-        let mut remap: HashMap<usize, usize> = HashMap::new();
+        let mut remap: HashMap<usize, usize> = HashMap::with_capacity(fns.len());
         let mut classes: Vec<NpnClass> = Vec::new();
         let mut labels = Vec::with_capacity(fns.len());
         for (f, &g) in fns.into_iter().zip(group_of) {

@@ -26,14 +26,73 @@ const PRIME: u128 = 0x0000000001000000000000000000013b;
 /// assert_ne!(a, c);
 /// ```
 pub fn fnv128(words: &[u64]) -> u128 {
-    let mut h = OFFSET;
-    for &w in words {
+    let mut stream = Fnv128Stream::new();
+    stream.words(words);
+    stream.finish()
+}
+
+/// A rolling FNV-1a/128 state over a stream of words.
+///
+/// Feeding words one at a time produces exactly the digest [`fnv128`]
+/// computes over the concatenation — this is what lets digest-mode
+/// classification hash a Mixed Signature Vector straight off the
+/// signature kernel without ever materializing it (the stream
+/// implements [`facepoint_sig::MsvSink`]).
+///
+/// # Examples
+///
+/// ```
+/// use facepoint_core::{fnv128, Fnv128Stream};
+///
+/// let mut s = Fnv128Stream::new();
+/// s.word(1);
+/// s.word(2);
+/// assert_eq!(s.finish(), fnv128(&[1, 2]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv128Stream {
+    state: u128,
+}
+
+impl Default for Fnv128Stream {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv128Stream {
+    /// A stream at the FNV-1a offset basis (the empty-input digest).
+    pub fn new() -> Self {
+        Fnv128Stream { state: OFFSET }
+    }
+
+    /// Absorbs one word (byte-wise, little-endian).
+    pub fn word(&mut self, w: u64) {
+        let mut h = self.state;
         for b in w.to_le_bytes() {
             h ^= b as u128;
             h = h.wrapping_mul(PRIME);
         }
+        self.state = h;
     }
-    h
+
+    /// Absorbs a run of words.
+    pub fn words(&mut self, ws: &[u64]) {
+        for &w in ws {
+            self.word(w);
+        }
+    }
+
+    /// The digest of everything absorbed so far.
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+impl facepoint_sig::MsvSink for Fnv128Stream {
+    fn word(&mut self, w: u64) {
+        Fnv128Stream::word(self, w);
+    }
 }
 
 #[cfg(test)]

@@ -25,7 +25,7 @@
 //! key equals the flat MSV, so the partitions coincide.
 
 use crate::classifier::{Classification, Classifier, NpnClassBuilder};
-use facepoint_sig::{push_stage_sections, SignatureSet, STAGE_ORDER};
+use facepoint_sig::{SigKernel, STAGE_ORDER};
 use facepoint_truth::TruthTable;
 use std::collections::HashMap;
 
@@ -96,6 +96,12 @@ impl Classifier {
             map.len()
         };
 
+        // One kernel for the whole refinement: sections of `¬f` are
+        // derived from `f`'s ingredients (never materialized), and a
+        // function's sensitivity profile is shared between its OSV and
+        // OSDV stages via the kernel's ingredient cache.
+        let mut kernel = SigKernel::new();
+        let mut key_buf: Vec<u64> = Vec::new();
         for stage in STAGE_ORDER {
             if !self.signature_set().contains(stage) {
                 continue;
@@ -104,7 +110,7 @@ impl Classifier {
             for &g in &group_of {
                 pop[g] += 1;
             }
-            let mut map: HashMap<(usize, Vec<u64>), usize> = HashMap::new();
+            let mut map: HashMap<(usize, Vec<u64>), usize> = HashMap::with_capacity(fns.len());
             let mut singleton_renumber: HashMap<usize, usize> = HashMap::new();
             let mut next_groups = 0usize;
             let mut new_group_of = vec![usize::MAX; fns.len()];
@@ -122,23 +128,28 @@ impl Classifier {
                     continue;
                 }
                 let key = match polarity[i] {
-                    Polarity::Keep => stage_key(f, stage),
-                    Polarity::Negate => stage_key(&!f, stage),
+                    Polarity::Keep => {
+                        kernel.stage_sections_into(f, stage, false, &mut key_buf);
+                        key_buf.clone()
+                    }
+                    Polarity::Negate => {
+                        kernel.stage_sections_into(f, stage, true, &mut key_buf);
+                        key_buf.clone()
+                    }
                     Polarity::Ambiguous => {
-                        let a = stage_key(f, stage);
-                        let b = stage_key(&!f, stage);
+                        let (a, b) = kernel.stage_sections_dual(f, stage);
                         // The first differing stage fixes the polarity —
                         // exactly the flat MSV's lexicographic choice.
-                        match a.cmp(&b) {
+                        match a.cmp(b) {
                             std::cmp::Ordering::Less => {
                                 polarity[i] = Polarity::Keep;
-                                a
+                                a.to_vec()
                             }
                             std::cmp::Ordering::Greater => {
                                 polarity[i] = Polarity::Negate;
-                                b
+                                b.to_vec()
                             }
-                            std::cmp::Ordering::Equal => a,
+                            std::cmp::Ordering::Equal => a.to_vec(),
                         }
                     }
                 };
@@ -157,15 +168,10 @@ impl Classifier {
     }
 }
 
-fn stage_key(f: &TruthTable, stage: SignatureSet) -> Vec<u64> {
-    let mut out = Vec::new();
-    push_stage_sections(f, stage, &mut out);
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use facepoint_sig::SignatureSet;
     use facepoint_truth::NpnTransform;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

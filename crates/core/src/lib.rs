@@ -45,10 +45,12 @@
 mod classifier;
 mod fnv;
 mod hierarchical;
+mod kernel;
 mod metrics;
 mod refine;
 
 pub use classifier::{signature_key, Classification, Classifier, KeyMode, NpnClass};
-pub use fnv::fnv128;
+pub use fnv::{fnv128, Fnv128Stream};
+pub use kernel::SignatureKernel;
 pub use metrics::PartitionComparison;
 pub use refine::refine_to_exact;

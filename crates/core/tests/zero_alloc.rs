@@ -1,0 +1,113 @@
+//! Proves the acceptance property of the signature kernel: **digest
+//! mode performs zero per-function heap allocations in steady state**.
+//!
+//! A counting global allocator wraps the system allocator. After a
+//! warm-up pass grows every scratch buffer to its high-water mark, a
+//! second pass over the same tables must not allocate at all.
+//!
+//! The library crates all keep `#![forbid(unsafe_code)]`; the two
+//! `unsafe` blocks below are confined to this test harness because
+//! implementing `GlobalAlloc` is inherently unsafe — they only delegate
+//! to `std`'s `System` allocator and bump a counter.
+
+use facepoint_core::SignatureKernel;
+use facepoint_sig::SignatureSet;
+use facepoint_truth::TruthTable;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A deterministic mixed workload: balanced tables (dual-polarity
+/// path), unbalanced tables of both polarities, and structured
+/// functions whose polarity tie survives every stage.
+fn workload(n: usize) -> Vec<TruthTable> {
+    let mut fns = vec![
+        TruthTable::parity(n),
+        TruthTable::majority(if n % 2 == 1 { n } else { n - 1 }),
+        TruthTable::zero(n).unwrap(),
+        TruthTable::one(n).unwrap(),
+    ];
+    for k in 0..24u64 {
+        let t = TruthTable::from_fn(n, |m| {
+            (m ^ (m >> 2)).wrapping_mul(0x9E37_79B9_7F4A_7C15 ^ k) % 7 < 3
+        })
+        .unwrap();
+        fns.push(t);
+    }
+    fns
+}
+
+// One #[test] on purpose: the allocation counter is process-global, so
+// a second test running on a parallel harness thread would bleed its
+// allocations into this one's measured window.
+#[test]
+fn steady_state_digest_and_msv_into_allocate_nothing() {
+    // Digest keys: the acceptance property.
+    for set in [SignatureSet::all(), SignatureSet::all_extended()] {
+        for n in [4usize, 6, 8] {
+            let fns = workload(n);
+            let mut kernel = SignatureKernel::new(set);
+            // Warm-up: grow every scratch buffer to its high-water mark
+            // and record the expected keys.
+            let expected: Vec<u128> = fns.iter().map(|f| kernel.key(f)).collect();
+            let before = allocations();
+            for (f, &want) in fns.iter().zip(&expected) {
+                assert_eq!(kernel.key(f), want);
+            }
+            let after = allocations();
+            assert_eq!(
+                after - before,
+                0,
+                "steady-state digest keys must not allocate (set = {set}, n = {n})"
+            );
+        }
+    }
+
+    // Materializing into a caller-reused buffer is also allocation-free.
+    let fns = workload(7);
+    let mut kernel = SignatureKernel::new(SignatureSet::all());
+    let mut out = Vec::new();
+    for f in &fns {
+        kernel.msv_into(f, &mut out); // warm-up growth
+    }
+    let before = allocations();
+    for f in &fns {
+        kernel.msv_into(f, &mut out);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "materializing into a reused buffer must not allocate"
+    );
+}

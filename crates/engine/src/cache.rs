@@ -54,6 +54,27 @@ impl MemoCache {
         (h.finish() as usize) % CACHE_SHARDS
     }
 
+    /// Returns the memoized key of `table` if it is already cached —
+    /// the ingestion-side dedup probe. Counts as a cache hit when it
+    /// succeeds; a failed probe is *not* counted as a miss (the worker
+    /// that later computes the key records the miss), so
+    /// `hits + misses` still equals the number of keyed functions.
+    pub fn peek(&self, table: &TruthTable) -> Option<u128> {
+        if self.disabled {
+            return None;
+        }
+        let idx = self.shard_of(table);
+        let key = self.shards[idx]
+            .lock()
+            .expect("cache shard poisoned")
+            .get(table)
+            .copied();
+        if key.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        key
+    }
+
     /// Returns the memoized key of `table`, or computes, records and
     /// returns it.
     pub fn key_or_compute(&self, table: &TruthTable, compute: impl FnOnce() -> u128) -> u128 {
@@ -112,6 +133,19 @@ mod tests {
         assert_eq!(computed, 1);
         assert_eq!(cache.hits(), 4);
         assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn peek_probes_without_recording_misses() {
+        let cache = MemoCache::new(64);
+        assert_eq!(cache.peek(&t(5)), None);
+        assert_eq!(cache.misses(), 0, "failed probes are not misses");
+        cache.key_or_compute(&t(5), || 99);
+        assert_eq!(cache.peek(&t(5)), Some(99));
+        assert_eq!(cache.hits(), 1);
+        let disabled = MemoCache::new(0);
+        assert_eq!(disabled.peek(&t(5)), None);
+        assert_eq!(disabled.hits(), 0);
     }
 
     #[test]

@@ -40,7 +40,10 @@ pub struct EngineConfig {
     pub queue_chunks: usize,
     /// Capacity of the table→key memo cache in entries (`0` disables
     /// it). The cache pays off exactly when the stream repeats
-    /// functions, as AIG cut traffic does.
+    /// functions, as AIG cut traffic does. Enabling it also enables
+    /// the ingestion-side **dedup fast path**: `submit` probes the
+    /// cache first and resolves repeated functions without a queue
+    /// round-trip (see [`EngineStats::dedup_hits`](crate::EngineStats)).
     pub cache_capacity: usize,
 }
 

@@ -4,7 +4,7 @@ use crate::cache::MemoCache;
 use crate::config::EngineConfig;
 use crate::stats::{EngineSnapshot, EngineStats};
 use crate::store::{ClassSummary, ShardedStore};
-use facepoint_core::{signature_key, Classification, NpnClass};
+use facepoint_core::{Classification, NpnClass, SignatureKernel};
 use facepoint_truth::TruthTable;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -13,10 +13,12 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// A chunk of work: `tables[i]` is submission number `base_seq + i`.
+/// A chunk of work: each entry carries its own submission number.
+/// Explicit numbering (rather than a base + offset) is required because
+/// the dedup fast path consumes submission numbers without entering the
+/// buffer, leaving buffered chunks with non-contiguous sequences.
 struct Job {
-    base_seq: u64,
-    tables: Vec<TruthTable>,
+    entries: Vec<(u64, TruthTable)>,
 }
 
 /// Per-worker record of what went where: `(submission seq, key)`.
@@ -48,9 +50,16 @@ pub struct Engine {
     processed: Arc<AtomicU64>,
     tx: Option<SyncSender<Job>>,
     handles: Vec<JoinHandle<WorkerLog>>,
-    /// Chunk being accumulated by `submit` calls.
-    pending: Vec<TruthTable>,
+    /// Chunk being accumulated by `submit` calls, with each function's
+    /// submission number (dedup fast-path hits leave gaps).
+    pending: Vec<(u64, TruthTable)>,
     next_seq: u64,
+    /// `(seq, key)` records of functions resolved by the ingestion-side
+    /// dedup fast path (memo-cache probe), merged with the worker logs
+    /// at [`Engine::finish`].
+    dedup_log: WorkerLog,
+    /// Functions that skipped the queue via the dedup fast path.
+    dedup_hits: u64,
     started: Instant,
 }
 
@@ -101,6 +110,8 @@ impl Engine {
             handles,
             pending: Vec::with_capacity(cfg.chunk_size),
             next_seq: 0,
+            dedup_log: Vec::new(),
+            dedup_hits: 0,
             started: Instant::now(),
             cfg,
         }
@@ -119,10 +130,23 @@ impl Engine {
     /// the worker pool, **blocking if the ingest queue is full**
     /// (backpressure). Use [`Engine::flush`] to push a partial chunk
     /// early.
+    ///
+    /// When the memo cache is enabled (a positive
+    /// [`EngineConfig::cache_capacity`]) a repeated function takes the
+    /// **dedup fast path**: its cached key bumps the class counts right
+    /// here, skipping the queue round-trip entirely. Fast-path
+    /// resolutions are counted in [`EngineStats::dedup_hits`].
     pub fn submit(&mut self, f: TruthTable) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.pending.push(f);
+        if let Some(key) = self.cache.peek(&f) {
+            self.store.insert(key, &f, seq);
+            self.dedup_log.push((seq, key));
+            self.dedup_hits += 1;
+            self.processed.fetch_add(1, Ordering::AcqRel);
+            return seq;
+        }
+        self.pending.push((seq, f));
         if self.pending.len() >= self.cfg.chunk_size.max(1) {
             self.dispatch_pending();
         }
@@ -148,11 +172,10 @@ impl Engine {
         if self.pending.is_empty() {
             return;
         }
-        let tables = std::mem::take(&mut self.pending);
-        let base_seq = self.next_seq - tables.len() as u64;
+        let entries = std::mem::take(&mut self.pending);
         self.pending = Vec::with_capacity(self.cfg.chunk_size);
         let tx = self.tx.as_ref().expect("engine already finished");
-        tx.send(Job { base_seq, tables })
+        tx.send(Job { entries })
             .expect("worker pool hung up while the engine is alive");
     }
 
@@ -190,6 +213,7 @@ impl Engine {
         self.dispatch_pending();
         drop(self.tx.take()); // close the channel: workers drain and exit
         let mut keyed: Vec<(u64, u128)> = Vec::with_capacity(self.next_seq as usize);
+        keyed.append(&mut self.dedup_log);
         for handle in self.handles.drain(..) {
             keyed.extend(handle.join().expect("worker panicked"));
         }
@@ -251,6 +275,7 @@ impl Engine {
             max_shard_classes: shard_counts.iter().copied().max().unwrap_or(0),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
+            dedup_hits: self.dedup_hits,
             elapsed: self.started.elapsed(),
         }
     }
@@ -275,16 +300,19 @@ fn worker_loop(
     set: facepoint_sig::SignatureSet,
 ) -> WorkerLog {
     let mut log: WorkerLog = Vec::new();
+    // One kernel per worker, reused for the whole stream: scratch
+    // buffers grow to the largest arity seen, then key computation is
+    // allocation-free.
+    let mut kernel = SignatureKernel::new(set);
     loop {
         // Hold the receiver lock only to pop one chunk.
         let job = match rx.lock().expect("ingest queue poisoned").recv() {
             Ok(job) => job,
             Err(_) => return log, // channel closed: engine is finishing
         };
-        let n = job.tables.len() as u64;
-        for (i, table) in job.tables.into_iter().enumerate() {
-            let seq = job.base_seq + i as u64;
-            let key = cache.key_or_compute(&table, || signature_key(&table, set));
+        let n = job.entries.len() as u64;
+        for (seq, table) in job.entries {
+            let key = cache.key_or_compute(&table, || kernel.key(&table));
             store.insert(key, &table, seq);
             log.push((seq, key));
         }
@@ -296,7 +324,7 @@ fn worker_loop(
 mod tests {
     use super::*;
     use facepoint_bench::transform_closure_workload as workload;
-    use facepoint_core::Classifier;
+    use facepoint_core::{signature_key, Classifier};
     use facepoint_sig::SignatureSet;
 
     #[test]

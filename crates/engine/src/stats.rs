@@ -57,10 +57,15 @@ pub struct EngineStats {
     pub occupied_shards: usize,
     /// Classes in the fullest shard.
     pub max_shard_classes: usize,
-    /// Memo-cache hits (0 when the cache is disabled).
+    /// Memo-cache hits (0 when the cache is disabled). Includes the
+    /// ingestion-side probes of the dedup fast path.
     pub cache_hits: u64,
     /// Memo-cache misses (every function, when the cache is disabled).
     pub cache_misses: u64,
+    /// Functions resolved by the ingestion-side dedup fast path: the
+    /// memo cache already knew their key, so they skipped the queue
+    /// round-trip entirely (0 when the cache is disabled).
+    pub dedup_hits: u64,
     /// Wall-clock time from engine creation to the report.
     pub elapsed: Duration,
 }
@@ -91,7 +96,8 @@ impl std::fmt::Display for EngineStats {
         write!(
             f,
             "{} functions -> {} classes | {} workers, {} shards \
-             ({} occupied, max {}) | {:.0} fn/s | cache {:.1}% of {}",
+             ({} occupied, max {}) | {:.0} fn/s | cache {:.1}% of {} \
+             | {} deduped at ingest",
             self.functions_processed,
             self.num_classes,
             self.workers,
@@ -101,6 +107,7 @@ impl std::fmt::Display for EngineStats {
             self.throughput(),
             self.cache_hit_rate() * 100.0,
             self.cache_hits + self.cache_misses,
+            self.dedup_hits,
         )
     }
 }
@@ -120,6 +127,7 @@ mod tests {
             max_shard_classes: 3,
             cache_hits: 25,
             cache_misses: 75,
+            dedup_hits: 10,
             elapsed: Duration::from_secs(2),
         }
     }

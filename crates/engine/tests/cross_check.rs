@@ -129,6 +129,100 @@ fn interleaved_waves_and_snapshots() {
     assert_eq!(report.stats.functions_submitted, all.len() as u64);
 }
 
+/// The ingestion-side dedup fast path must be invisible in the result:
+/// with a warm cache, repeated functions skip the queue (counted in
+/// `dedup_hits`) yet the partition stays identical to the one-shot
+/// classifier at every worker count.
+#[test]
+fn dedup_fast_path_is_transparent_across_worker_counts() {
+    let base = workload(5, 9, 4, 0xD0D0);
+    let mut fns = base.clone();
+    fns.extend(base.iter().cloned());
+    fns.extend(base.iter().cloned());
+    let expected = Classifier::new(SignatureSet::all()).classify(fns.clone());
+    for workers in [1usize, 2, 8] {
+        let mut engine = Engine::with_config(EngineConfig {
+            set: SignatureSet::all(),
+            workers,
+            chunk_size: 8,
+            cache_capacity: 4096,
+            ..EngineConfig::default()
+        });
+        // Warm the cache with the first copy of the stream, draining it
+        // fully so every repeat can take the fast path.
+        engine.submit_batch(base.iter().cloned());
+        engine.flush();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while engine.snapshot().functions_processed < base.len() as u64 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "engine failed to drain"
+            );
+            std::thread::yield_now();
+        }
+        // Both repeats now resolve at ingestion.
+        engine.submit_batch(base.iter().cloned());
+        engine.submit_batch(base.iter().cloned());
+        let report = engine.finish();
+        assert_eq!(
+            report.classification.labels(),
+            expected.labels(),
+            "labels diverge at {workers} workers with dedup enabled"
+        );
+        assert_eq!(
+            report.stats.dedup_hits,
+            2 * base.len() as u64,
+            "every repeat takes the fast path at {workers} workers"
+        );
+        assert_eq!(report.stats.functions_processed, fns.len() as u64);
+    }
+}
+
+/// Regression: a fast-path hit interleaved with *buffered* (not yet
+/// dispatched) functions must not shift their sequence numbers — the
+/// buffered chunk's seqs are non-contiguous in that case.
+#[test]
+fn dedup_interleaved_with_pending_buffer_keeps_submission_order() {
+    let known = workload(4, 3, 1, 0x1AB);
+    let fresh = workload(4, 6, 1, 0x2CD);
+    // Stream: warm-up (known), then alternate fresh (buffered) and
+    // known (fast path) without draining in between.
+    let mut stream: Vec<TruthTable> = known.clone();
+    for (f, k) in fresh.iter().zip(known.iter().cycle()) {
+        stream.push(f.clone());
+        stream.push(k.clone());
+    }
+    let expected = Classifier::new(SignatureSet::all()).classify(stream.clone());
+    let mut engine = Engine::with_config(EngineConfig {
+        set: SignatureSet::all(),
+        workers: 2,
+        chunk_size: 64, // larger than the stream: everything stays buffered
+        cache_capacity: 1024,
+        ..EngineConfig::default()
+    });
+    engine.submit_batch(known.iter().cloned());
+    engine.flush();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while engine.snapshot().functions_processed < known.len() as u64 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "engine failed to drain"
+        );
+        std::thread::yield_now();
+    }
+    for (f, k) in fresh.iter().zip(known.iter().cycle()) {
+        engine.submit(f.clone()); // buffered, queue-bound
+        engine.submit(k.clone()); // cache hit, fast path
+    }
+    let report = engine.finish();
+    assert!(report.stats.dedup_hits >= fresh.len() as u64);
+    assert_eq!(
+        report.classification.labels(),
+        expected.labels(),
+        "interleaved fast-path hits must not reorder buffered functions"
+    );
+}
+
 /// The memo cache must be transparent: same partition with and without
 /// it, and repeat traffic must actually hit.
 #[test]

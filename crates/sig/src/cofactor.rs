@@ -9,6 +9,7 @@
 //! NPN equivalence *up to output phase* (output negation maps each count
 //! `c` to `2^{n-ℓ} − c`).
 
+use facepoint_truth::words::var_mask_word;
 use facepoint_truth::TruthTable;
 
 /// The 1-ary ordered cofactor vector: sorted multiset
@@ -93,6 +94,73 @@ pub fn ocv(f: &TruthTable, arity: usize) -> Vec<u32> {
     }
 }
 
+/// Writes the sorted ℓ-ary cofactor counts (ℓ ≤ 3) into `out` as
+/// `u64`s, reusing its allocation — the signature kernel's section
+/// builder. Stack-allocated combination state keeps the whole
+/// computation heap-free. Produces an empty vector when `arity >
+/// num_vars` (only reachable for `OCV1`/`OCV2` on degenerate arities;
+/// the `OCV3` stage is skipped entirely below three variables).
+pub(crate) fn ocv_sorted_into(f: &TruthTable, arity: usize, out: &mut Vec<u64>) {
+    debug_assert!((1..=3).contains(&arity), "kernel OCV arity is 1..=3");
+    let n = f.num_vars();
+    out.clear();
+    if arity > n {
+        return;
+    }
+    match arity {
+        1 => {
+            // One masked sweep per variable; the other polarity is the
+            // satisfy-count complement.
+            let total = f.count_ones();
+            for var in 0..n {
+                let c1 = f.cofactor_count(var, true);
+                out.push(total - c1);
+                out.push(c1);
+            }
+        }
+        2 => {
+            // All four counts of a variable pair in a single sweep.
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let (mut c00, mut c01, mut c10, mut c11) = (0u64, 0u64, 0u64, 0u64);
+                    for (wi, &w) in f.words().iter().enumerate() {
+                        let mi = var_mask_word(i, wi);
+                        let mj = var_mask_word(j, wi);
+                        let w1 = w & mi;
+                        let w0 = w & !mi;
+                        c11 += (w1 & mj).count_ones() as u64;
+                        c01 += (w0 & mj).count_ones() as u64;
+                        c10 += (w1 & !mj).count_ones() as u64;
+                        c00 += (w0 & !mj).count_ones() as u64;
+                    }
+                    out.extend([c00, c10, c01, c11]);
+                }
+            }
+        }
+        _ => {
+            // Generic path with stack-allocated combination state.
+            let mut combo_buf = [0usize; 3];
+            let combo = &mut combo_buf[..arity];
+            for (k, c) in combo.iter_mut().enumerate() {
+                *c = k;
+            }
+            let mut values = [false; 3];
+            loop {
+                for assign in 0..(1u32 << arity) {
+                    for (k, v) in values[..arity].iter_mut().enumerate() {
+                        *v = (assign >> k) & 1 == 1;
+                    }
+                    out.push(f.cofactor_count_multi(combo, &values[..arity]));
+                }
+                if !next_combination(combo, n) {
+                    break;
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+}
+
 /// Advances `combo` (strictly increasing indices into `0..n`) to its
 /// lexicographic successor; returns `false` when exhausted.
 fn next_combination(combo: &mut [usize], n: usize) -> bool {
@@ -170,6 +238,20 @@ mod tests {
         assert_eq!(v.len(), 8);
         assert_eq!(v.iter().sum::<u32>(), 4);
         assert!(v.iter().all(|&c| c <= 1));
+    }
+
+    #[test]
+    fn sorted_into_matches_public_ocv() {
+        let f = TruthTable::from_hex(5, "cafe1234").unwrap();
+        let mut out = Vec::new();
+        for arity in 1..=3usize {
+            ocv_sorted_into(&f, arity, &mut out);
+            let expect: Vec<u64> = ocv(&f, arity).iter().map(|&c| c as u64).collect();
+            assert_eq!(out, expect, "arity {arity}");
+        }
+        let tiny = TruthTable::from_u64(1, 0b10).unwrap();
+        ocv_sorted_into(&tiny, 2, &mut out);
+        assert!(out.is_empty(), "arity above n yields an empty vector");
     }
 
     #[test]

@@ -20,10 +20,26 @@
 //! population.
 
 use crate::sensitivity::SensitivityProfile;
-use crate::spectral::xor_autocorrelation;
+use crate::spectral::xor_autocorrelation_into;
 use facepoint_truth::words::WORD_VARS;
 use facepoint_truth::TruthTable;
 use std::fmt;
+
+/// Reusable scratch buffers for [`osdv_rows_into`] — owning these lets
+/// the signature kernel compute OSDVs with zero steady-state heap
+/// allocations.
+#[derive(Debug, Default, Clone)]
+pub struct OsdvScratch {
+    /// Bit-packed indicator of the current sensitivity group.
+    group: Vec<u64>,
+    /// Unfiltered indicator, shared by both polarity groups in the
+    /// fused sweep.
+    ind: Vec<u64>,
+    /// Expanded member list for the pairwise engine.
+    members: Vec<u64>,
+    /// Walsh–Hadamard workspace for the WHT engine.
+    wht: Vec<i64>,
+}
 
 /// Strategy for counting equal-sensitivity minterm pairs by distance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -140,30 +156,48 @@ pub fn osdv_from_profile(
     filter: MintermFilter,
     engine: OsdvEngine,
 ) -> Osdv {
-    let n = f.num_vars();
-    if n == 0 {
-        return Osdv {
-            num_vars: 0,
-            rows: Vec::new(),
-        };
+    let mut rows = Vec::new();
+    let mut scratch = OsdvScratch::default();
+    osdv_rows_into(f, profile, filter, engine, &mut scratch, &mut rows);
+    Osdv {
+        num_vars: f.num_vars(),
+        rows,
     }
-    let mut rows = vec![0u64; (n + 1) * n];
+}
+
+/// Writes the row-major `(n+1) × n` OSDV matrix into `rows`, reusing
+/// both the output and the `scratch` buffers — the allocation-free core
+/// of [`osdv_from_profile`]. For `n = 0` the output is empty.
+pub fn osdv_rows_into(
+    f: &TruthTable,
+    profile: &SensitivityProfile,
+    filter: MintermFilter,
+    engine: OsdvEngine,
+    scratch: &mut OsdvScratch,
+    rows: &mut Vec<u64>,
+) {
+    let n = f.num_vars();
+    rows.clear();
+    if n == 0 {
+        return;
+    }
+    rows.resize((n + 1) * n, 0);
     for s in 0..=n as u32 {
-        let mut group = profile.indicator(s);
+        profile.indicator_into(s, &mut scratch.group);
         match filter {
             MintermFilter::All => {}
             MintermFilter::Zeros => {
-                for (g, fw) in group.iter_mut().zip(f.words()) {
+                for (g, fw) in scratch.group.iter_mut().zip(f.words()) {
                     *g &= !fw;
                 }
             }
             MintermFilter::Ones => {
-                for (g, fw) in group.iter_mut().zip(f.words()) {
+                for (g, fw) in scratch.group.iter_mut().zip(f.words()) {
                     *g &= fw;
                 }
             }
         }
-        let pop: u64 = group.iter().map(|w| w.count_ones() as u64).sum();
+        let pop: u64 = scratch.group.iter().map(|w| w.count_ones() as u64).sum();
         if pop < 2 {
             continue;
         }
@@ -174,12 +208,77 @@ pub fn osdv_from_profile(
         };
         let row = &mut rows[s as usize * n..(s as usize + 1) * n];
         if use_pairwise {
-            count_pairs_naive(&group, row);
+            count_pairs_naive(&scratch.group, row, &mut scratch.members);
         } else {
-            count_pairs_wht(&group, n, row);
+            count_pairs_wht(&scratch.group, n, row, &mut scratch.wht);
         }
     }
-    Osdv { num_vars: n, rows }
+}
+
+/// Computes the four point-characteristic sections of the MSV in one
+/// sweep: the `OSDV0`/`OSDV1` row matrices into `rows0`/`rows1` and the
+/// `OSV0`/`OSV1` histograms into `h0`/`h1`.
+///
+/// Per sensitivity level the indicator is built **once** and split into
+/// its 0-/1-minterm halves, whose popcounts are the histogram entries
+/// and whose pair counts fill the rows — versus three independent
+/// indicator sweeps when the histograms and the two filtered OSDVs are
+/// computed separately. All outputs and scratch reuse their
+/// allocations.
+// Four output buffers plus scratch is the point of the API: every
+// consumer owns them all and reuses them across a stream.
+#[allow(clippy::too_many_arguments)]
+pub fn osdv_point_sections_into(
+    f: &TruthTable,
+    profile: &SensitivityProfile,
+    engine: OsdvEngine,
+    scratch: &mut OsdvScratch,
+    rows0: &mut Vec<u64>,
+    rows1: &mut Vec<u64>,
+    h0: &mut Vec<u64>,
+    h1: &mut Vec<u64>,
+) {
+    let n = f.num_vars();
+    rows0.clear();
+    rows1.clear();
+    h0.clear();
+    h1.clear();
+    rows0.resize((n + 1) * n, 0);
+    rows1.resize((n + 1) * n, 0);
+    for s in 0..=n as u32 {
+        profile.indicator_into(s, &mut scratch.ind);
+        for (value, rows, hist) in [
+            (false, &mut *rows0, &mut *h0),
+            (true, &mut *rows1, &mut *h1),
+        ] {
+            scratch.group.clear();
+            scratch
+                .group
+                .extend(scratch.ind.iter().zip(f.words()).map(|(&iw, &fw)| {
+                    if value {
+                        iw & fw
+                    } else {
+                        iw & !fw
+                    }
+                }));
+            let pop: u64 = scratch.group.iter().map(|w| w.count_ones() as u64).sum();
+            hist.push(pop);
+            if n == 0 || pop < 2 {
+                continue;
+            }
+            let use_pairwise = match engine {
+                OsdvEngine::Pairwise => true,
+                OsdvEngine::Wht => false,
+                OsdvEngine::Auto => pop * pop < (n as u64) << n,
+            };
+            let row = &mut rows[s as usize * n..(s as usize + 1) * n];
+            if use_pairwise {
+                count_pairs_naive(&scratch.group, row, &mut scratch.members);
+            } else {
+                count_pairs_wht(&scratch.group, n, row, &mut scratch.wht);
+            }
+        }
+    }
 }
 
 /// `OSDV(f)`: pair counts over all minterms (default engine).
@@ -197,8 +296,8 @@ pub fn osdv1(f: &TruthTable) -> Osdv {
     osdv_with(f, MintermFilter::Ones, OsdvEngine::Auto)
 }
 
-fn count_pairs_naive(group: &[u64], row: &mut [u64]) {
-    let mut members: Vec<u64> = Vec::new();
+fn count_pairs_naive(group: &[u64], row: &mut [u64], members: &mut Vec<u64>) {
+    members.clear();
     for (w, &word) in group.iter().enumerate() {
         let mut bits = word;
         while bits != 0 {
@@ -214,9 +313,9 @@ fn count_pairs_naive(group: &[u64], row: &mut [u64]) {
     }
 }
 
-fn count_pairs_wht(group: &[u64], num_vars: usize, row: &mut [u64]) {
-    let r = xor_autocorrelation(group, num_vars);
-    for (d, &cnt) in r.iter().enumerate().skip(1) {
+fn count_pairs_wht(group: &[u64], num_vars: usize, row: &mut [u64], wht: &mut Vec<i64>) {
+    xor_autocorrelation_into(group, num_vars, wht);
+    for (d, &cnt) in wht.iter().enumerate().skip(1) {
         debug_assert!(cnt >= 0 && cnt % 2 == 0, "ordered pair counts are even");
         let j = (d as u64).count_ones() as usize;
         row[j - 1] += (cnt / 2) as u64;
@@ -272,6 +371,36 @@ mod tests {
                     let b = osdv_with(&f, filter, OsdvEngine::Wht);
                     assert_eq!(a, b, "n = {n}, filter = {filter:?}, f = {f}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_point_sections_match_separate_computation() {
+        let mut rng = StdRng::seed_from_u64(0xF05E);
+        let mut scratch = OsdvScratch::default();
+        let (mut r0, mut r1, mut h0, mut h1) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        for n in 0..=7usize {
+            for _ in 0..4 {
+                let f = TruthTable::random(n, &mut rng).unwrap();
+                let prof = SensitivityProfile::compute(&f);
+                osdv_point_sections_into(
+                    &f,
+                    &prof,
+                    OsdvEngine::Auto,
+                    &mut scratch,
+                    &mut r0,
+                    &mut r1,
+                    &mut h0,
+                    &mut h1,
+                );
+                let d0 = osdv_from_profile(&f, &prof, MintermFilter::Zeros, OsdvEngine::Auto);
+                let d1 = osdv_from_profile(&f, &prof, MintermFilter::Ones, OsdvEngine::Auto);
+                let (e0, e1) = prof.histograms_by_value(&f);
+                assert_eq!(r0, d0.flatten(), "rows0, n = {n}, f = {f}");
+                assert_eq!(r1, d1.flatten(), "rows1, n = {n}, f = {f}");
+                assert_eq!(h0, e0, "h0, n = {n}, f = {f}");
+                assert_eq!(h1, e1, "h1, n = {n}, f = {f}");
             }
         }
     }

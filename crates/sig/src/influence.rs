@@ -13,11 +13,13 @@
 //! which makes [`oiv`] the cheapest fully NPN-invariant vector in the
 //! paper's toolbox.
 
+use facepoint_truth::words::{flip_var_word, WORD_VARS};
 use facepoint_truth::TruthTable;
 
 /// The integer influence of variable `var`:
 /// `|{X : f(X) ≠ f(X ⊕ e_var)}| / 2` — a masked popcount of the Boolean
-/// derivative `f ⊕ f[x←¬x]`.
+/// derivative `f ⊕ f[x←¬x]`, formed word-by-word so no flipped table is
+/// ever materialized.
 ///
 /// # Panics
 ///
@@ -33,10 +35,29 @@ use facepoint_truth::TruthTable;
 /// assert_eq!(influence(&maj, 0), 2); // Table I: OIV(f1) = (2,2,2)
 /// ```
 pub fn influence(f: &TruthTable, var: usize) -> u32 {
-    let d = f ^ &f.flip_var(var);
-    let c = d.count_ones();
+    assert!(var < f.num_vars(), "variable index in range");
+    let words = f.words();
+    let c: u32 = if var < WORD_VARS {
+        words
+            .iter()
+            .map(|&w| (w ^ flip_var_word(w, var)).count_ones())
+            .sum()
+    } else {
+        let bit = 1usize << (var - WORD_VARS);
+        (0..words.len())
+            .map(|i| (words[i] ^ words[i ^ bit]).count_ones())
+            .sum()
+    };
     debug_assert_eq!(c % 2, 0, "derivative popcount is even");
-    (c / 2) as u32
+    c / 2
+}
+
+/// Writes the sorted influence multiset (`OIV`) into `out` as `u64`s,
+/// reusing its allocation — the signature kernel's section builder.
+pub(crate) fn oiv_sorted_into(f: &TruthTable, out: &mut Vec<u64>) {
+    out.clear();
+    out.extend((0..f.num_vars()).map(|v| influence(f, v) as u64));
+    out.sort_unstable();
 }
 
 /// Influences of all variables, unsorted (index `i` holds `inf(f, i)`).

@@ -45,6 +45,7 @@
 mod cofactor;
 mod distance;
 mod influence;
+mod kernel;
 mod msv;
 mod sensitivity;
 pub mod spectral;
@@ -53,10 +54,12 @@ pub mod theorems;
 
 pub use cofactor::{ocv, ocv1, ocv2};
 pub use distance::{
-    osdv, osdv0, osdv1, osdv_from_profile, osdv_with, MintermFilter, Osdv, OsdvEngine,
+    osdv, osdv0, osdv1, osdv_from_profile, osdv_rows_into, osdv_with, MintermFilter, Osdv,
+    OsdvEngine, OsdvScratch,
 };
 pub use influence::{influence, influences, oiv, total_influence};
-pub use msv::{msv, push_stage_sections, raw_msv, Msv, SignatureSet, STAGE_ORDER};
+pub use kernel::{MsvSink, SigKernel};
+pub use msv::{msv, msv_reference, push_stage_sections, raw_msv, Msv, SignatureSet, STAGE_ORDER};
 pub use sensitivity::{
     osv, osv0, osv1, osv_histogram, osv_histograms_by_value, sen, sen0, sen1, SensitivityProfile,
 };

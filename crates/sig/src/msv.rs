@@ -17,6 +17,24 @@
 //!   Theorem 3/4 rule of placing the smaller of `OSV0`/`OSV1` first and
 //!   also fixes the cofactor sections, which the swap rule alone leaves
 //!   ambiguous (see DESIGN.md §5).
+//!
+//! # Output-negation derivation rules
+//!
+//! `raw_msv(¬f)` never needs a second pass (or a materialized `¬f`):
+//! every section derives from `f`'s ingredients, which is what
+//! [`SigKernel`](crate::SigKernel) exploits:
+//!
+//! | section | under `f ↦ ¬f` | why |
+//! |---|---|---|
+//! | `OIV` | unchanged | the derivative `f ⊕ f[x←¬x]` is invariant under complement |
+//! | `OCVℓ` | each count `c ↦ 2^{n−ℓ} − c`; sorted order reverses | a face holds `2^{n−ℓ}` points, `¬f` satisfies the complement |
+//! | `OSV0`/`OSV1` | swap | sensitivities are derivative column sums (invariant); 0-minterms of `¬f` are 1-minterms of `f` |
+//! | `OSDV0`/`OSDV1` | swap | same filter swap over the invariant sensitivity groups |
+//! | sorted \|Walsh\| | unchanged | `W(¬f) = −W(f)` pointwise |
+//!
+//! The sections of `f` and `¬f` therefore always have equal lengths,
+//! so the balanced-function lexicographic minimum can be decided in
+//! lockstep, stage by stage, at the first differing word.
 
 use crate::cofactor::{ocv1, ocv2};
 use crate::distance::{osdv_from_profile, MintermFilter, OsdvEngine};
@@ -179,6 +197,12 @@ impl fmt::Display for SignatureSet {
 pub struct Msv(Vec<u64>);
 
 impl Msv {
+    /// Wraps an already-serialized word vector (crate-internal: the
+    /// kernel builds MSVs without going through `raw_msv`).
+    pub(crate) fn from_words_vec(words: Vec<u64>) -> Self {
+        Msv(words)
+    }
+
     /// The flattened canonical words.
     pub fn as_words(&self) -> &[u64] {
         &self.0
@@ -215,6 +239,15 @@ impl Msv {
 /// # Ok::<(), facepoint_truth::Error>(())
 /// ```
 pub fn msv(f: &TruthTable, set: SignatureSet) -> Msv {
+    crate::SigKernel::new().msv(f, set)
+}
+
+/// The straightforward reference implementation of [`msv`]: recompute
+/// every stage per polarity via [`raw_msv`] and take the lexicographic
+/// minimum. Kept as the differential-testing and benchmarking baseline
+/// for the single-pass [`SigKernel`](crate::SigKernel); both produce
+/// bit-identical vectors.
+pub fn msv_reference(f: &TruthTable, set: SignatureSet) -> Msv {
     let ones = f.count_ones();
     let zeros = f.num_bits() - ones;
     if ones < zeros {

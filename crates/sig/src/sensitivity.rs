@@ -47,17 +47,59 @@ pub struct SensitivityProfile {
     planes: Vec<Vec<u64>>,
 }
 
+impl Default for SensitivityProfile {
+    /// An empty profile (zero variables, zeroed planes) — a reusable
+    /// slot for [`SensitivityProfile::compute_into`].
+    fn default() -> Self {
+        SensitivityProfile {
+            num_vars: 0,
+            planes: vec![Vec::new(); PLANES],
+        }
+    }
+}
+
 impl SensitivityProfile {
     /// Computes the profile with the bit-sliced carry-save accumulator.
     pub fn compute(f: &TruthTable) -> Self {
+        let mut p = SensitivityProfile::default();
+        p.compute_into(f);
+        p
+    }
+
+    /// Recomputes the profile for `f` in place, reusing the plane
+    /// allocations — the steady-state path of the signature kernel.
+    ///
+    /// Derivative words are formed on the fly from the packed table
+    /// (`w ⊕ flip_var_word(w)` in-word, `w ⊕ partner` across words), so
+    /// no flipped table is ever materialized and the whole profile is
+    /// one pass of `O(n·2^n/64)` word operations with zero heap
+    /// allocations once the planes have grown to the table size.
+    pub fn compute_into(&mut self, f: &TruthTable) {
+        use facepoint_truth::words::flip_var_word;
         let n = f.num_vars();
         let wc = word_count(n);
-        let mut planes = vec![vec![0u64; wc]; PLANES];
+        self.num_vars = n;
+        self.planes.resize(PLANES, Vec::new());
+        for plane in &mut self.planes {
+            plane.clear();
+            plane.resize(wc, 0);
+        }
+        let words = f.words();
         for var in 0..n {
-            let d = f ^ &f.flip_var(var);
-            for (w, &dw) in d.words().iter().enumerate() {
+            let high_bit = if var >= WORD_VARS {
+                1usize << (var - WORD_VARS)
+            } else {
+                0
+            };
+            for w in 0..wc {
+                let fw = words[w];
+                let dw = if var < WORD_VARS {
+                    fw ^ flip_var_word(fw, var)
+                } else {
+                    fw ^ words[w ^ high_bit]
+                };
                 let mut carry = dw;
-                for plane in planes.iter_mut() {
+                for plane in self.planes.iter_mut() {
                     if carry == 0 {
                         break;
                     }
@@ -67,10 +109,6 @@ impl SensitivityProfile {
                 }
                 debug_assert_eq!(carry, 0, "sensitivity exceeded plane capacity");
             }
-        }
-        SensitivityProfile {
-            num_vars: n,
-            planes,
         }
     }
 
@@ -124,8 +162,17 @@ impl SensitivityProfile {
     /// Bit-packed indicator of the minterms whose sensitivity equals `s`
     /// (padding bits of sub-word tables are masked off).
     pub fn indicator(&self, s: u32) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.indicator_into(s, &mut out);
+        out
+    }
+
+    /// Writes the indicator of sensitivity level `s` into `out`,
+    /// reusing its allocation (see [`SensitivityProfile::indicator`]).
+    pub fn indicator_into(&self, s: u32, out: &mut Vec<u64>) {
         let wc = self.planes[0].len();
-        let mut out = vec![u64::MAX; wc];
+        out.clear();
+        out.resize(wc, u64::MAX);
         for (p, plane) in self.planes.iter().enumerate() {
             for (o, &pw) in out.iter_mut().zip(plane) {
                 *o &= if (s >> p) & 1 == 1 { pw } else { !pw };
@@ -134,7 +181,6 @@ impl SensitivityProfile {
         if self.num_vars < WORD_VARS {
             out[0] &= valid_bits_mask(self.num_vars);
         }
-        out
     }
 
     /// Histogram of sensitivities: entry `s` counts the minterms with
@@ -160,15 +206,36 @@ impl SensitivityProfile {
     ///
     /// Panics if `f` has a different variable count than the profile.
     pub fn histograms_by_value(&self, f: &TruthTable) -> (Vec<u64>, Vec<u64>) {
+        let mut h0 = Vec::new();
+        let mut h1 = Vec::new();
+        let mut ind = Vec::new();
+        self.histograms_by_value_into(f, &mut h0, &mut h1, &mut ind);
+        (h0, h1)
+    }
+
+    /// Writes the `OSV0`/`OSV1` histograms into `h0`/`h1`, using `ind`
+    /// as indicator scratch — the allocation-free form of
+    /// [`SensitivityProfile::histograms_by_value`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` has a different variable count than the profile.
+    pub fn histograms_by_value_into(
+        &self,
+        f: &TruthTable,
+        h0: &mut Vec<u64>,
+        h1: &mut Vec<u64>,
+        ind: &mut Vec<u64>,
+    ) {
         assert_eq!(
             f.num_vars(),
             self.num_vars,
             "profile/function arity mismatch"
         );
-        let mut h0 = Vec::with_capacity(self.num_vars + 1);
-        let mut h1 = Vec::with_capacity(self.num_vars + 1);
+        h0.clear();
+        h1.clear();
         for s in 0..=self.num_vars as u32 {
-            let ind = self.indicator(s);
+            self.indicator_into(s, ind);
             let mut c0 = 0u64;
             let mut c1 = 0u64;
             // Padding bits of `!fw` are harmless: `ind` is already masked.
@@ -179,7 +246,6 @@ impl SensitivityProfile {
             h0.push(c0);
             h1.push(c1);
         }
-        (h0, h1)
     }
 
     /// The global sensitivity `sen(f) = max_X sen(f, X)` (Definition 4).

@@ -54,10 +54,30 @@ pub fn walsh_spectrum(f: &TruthTable) -> Vec<i64> {
 }
 
 /// Sorted absolute Walsh spectrum — a permutation/phase invariant vector.
+///
+/// Also invariant under output negation (`W(¬f) = −W(f)` pointwise), so
+/// the signature kernel emits one spectrum for both polarities.
 pub fn walsh_spectrum_sorted_abs(f: &TruthTable) -> Vec<i64> {
-    let mut s: Vec<i64> = walsh_spectrum(f).iter().map(|v| v.abs()).collect();
-    s.sort_unstable();
+    let mut s = Vec::new();
+    walsh_spectrum_sorted_abs_into(f, &mut s);
     s
+}
+
+/// Writes the sorted absolute Walsh spectrum into `out`, reusing its
+/// allocation — the allocation-free form of
+/// [`walsh_spectrum_sorted_abs`].
+pub fn walsh_spectrum_sorted_abs_into(f: &TruthTable, out: &mut Vec<i64>) {
+    let len = f.num_bits() as usize;
+    out.clear();
+    out.resize(len, 0);
+    for m in 0..len as u64 {
+        out[m as usize] = if f.bit(m) { -1 } else { 1 };
+    }
+    wht_in_place(out);
+    for v in out.iter_mut() {
+        *v = v.abs();
+    }
+    out.sort_unstable();
 }
 
 /// XOR autocorrelation of a 0/1 indicator vector given as bit-packed words:
@@ -68,22 +88,34 @@ pub fn walsh_spectrum_sorted_abs(f: &TruthTable) -> Vec<i64> {
 ///
 /// Panics if `2^num_vars` exceeds `64 * words.len()`.
 pub fn xor_autocorrelation(words: &[u64], num_vars: usize) -> Vec<i64> {
+    let mut data = Vec::new();
+    xor_autocorrelation_into(words, num_vars, &mut data);
+    data
+}
+
+/// Writes the XOR autocorrelation into `out`, reusing its allocation —
+/// the allocation-free form of [`xor_autocorrelation`].
+///
+/// # Panics
+///
+/// Panics if `2^num_vars` exceeds `64 * words.len()`.
+pub fn xor_autocorrelation_into(words: &[u64], num_vars: usize, out: &mut Vec<i64>) {
     let len = 1usize << num_vars;
     assert!(len <= words.len() * 64, "indicator shorter than 2^n bits");
-    let mut data = vec![0i64; len];
-    for (i, slot) in data.iter_mut().enumerate() {
+    out.clear();
+    out.resize(len, 0);
+    for (i, slot) in out.iter_mut().enumerate() {
         *slot = ((words[i / 64] >> (i % 64)) & 1) as i64;
     }
-    wht_in_place(&mut data);
-    for v in &mut data {
+    wht_in_place(out);
+    for v in out.iter_mut() {
         *v *= *v;
     }
-    wht_in_place(&mut data);
-    for v in &mut data {
+    wht_in_place(out);
+    for v in out.iter_mut() {
         debug_assert_eq!(*v % len as i64, 0, "autocorrelation must divide evenly");
         *v /= len as i64;
     }
-    data
 }
 
 #[cfg(test)]

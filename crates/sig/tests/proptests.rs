@@ -3,8 +3,8 @@
 //! consistency between the fast and reference computation paths.
 
 use facepoint_sig::{
-    influence, msv, ocv, ocv1, ocv2, oiv, osdv_with, osv, osv0, osv1, osv_histogram, raw_msv,
-    MintermFilter, OsdvEngine, SensitivityProfile, SignatureSet,
+    influence, msv, msv_reference, ocv, ocv1, ocv2, oiv, osdv_with, osv, osv0, osv1, osv_histogram,
+    raw_msv, MintermFilter, OsdvEngine, SensitivityProfile, SigKernel, SignatureSet,
 };
 use facepoint_truth::{NpnTransform, Permutation, TruthTable};
 use proptest::prelude::*;
@@ -14,6 +14,57 @@ fn arb_table(max_n: usize) -> impl Strategy<Value = TruthTable> {
         proptest::collection::vec(any::<u64>(), facepoint_truth::words::word_count(n))
             .prop_map(move |words| TruthTable::from_words(n, &words).expect("sized vec"))
     })
+}
+
+/// Random **balanced** tables: a random table repaired to `|f| =
+/// 2^{n-1}` by flipping excess bits (deterministically, walking from
+/// minterm 0) — the adversarial workload for the polarity-derivation
+/// path.
+fn arb_balanced(max_n: usize) -> impl Strategy<Value = TruthTable> {
+    (1..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(any::<u64>(), facepoint_truth::words::word_count(n)).prop_map(
+            move |words| {
+                let mut t = TruthTable::from_words(n, &words).expect("sized vec");
+                let half = t.num_bits() / 2;
+                let mut m = 0u64;
+                while t.count_ones() > half {
+                    if t.bit(m) {
+                        t.set_bit(m, false);
+                    }
+                    m += 1;
+                }
+                while t.count_ones() < half {
+                    if !t.bit(m) {
+                        t.set_bit(m, true);
+                    }
+                    m += 1;
+                }
+                t
+            },
+        )
+    })
+}
+
+/// Every subset of the seven signature families (2⁷ = 128 sets).
+fn all_signature_subsets() -> Vec<SignatureSet> {
+    let families = [
+        SignatureSet::OCV1,
+        SignatureSet::OCV2,
+        SignatureSet::OIV,
+        SignatureSet::OSV,
+        SignatureSet::OSDV,
+        SignatureSet::WALSH,
+        SignatureSet::OCV3,
+    ];
+    (0u32..128)
+        .map(|mask| {
+            families
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (mask >> i) & 1 == 1)
+                .fold(SignatureSet::EMPTY, |acc, (_, &fam)| acc | fam)
+        })
+        .collect()
 }
 
 fn arb_pair(max_n: usize) -> impl Strategy<Value = (TruthTable, NpnTransform)> {
@@ -165,6 +216,58 @@ proptest! {
                 v.sigma(s as u32).iter().sum()
             };
             prop_assert_eq!(pairs, count * count.saturating_sub(1) / 2);
+        }
+    }
+
+    // ---- Kernel ≡ reference differentials ----
+
+    // Every SignatureSet subset on small arities: the kernel's canonical
+    // MSV must be bit-identical to the two-pass reference (and to the
+    // public `msv`, which routes through the kernel).
+    #[test]
+    fn kernel_equals_reference_for_every_subset(f in arb_table(5)) {
+        let mut kernel = SigKernel::new();
+        let mut buf = Vec::new();
+        for set in all_signature_subsets() {
+            kernel.msv_into(&f, set, &mut buf);
+            let expect = msv_reference(&f, set);
+            prop_assert_eq!(buf.as_slice(), expect.as_words(), "set = {}, f = {}", set, &f);
+            prop_assert_eq!(&msv(&f, set), &expect, "msv(), set = {}, f = {}", set, &f);
+        }
+    }
+
+    // Larger arities (up to the acceptance bound of 8) on the extended
+    // set, which exercises every stage builder at once.
+    #[test]
+    fn kernel_equals_reference_extended_up_to_8(f in arb_table(8)) {
+        let mut kernel = SigKernel::new();
+        let set = SignatureSet::all_extended();
+        prop_assert_eq!(kernel.msv(&f, set), msv_reference(&f, set), "f = {}", &f);
+    }
+
+    // The polarity-derivation path must be bit-identical to actually
+    // negating the table and re-serializing it.
+    #[test]
+    fn kernel_derived_negation_equals_raw_msv(f in arb_table(7)) {
+        let mut kernel = SigKernel::new();
+        let mut buf = Vec::new();
+        let set = SignatureSet::all_extended();
+        kernel.raw_msv_into(&f, set, false, &mut buf);
+        prop_assert_eq!(buf.as_slice(), raw_msv(&f, set).as_words(), "keep, f = {}", &f);
+        kernel.raw_msv_into(&f, set, true, &mut buf);
+        prop_assert_eq!(buf.as_slice(), raw_msv(&!&f, set).as_words(), "negate, f = {}", &f);
+    }
+
+    // Adversarially balanced tables: the satisfy count never resolves
+    // the polarity, so every function runs the lockstep tie-break. The
+    // kernel must agree with the reference and collide with ¬f.
+    #[test]
+    fn kernel_handles_adversarially_balanced_tables(f in arb_balanced(7)) {
+        let mut kernel = SigKernel::new();
+        for set in [SignatureSet::all(), SignatureSet::all_extended(), SignatureSet::OSV] {
+            let got = kernel.msv(&f, set);
+            prop_assert_eq!(&got, &msv_reference(&f, set), "set = {}, f = {}", set, &f);
+            prop_assert_eq!(&got, &kernel.msv(&!&f, set), "¬f, set = {}, f = {}", set, &f);
         }
     }
 

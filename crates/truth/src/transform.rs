@@ -74,6 +74,32 @@ impl TruthTable {
         out
     }
 
+    /// Writes the words of the Boolean derivative
+    /// `∂f/∂x_var = f ⊕ f[x_var ← ¬x_var]` into `out`, reusing its
+    /// allocation.
+    ///
+    /// This is the inner step of sensitivity and influence computation;
+    /// computing the derivative word-by-word avoids materializing the
+    /// flipped table (which [`TruthTable::flip_var`] would clone in
+    /// full). Padding bits of sub-word tables stay zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn derivative_words_into(&self, var: usize, out: &mut Vec<u64>) {
+        self.check_var(var).expect("variable index in range");
+        let words = self.words();
+        out.clear();
+        if var < WORD_VARS {
+            out.extend(words.iter().map(|&w| w ^ flip_var_word(w, var)));
+        } else {
+            // The partner word of index `i` differs exactly in bit
+            // `var - 6` of the word index.
+            let bit = 1usize << (var - WORD_VARS);
+            out.extend((0..words.len()).map(|i| words[i] ^ words[i ^ bit]));
+        }
+    }
+
     /// Exchanges input variables `a` and `b` in place.
     ///
     /// # Panics
@@ -449,6 +475,19 @@ mod tests {
             let flipped = t.flip_var(var);
             for m in 0..256u64 {
                 assert_eq!(flipped.bit(m), t.bit(m ^ (1 << var)), "var {var} m {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_words_match_flip_xor() {
+        let mut out = Vec::new();
+        for n in [0usize, 2, 5, 6, 7, 8] {
+            let t = TruthTable::from_fn(n, |m| m.wrapping_mul(0x9E37_79B9) % 5 < 2).unwrap();
+            for var in 0..n {
+                t.derivative_words_into(var, &mut out);
+                let expect = &t ^ &t.flip_var(var);
+                assert_eq!(out.as_slice(), expect.words(), "n={n} var={var}");
             }
         }
     }
