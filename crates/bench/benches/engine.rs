@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use facepoint_bench::random_workload;
 use facepoint_core::Classifier;
-use facepoint_engine::{Engine, EngineConfig};
+use facepoint_engine::{Engine, EngineConfig, PersistConfig, SyncPolicy};
 use facepoint_sig::SignatureSet;
 use facepoint_truth::TruthTable;
 use std::hint::black_box;
@@ -58,6 +58,52 @@ fn bench_engine_scaling_cuts(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_journaled_ingest(c: &mut Criterion) {
+    // The durability tax: same stream, same config, with the per-shard
+    // journal off / on (default barrier policy) / fsync-per-record.
+    // The stream is large enough that per-iteration store setup and
+    // final checkpoint (64 shard files either way) stay amortized —
+    // this measures ingest, not file churn.
+    let mut group = c.benchmark_group("engine_journaled_ingest");
+    group.sample_size(10);
+    let fns = random_workload(7, 8000, 0xD15C);
+    group.throughput(Throughput::Elements(fns.len() as u64));
+    let variants: [(&str, Option<SyncPolicy>); 3] = [
+        ("memory", None),
+        ("journal-barrier", Some(SyncPolicy::Barrier)),
+        ("journal-always", Some(SyncPolicy::Always)),
+    ];
+    for (name, sync) in variants {
+        group.bench_with_input(BenchmarkId::new(name, 4), &fns, |b, fns| {
+            b.iter(|| {
+                let persist = sync.map(|sync| {
+                    let dir = std::env::temp_dir()
+                        .join(format!("facepoint-bench-journal-{}", std::process::id()));
+                    let _ = std::fs::remove_dir_all(&dir);
+                    PersistConfig {
+                        dir,
+                        checkpoint_interval: 8192,
+                        sync,
+                    }
+                });
+                let dir = persist.as_ref().map(|p| p.dir.clone());
+                let mut engine = Engine::with_config(EngineConfig {
+                    workers: 4,
+                    persist,
+                    ..EngineConfig::default()
+                });
+                engine.submit_batch(fns.iter().cloned());
+                let classes = black_box(engine.finish().classification.num_classes());
+                if let Some(dir) = dir {
+                    let _ = std::fs::remove_dir_all(&dir);
+                }
+                classes
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_memo_cache_on_repeat_traffic(c: &mut Criterion) {
     // Cut streams repeat functions; replaying the same harvest three
     // times models steady-state traffic over a slowly-changing design.
@@ -84,6 +130,7 @@ criterion_group! {
         .measurement_time(std::time::Duration::from_secs(2));
     targets = bench_engine_scaling_random,
     bench_engine_scaling_cuts,
+    bench_journaled_ingest,
     bench_memo_cache_on_repeat_traffic
 }
 criterion_main!(benches);

@@ -1,0 +1,215 @@
+//! Validates the `BENCH_*.json` trajectory files and gates throughput
+//! regressions — the teeth of the CI `bench-trajectory` job.
+//!
+//! ```text
+//! cargo run --release -p facepoint-bench --bin check_bench -- \
+//!     --dir CANDIDATE_DIR [--baseline BASELINE_DIR] \
+//!     [--max-regress 0.25] [--min-journal-ratio 0.6]
+//! ```
+//!
+//! * schema: both files must parse, carry the expected fields, and
+//!   every throughput must be a positive number;
+//! * durability tax: every engine row must record `journal_ratio`
+//!   (journaled / in-memory ingest throughput), and the n = 8 row must
+//!   meet `--min-journal-ratio` (default 0.6 — the repo's acceptance
+//!   floor);
+//! * regression: with `--baseline`, rows sharing an `n` are compared
+//!   and the candidate must reach `1 - max_regress` of the committed
+//!   throughput (default: fail on >25% regression).
+//!
+//! Exits non-zero with one line per violation.
+
+use facepoint_bench::json::{parse, Json};
+use facepoint_bench::{arg_num, arg_value};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+struct Checker {
+    failures: Vec<String>,
+}
+
+impl Checker {
+    fn fail(&mut self, msg: String) {
+        eprintln!("FAIL: {msg}");
+        self.failures.push(msg);
+    }
+}
+
+/// Per-file schema: required result-row numeric fields, and which one
+/// is the headline throughput used for regression gating.
+struct Schema {
+    file: &'static str,
+    bench: &'static str,
+    row_fields: &'static [&'static str],
+    throughput_field: &'static str,
+}
+
+const SCHEMAS: [Schema; 2] = [
+    Schema {
+        file: "BENCH_signatures.json",
+        bench: "signature_key",
+        row_fields: &[
+            "n",
+            "functions",
+            "kernel_fns_per_sec",
+            "reference_fns_per_sec",
+            "speedup",
+        ],
+        throughput_field: "kernel_fns_per_sec",
+    },
+    Schema {
+        file: "BENCH_engine.json",
+        bench: "engine",
+        row_fields: &[
+            "n",
+            "functions",
+            "workers",
+            "fns_per_sec",
+            "classes",
+            "journaled_fns_per_sec",
+            "journal_ratio",
+        ],
+        throughput_field: "fns_per_sec",
+    },
+];
+
+/// Loads one bench file and returns `n → headline throughput`, schema
+/// violations recorded on the way.
+fn load(dir: &Path, schema: &Schema, check: &mut Checker) -> BTreeMap<u64, f64> {
+    let path = dir.join(schema.file);
+    let mut by_n = BTreeMap::new();
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            check.fail(format!("{}: {e}", path.display()));
+            return by_n;
+        }
+    };
+    let doc = match parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            check.fail(format!("{}: {e}", path.display()));
+            return by_n;
+        }
+    };
+    match doc.get("bench").and_then(Json::as_str) {
+        Some(b) if b == schema.bench => {}
+        other => check.fail(format!(
+            "{}: \"bench\" is {other:?}, expected {:?}",
+            path.display(),
+            schema.bench
+        )),
+    }
+    for field in ["set", "workload"] {
+        if doc.get(field).and_then(Json::as_str).is_none() {
+            check.fail(format!("{}: missing string \"{field}\"", path.display()));
+        }
+    }
+    if doc.get("unix_time").and_then(Json::as_f64).is_none() {
+        check.fail(format!("{}: missing number \"unix_time\"", path.display()));
+    }
+    let Some(results) = doc.get("results").and_then(Json::as_arr) else {
+        check.fail(format!("{}: missing \"results\" array", path.display()));
+        return by_n;
+    };
+    if results.is_empty() {
+        check.fail(format!("{}: empty \"results\"", path.display()));
+    }
+    for (i, row) in results.iter().enumerate() {
+        for field in schema.row_fields {
+            match row.get(field).and_then(Json::as_f64) {
+                Some(v) if v > 0.0 => {}
+                Some(v) => check.fail(format!(
+                    "{} results[{i}]: \"{field}\" = {v} is not positive",
+                    path.display()
+                )),
+                None => check.fail(format!(
+                    "{} results[{i}]: missing number \"{field}\"",
+                    path.display()
+                )),
+            }
+        }
+        if let (Some(n), Some(fps)) = (
+            row.get("n").and_then(Json::as_f64),
+            row.get(schema.throughput_field).and_then(Json::as_f64),
+        ) {
+            by_n.insert(n as u64, fps);
+        }
+    }
+    by_n
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dir = arg_value(&args, "--dir").unwrap_or_else(|| ".".to_string());
+    let baseline = arg_value(&args, "--baseline");
+    let max_regress: f64 = arg_num(&args, "--max-regress", 0.25);
+    let min_journal_ratio: f64 = arg_num(&args, "--min-journal-ratio", 0.6);
+    let dir = Path::new(&dir);
+    let mut check = Checker {
+        failures: Vec::new(),
+    };
+
+    for schema in &SCHEMAS {
+        let candidate = load(dir, schema, &mut check);
+        println!("{}: {} result rows validated", schema.file, candidate.len());
+        if let Some(base_dir) = &baseline {
+            let mut base_check = Checker {
+                failures: Vec::new(),
+            };
+            let base = load(Path::new(base_dir), schema, &mut base_check);
+            // A broken baseline shouldn't fail the candidate — it is
+            // the committed file's problem; report and move on.
+            for msg in base_check.failures {
+                eprintln!("note: baseline {msg}");
+            }
+            for (n, base_fps) in base {
+                let Some(&cand_fps) = candidate.get(&n) else {
+                    continue; // --quick sweeps fewer n
+                };
+                let floor = base_fps * (1.0 - max_regress);
+                if cand_fps < floor {
+                    check.fail(format!(
+                        "{} n={n}: {cand_fps:.0} fn/s is a >{:.0}% regression \
+                         vs committed {base_fps:.0} fn/s",
+                        schema.file,
+                        max_regress * 100.0
+                    ));
+                } else {
+                    println!(
+                        "{} n={n}: {cand_fps:.0} fn/s vs baseline {base_fps:.0} fn/s ok",
+                        schema.file
+                    );
+                }
+            }
+        }
+    }
+
+    // The durability-tax floor: journaled ingest at n = 8 must stay
+    // within min_journal_ratio of in-memory ingest.
+    let engine_path = dir.join("BENCH_engine.json");
+    if let Ok(text) = std::fs::read_to_string(&engine_path) {
+        if let Ok(doc) = parse(&text) {
+            let rows = doc.get("results").and_then(Json::as_arr).unwrap_or(&[]);
+            for row in rows {
+                let n = row.get("n").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+                let Some(ratio) = row.get("journal_ratio").and_then(Json::as_f64) else {
+                    continue; // already reported as a schema failure
+                };
+                if n == 8 && ratio < min_journal_ratio {
+                    check.fail(format!(
+                        "BENCH_engine.json n=8: journal_ratio {ratio:.3} below \
+                         the {min_journal_ratio} floor"
+                    ));
+                }
+            }
+        }
+    }
+
+    if check.failures.is_empty() {
+        println!("check_bench: all checks passed");
+    } else {
+        eprintln!("check_bench: {} failure(s)", check.failures.len());
+        std::process::exit(1);
+    }
+}

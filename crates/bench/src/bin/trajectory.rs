@@ -1,12 +1,17 @@
 //! Writes the machine-readable performance trajectory:
 //! `BENCH_signatures.json` (single-thread `signature_key` throughput,
 //! kernel vs. two-pass reference, on balanced tables for n = 6..10)
-//! and `BENCH_engine.json` (end-to-end engine throughput), both at the
-//! repo root by default.
+//! and `BENCH_engine.json` (end-to-end engine throughput, in-memory
+//! **and** with the durable journal on, so the durability tax is a
+//! recorded number, not a guess), both at the repo root by default.
 //!
 //! ```text
-//! cargo run --release -p facepoint-bench --bin trajectory [-- --out DIR]
+//! cargo run --release -p facepoint-bench --bin trajectory [-- --out DIR] [--quick]
 //! ```
+//!
+//! `--quick` shrinks the sweep (n = 6..8, shorter budgets) for the CI
+//! smoke job; `check_bench` validates the emitted schema and compares
+//! against the committed baselines.
 //!
 //! The JSON is hand-serialized (no serde in the offline build) and
 //! append-friendly: each run produces one self-contained file that
@@ -14,7 +19,7 @@
 
 use facepoint_bench::{arg_value, balanced_workload, random_workload};
 use facepoint_core::{fnv128, SignatureKernel};
-use facepoint_engine::{Engine, EngineConfig};
+use facepoint_engine::{Engine, EngineConfig, PersistConfig};
 use facepoint_sig::{msv_reference, SignatureSet};
 use facepoint_truth::TruthTable;
 use std::time::{Duration, Instant};
@@ -44,15 +49,38 @@ fn unix_time() -> u64 {
         .unwrap_or(0)
 }
 
+/// One engine pass over `fns`, optionally journaling into `persist`;
+/// returns (functions/second, classes).
+fn engine_pass(
+    fns: &[TruthTable],
+    set: SignatureSet,
+    persist: Option<PersistConfig>,
+) -> (f64, usize) {
+    let mut engine = Engine::with_config(EngineConfig {
+        set,
+        persist,
+        ..EngineConfig::default()
+    });
+    engine.submit_batch(fns.iter().cloned());
+    let report = engine.finish();
+    (
+        report.stats.throughput(),
+        report.classification.num_classes(),
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let out_dir = arg_value(&args, "--out").unwrap_or_else(|| ".".to_string());
-    let budget = Duration::from_millis(600);
+    std::fs::create_dir_all(&out_dir).expect("create --out directory");
+    let quick = args.iter().any(|a| a == "--quick");
+    let budget = Duration::from_millis(if quick { 150 } else { 600 });
+    let max_n = if quick { 8 } else { 10 };
     let set = SignatureSet::all();
 
     // --- signature_key: kernel vs reference, balanced tables ---------
     let mut sig_rows = String::new();
-    for n in 6..=10usize {
+    for n in 6..=max_n {
         let count = (2048 >> (n - 6)).max(32);
         let fns = balanced_workload(n, count, 0x5EED ^ n as u64);
         let mut kernel = SignatureKernel::new(set);
@@ -90,32 +118,46 @@ fn main() {
     std::fs::write(&sig_path, sig_json).expect("write BENCH_signatures.json");
     println!("wrote {sig_path}");
 
-    // --- engine: end-to-end streaming throughput ---------------------
+    // --- engine: end-to-end streaming throughput, in-memory vs
+    // --- journaled (default sync policy: fsync at epoch barriers) ----
+    let workers = EngineConfig::default().resolved_workers();
     let mut eng_rows = String::new();
-    for n in 6..=10usize {
+    for n in 6..=max_n {
+        // Full-size streams even under --quick: the journal ratio is a
+        // steady-state figure, and short streams overweight the fixed
+        // costs (shard-file creation, final checkpoint). --quick saves
+        // its time by dropping n = 9..10 instead.
         let count = (16384 >> (n - 6)).max(512);
         let fns = random_workload(n, count, 0xE61E ^ n as u64);
-        let mut engine = Engine::with_config(EngineConfig {
-            set,
-            ..EngineConfig::default()
-        });
-        let workers = engine.config().resolved_workers();
-        engine.submit_batch(fns.iter().cloned());
-        let report = engine.finish();
-        let fps = report.stats.throughput();
-        println!("engine n={n}: {fps:.0} fn/s over {count} functions ({workers} workers)");
+        let (mem_fps, classes) = engine_pass(&fns, set, None);
+        let journal_dir =
+            std::env::temp_dir().join(format!("facepoint-trajectory-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&journal_dir);
+        let (journal_fps, journal_classes) =
+            engine_pass(&fns, set, Some(PersistConfig::new(&journal_dir)));
+        let _ = std::fs::remove_dir_all(&journal_dir);
+        assert_eq!(classes, journal_classes, "journaling changed the partition");
+        let ratio = journal_fps / mem_fps;
+        println!(
+            "engine n={n}: {mem_fps:.0} fn/s in-memory, {journal_fps:.0} fn/s \
+             journaled ({:.0}% of in-memory) over {count} functions ({workers} workers)",
+            ratio * 100.0
+        );
         if !eng_rows.is_empty() {
             eng_rows.push_str(",\n");
         }
         eng_rows.push_str(&format!(
             "    {{\"n\": {n}, \"functions\": {count}, \"workers\": {workers}, \
-             \"fns_per_sec\": {fps:.1}, \"classes\": {}}}",
-            report.classification.num_classes()
+             \"fns_per_sec\": {mem_fps:.1}, \"classes\": {classes}, \
+             \"journaled_fns_per_sec\": {journal_fps:.1}, \
+             \"journal_ratio\": {ratio:.3}}}"
         ));
     }
     let eng_json = format!(
         "{{\n  \"bench\": \"engine\",\n  \"set\": \"{set}\",\n  \
-         \"workload\": \"distinct random tables, default engine config\",\n  \
+         \"workload\": \"distinct random tables, default engine config; \
+         journaled = durable store on, default sync policy (fsync at \
+         epoch barriers)\",\n  \
          \"unix_time\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
         unix_time(),
         eng_rows

@@ -15,6 +15,8 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+pub mod json;
+
 use facepoint_truth::TruthTable;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -35,19 +35,26 @@ impl fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
-const USAGE: &str = "facepoint <classify|sig|canon|match|cuts|suite> [args]
-  classify [--set SET] [--exact] [--parallel N] [FILE]
+const USAGE: &str = "facepoint <classify|sig|canon|match|cuts|suite|recover> [args]
+  classify [--set SET] [--exact] [--parallel N] [--persist DIR] [FILE]
                                            classify hex tables (stdin or FILE);
                                            --parallel routes through the sharded
-                                           engine with N workers (0 = all cores)
+                                           engine with N workers (0 = all cores);
+                                           --persist journals the class store to
+                                           DIR (implies the engine) and resumes
+                                           any census already stored there
   sig <table>                              print every signature vector
   canon <table> [--method M]               canonical form (exact default)
   match <a> <b>                            NPN equivalence + witness
   cuts <file.aag> [--support N] [--limit K]  cut functions of an AIGER file
-  suite [--support N] [--limit K] [--classify] [--parallel N]
+  suite [--support N] [--limit K] [--classify] [--parallel N] [--persist DIR]
                                            synthetic benchmark workload; with
                                            --classify, stream it through the
-                                           engine and report classes instead";
+                                           engine and report classes instead
+  recover <dir> [FILE]                     read a persisted class store without
+                                           writing; with FILE, diff the stored
+                                           census against a one-shot
+                                           classification of FILE's tables";
 
 /// Dispatches a full argument vector (without the program name) and
 /// returns the textual report.
@@ -64,6 +71,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("match") => match_cmd(&args[1..]),
         Some("cuts") => cuts(&args[1..]),
         Some("suite") => suite(&args[1..]),
+        Some("recover") => recover(&args[1..]),
         _ => Err(CliError::Usage(USAGE.to_string())),
     }
 }
@@ -108,14 +116,30 @@ fn parallel_flag(args: &[String]) -> Result<Option<usize>, CliError> {
     }
 }
 
-/// Streams `fns` through the sharded engine and returns the partition
-/// plus a one-line stats report.
+/// Parses a table-per-line text (hex or `N:hex`; blank lines and `#`
+/// comments skipped) — the shared input format of `classify` and
+/// `recover`.
+fn parse_table_lines(text: &str) -> Result<Vec<TruthTable>, CliError> {
+    let mut fns = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        fns.push(parse_table(line)?);
+    }
+    Ok(fns)
+}
+
+/// Streams `fns` through the sharded engine — journaling to `persist`
+/// when given — and returns the partition plus a stats report.
 fn engine_classify(
     fns: Vec<TruthTable>,
     set: SignatureSet,
     workers: usize,
-) -> (Classification, String) {
-    let mut engine = Engine::with_config(EngineConfig {
+    persist: Option<&str>,
+) -> Result<(Classification, String), CliError> {
+    let cfg = EngineConfig {
         set,
         workers,
         // Command-line streams routinely repeat functions (cut files,
@@ -123,10 +147,23 @@ fn engine_classify(
         // pays off exactly there.
         cache_capacity: 1 << 16,
         ..EngineConfig::default()
-    });
+    };
+    let mut engine = match persist {
+        Some(dir) => {
+            Engine::open(dir, cfg).map_err(|e| CliError::BadInput(format!("{dir}: {e}")))?
+        }
+        None => Engine::with_config(cfg),
+    };
+    let mut lines = String::new();
+    if let Some(recovered) = engine.recovery() {
+        if recovered.members > 0 {
+            lines.push_str(&format!("resumed: {recovered}\n"));
+        }
+    }
     engine.submit_batch(fns);
     let report = engine.finish();
-    (report.classification, format!("engine: {}\n", report.stats))
+    lines.push_str(&format!("engine: {}\n", report.stats));
+    Ok((report.classification, lines))
 }
 
 fn classify(args: &[String]) -> Result<String, CliError> {
@@ -152,23 +189,18 @@ fn classify(args: &[String]) -> Result<String, CliError> {
             buf
         }
     };
-    let mut fns = Vec::new();
-    for line in text.lines() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        fns.push(parse_table(line)?);
-    }
+    let fns = parse_table_lines(&text)?;
     // Only --exact needs the tables after classification; skip the
     // full-stream clone otherwise (streams can be huge).
     let fns_for_refine = if exact { fns.clone() } else { Vec::new() };
-    let (classification, engine_line) = match parallel {
-        Some(workers) => {
-            let (c, line) = engine_classify(fns, set, workers);
-            (c, Some(line))
-        }
-        None => (Classifier::new(set).classify(fns), None),
+    let persist = flag_value(args, "--persist");
+    // --persist implies the engine (the serial classifier has no
+    // store); --parallel alone keeps the previous behavior.
+    let (classification, engine_line) = if parallel.is_some() || persist.is_some() {
+        let (c, line) = engine_classify(fns, set, parallel.unwrap_or(0), persist)?;
+        (c, Some(line))
+    } else {
+        (Classifier::new(set).classify(fns), None)
     };
     let mut out = format!(
         "{} functions, {} candidate classes (signatures: {set})\n",
@@ -308,11 +340,13 @@ fn suite(args: &[String]) -> Result<String, CliError> {
         .transpose()?
         .unwrap_or(1000);
     let fns = facepoint_aig::cut_workload(support, limit);
-    if args.iter().any(|a| a == "--classify") {
+    let persist = flag_value(args, "--persist");
+    if args.iter().any(|a| a == "--classify") || persist.is_some() {
         // Route the workload through the streaming engine instead of
         // printing it — the end-to-end Section V flow as one command.
         let workers = parallel_flag(args)?.unwrap_or(0);
-        let (classification, engine_line) = engine_classify(fns, SignatureSet::all(), workers);
+        let (classification, engine_line) =
+            engine_classify(fns, SignatureSet::all(), workers, persist)?;
         let mut out = format!(
             "{} cut functions, {} candidate classes (signatures: {})\n",
             classification.num_functions(),
@@ -323,6 +357,87 @@ fn suite(args: &[String]) -> Result<String, CliError> {
         return Ok(out);
     }
     Ok(format_tables(&fns))
+}
+
+/// `recover <dir> [FILE]`: read a persisted class store without
+/// touching it; with FILE, diff the stored census against a one-shot
+/// classification of FILE's tables (the convergence check of the
+/// recovery gauntlet, as a command).
+fn recover(args: &[String]) -> Result<String, CliError> {
+    let pos = positional(args);
+    let dir = pos
+        .first()
+        .copied()
+        .ok_or_else(|| CliError::Usage("recover <dir> [FILE]".into()))?;
+    let snap = Engine::recover(dir).map_err(|e| CliError::BadInput(format!("{dir}: {e}")))?;
+    let mut out = format!("{}\n", snap.report);
+    out.push_str(&format!(
+        "signature set: {} | {} classes, {} members\n",
+        snap.set,
+        snap.classes.len(),
+        snap.members()
+    ));
+    for class in snap.classes.iter().take(5) {
+        out.push_str(&format!(
+            "  class {:032x}  size {:>8}  representative {}:{}\n",
+            class.key,
+            class.size,
+            class.representative.num_vars(),
+            class.representative.to_hex()
+        ));
+    }
+    if snap.classes.len() > 5 {
+        out.push_str(&format!("  ... and {} more\n", snap.classes.len() - 5));
+    }
+    let Some(path) = pos.get(1) else {
+        return Ok(out);
+    };
+    // Diff against the one-shot partition of FILE's tables.
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::BadInput(format!("{path}: {e}")))?;
+    let expected = Classifier::new(snap.set).classify(parse_table_lines(&text)?);
+    let expected_by_key: std::collections::HashMap<u128, usize> = expected
+        .classes()
+        .iter()
+        .map(|c| {
+            (
+                facepoint_core::signature_key(c.representative(), snap.set),
+                c.size(),
+            )
+        })
+        .collect();
+    let stored_keys: std::collections::HashSet<u128> = snap.classes.iter().map(|c| c.key).collect();
+    let mut matching = 0usize;
+    let mut behind = 0usize;
+    let mut ahead = 0usize;
+    let mut unknown = 0usize;
+    for class in &snap.classes {
+        match expected_by_key.get(&class.key) {
+            Some(&size) if class.size == size => matching += 1,
+            Some(&size) if class.size < size => behind += 1,
+            Some(_) => ahead += 1,
+            None => unknown += 1,
+        }
+    }
+    let missing = expected_by_key
+        .keys()
+        .filter(|k| !stored_keys.contains(k))
+        .count();
+    out.push_str(&format!(
+        "diff vs one-shot classification of {path} \
+         ({} functions, {} classes):\n",
+        expected.num_functions(),
+        expected.num_classes()
+    ));
+    out.push_str(&format!(
+        "  {matching} classes match exactly, {behind} behind (lost tail or \
+         partial stream), {ahead} ahead (store saw more), \
+         {missing} missing from store, {unknown} only in store\n",
+    ));
+    if missing == 0 && unknown == 0 && behind == 0 && ahead == 0 {
+        out.push_str("  store census == one-shot classification\n");
+    }
+    Ok(out)
 }
 
 fn format_tables(fns: &[TruthTable]) -> String {
@@ -464,6 +579,95 @@ mod tests {
             let t = crate::parse::parse_table(line).unwrap();
             assert_eq!(t.num_vars(), 4);
         }
+    }
+
+    #[test]
+    fn classify_persist_resumes_and_recover_diffs() {
+        let dir =
+            std::env::temp_dir().join(format!("facepoint-cli-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tables = std::env::temp_dir().join("facepoint-cli-test");
+        std::fs::create_dir_all(&tables).unwrap();
+        let path = tables.join("persist-tables.txt");
+        std::fs::write(&path, "e8\nd4\n96\n3:69\n").unwrap();
+        let store = dir.to_str().unwrap().to_string();
+
+        // First run: creates the store (engine implied by --persist).
+        let out = run(&args(&[
+            "classify",
+            "--persist",
+            &store,
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("4 functions, 2 candidate classes"), "{out}");
+        assert!(out.contains("engine:"), "{out}");
+        assert!(
+            !out.contains("resumed:"),
+            "fresh store resumes nothing: {out}"
+        );
+
+        // recover alone prints the stored census read-only.
+        let out = run(&args(&["recover", &store])).unwrap();
+        assert!(out.contains("2 classes, 4 members"), "{out}");
+        assert!(out.contains("signature set: "), "{out}");
+
+        // recover with the same FILE reports exact convergence.
+        let out = run(&args(&["recover", &store, path.to_str().unwrap()])).unwrap();
+        assert!(
+            out.contains("store census == one-shot classification"),
+            "{out}"
+        );
+
+        // Second classify run resumes the census and doubles counts.
+        let out = run(&args(&[
+            "classify",
+            "--persist",
+            &store,
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("resumed:"), "{out}");
+        let out = run(&args(&["recover", &store])).unwrap();
+        assert!(out.contains("2 classes, 8 members"), "{out}");
+        // Now the store is ahead of a single FILE's worth.
+        let out = run(&args(&["recover", &store, path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("2 ahead"), "{out}");
+
+        // Missing directory is a usable error, not a panic.
+        assert!(matches!(
+            run(&args(&["recover", "/nonexistent/facepoint-store"])),
+            Err(CliError::BadInput(_))
+        ));
+        assert!(matches!(run(&args(&["recover"])), Err(CliError::Usage(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn suite_persist_writes_a_store() {
+        let dir = std::env::temp_dir().join(format!(
+            "facepoint-cli-suite-persist-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = dir.to_str().unwrap().to_string();
+        // --persist implies engine classification even without
+        // --classify.
+        let out = run(&args(&[
+            "suite",
+            "--support",
+            "4",
+            "--limit",
+            "100",
+            "--persist",
+            &store,
+        ]))
+        .unwrap();
+        assert!(out.contains("cut functions"), "{out}");
+        assert!(out.contains("engine:"), "{out}");
+        let recovered = run(&args(&["recover", &store])).unwrap();
+        assert!(recovered.contains("100 members"), "{recovered}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -48,6 +48,7 @@ mod hierarchical;
 mod kernel;
 mod metrics;
 mod refine;
+pub mod wire;
 
 pub use classifier::{signature_key, Classification, Classifier, KeyMode, NpnClass};
 pub use fnv::{fnv128, Fnv128Stream};

@@ -1,0 +1,618 @@
+//! Binary wire format for durable class state.
+//!
+//! The streaming engine journals every class mutation to disk so a
+//! census survives restarts; this module defines the records it writes.
+//! Each record is exactly the per-class data that
+//! [`Classification::from_parts`](crate::Classification::from_parts)
+//! consumes on the read side — a digest key, a representative table and
+//! a member count — so a recovered store can be turned back into a
+//! `Classification` without recomputing a single signature.
+//!
+//! # Framing
+//!
+//! Every record travels in a self-delimiting frame:
+//!
+//! ```text
+//! [len: u32 LE] [crc: u32 LE] [payload: len bytes]
+//! ```
+//!
+//! `crc` is the CRC-32 (IEEE) of the payload. A reader walks frames
+//! sequentially; the first frame whose length field runs past the end
+//! of the file, or whose CRC does not match, marks a **torn tail** —
+//! the crash cut a write short — and the reader reports the byte
+//! offset of the last good frame so the caller can truncate there and
+//! carry on. All integers are little-endian.
+//!
+//! # Payloads
+//!
+//! The first payload byte is the record kind:
+//!
+//! | kind | record | contents |
+//! |---|---|---|
+//! | 1 | [`Record::Class`] | key `u128`, rep\_seq `u64`, count `u64`, arity `u8`, table words |
+//! | 2 | [`Record::Bump`]  | key `u128` |
+//! | 3 | [`Record::Epoch`] | epoch `u64` |
+//! | 4 | [`Record::CheckpointHeader`] | version `u32`, next\_gen `u64`, classes `u64`, last\_epoch `u64` |
+//! | 5 | [`Record::Manifest`] | version `u32`, shards `u32`, set string (`u16` length prefix) |
+
+use facepoint_truth::TruthTable;
+
+/// Version stamped into [`Record::CheckpointHeader`] and
+/// [`Record::Manifest`] frames. Bump on any incompatible layout change.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Bytes of the `[len][crc]` frame prologue.
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Upper bound on a single payload. Far beyond any real record (the
+/// largest table is 2^16 bits = 8 KiB); a length field above this is
+/// treated as corruption rather than trusted as an allocation size.
+pub const MAX_PAYLOAD_LEN: usize = 1 << 20;
+
+/// One durable record, as journaled by the engine's shard store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// A full class entry: written when a class is created, when its
+    /// representative changes, and for every live class in a
+    /// checkpoint. `count` is the member count at write time.
+    Class {
+        /// The class's 128-bit signature digest.
+        key: u128,
+        /// Submission number of `representative`.
+        rep_seq: u64,
+        /// Members recorded at the time of writing.
+        count: u64,
+        /// The earliest-submitted member seen so far.
+        representative: TruthTable,
+    },
+    /// One more member joined an existing class (no table payload —
+    /// the class's identity is already on disk).
+    Bump {
+        /// The class's 128-bit signature digest.
+        key: u128,
+    },
+    /// An epoch barrier: everything before this frame was flushed (and,
+    /// under the default sync policy, fsync'd) as one batch.
+    Epoch {
+        /// Monotonic barrier number within the store's lifetime.
+        epoch: u64,
+    },
+    /// First frame of a checkpoint segment.
+    CheckpointHeader {
+        /// Format version ([`WIRE_VERSION`]).
+        version: u32,
+        /// Generation of the tail log this checkpoint is paired with:
+        /// replay resumes from log segment `next_gen`, and any older
+        /// log is already folded into the checkpoint.
+        next_gen: u64,
+        /// Number of `Class` frames that follow.
+        classes: u64,
+        /// Highest epoch barrier the checkpointed state covers —
+        /// compaction deletes the old log (and the `Epoch` markers in
+        /// it), so the numbering survives here and stays monotonic
+        /// across clean restarts.
+        last_epoch: u64,
+    },
+    /// The store's identity, written once at creation time.
+    Manifest {
+        /// Format version ([`WIRE_VERSION`]).
+        version: u32,
+        /// Shard count the key space is split over (fixed for the
+        /// store's lifetime — shard assignment is derived from key
+        /// bits).
+        shards: u32,
+        /// Display form of the signature set the keys were computed
+        /// under (e.g. `"OCV1+OCV2+OIV+OSV+OSDV"`). Keys from
+        /// different sets are incomparable, so mixing is refused.
+        set: String,
+    },
+}
+
+const KIND_CLASS: u8 = 1;
+const KIND_BUMP: u8 = 2;
+const KIND_EPOCH: u8 = 3;
+const KIND_CHECKPOINT: u8 = 4;
+const KIND_MANIFEST: u8 = 5;
+
+/// Why a frame or payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The file ends mid-frame, the length field points past the end of
+    /// the data, or the CRC does not match: the tail was torn by a
+    /// crash. `good_len` is the byte offset of the end of the last
+    /// fully-valid frame — truncate there and the rest of the file is
+    /// consistent.
+    TornTail {
+        /// Offset of the end of the last intact frame.
+        good_len: usize,
+    },
+    /// A CRC-valid payload failed structural decoding (unknown kind,
+    /// impossible arity, short fields). Indicates real corruption or a
+    /// version mismatch rather than a torn write.
+    Malformed {
+        /// Offset of the start of the offending frame.
+        offset: usize,
+        /// What was wrong.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::TornTail { good_len } => {
+                write!(f, "torn tail after byte {good_len}")
+            }
+            WireError::Malformed { offset, reason } => {
+                write!(f, "malformed record at byte {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// --- CRC-32 (IEEE 802.3, reflected) ---------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `data` — the per-record checksum of the wire
+/// format.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// --- encoding --------------------------------------------------------
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u128(buf: &mut Vec<u8>, v: u128) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Frames `write_payload`'s output: reserves the `[len][crc]` header,
+/// lets the closure append the payload, then backfills the header.
+fn frame(buf: &mut Vec<u8>, write_payload: impl FnOnce(&mut Vec<u8>)) {
+    let frame_start = buf.len();
+    buf.extend_from_slice(&[0u8; FRAME_HEADER_LEN]); // backfilled
+    let payload_start = buf.len();
+    write_payload(buf);
+    let len = (buf.len() - payload_start) as u32;
+    let crc = crc32(&buf[payload_start..]);
+    buf[frame_start..frame_start + 4].copy_from_slice(&len.to_le_bytes());
+    buf[frame_start + 4..frame_start + 8].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Appends a framed [`Record::Class`] built from borrowed parts — the
+/// journal's hot path, writing a class mutation without cloning the
+/// table into a `Record` first.
+pub fn encode_class_frame(
+    buf: &mut Vec<u8>,
+    key: u128,
+    rep_seq: u64,
+    count: u64,
+    representative: &TruthTable,
+) {
+    frame(buf, |buf| {
+        buf.push(KIND_CLASS);
+        put_u128(buf, key);
+        put_u64(buf, rep_seq);
+        put_u64(buf, count);
+        buf.push(representative.num_vars() as u8);
+        for &w in representative.words() {
+            put_u64(buf, w);
+        }
+    });
+}
+
+impl Record {
+    /// Appends this record to `buf` as one complete frame
+    /// (`[len][crc][payload]`).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        if let Record::Class {
+            key,
+            rep_seq,
+            count,
+            representative,
+        } = self
+        {
+            return encode_class_frame(buf, *key, *rep_seq, *count, representative);
+        }
+        frame(buf, |buf| match self {
+            Record::Class { .. } => unreachable!("handled above"),
+            Record::Bump { key } => {
+                buf.push(KIND_BUMP);
+                put_u128(buf, *key);
+            }
+            Record::Epoch { epoch } => {
+                buf.push(KIND_EPOCH);
+                put_u64(buf, *epoch);
+            }
+            Record::CheckpointHeader {
+                version,
+                next_gen,
+                classes,
+                last_epoch,
+            } => {
+                buf.push(KIND_CHECKPOINT);
+                put_u32(buf, *version);
+                put_u64(buf, *next_gen);
+                put_u64(buf, *classes);
+                put_u64(buf, *last_epoch);
+            }
+            Record::Manifest {
+                version,
+                shards,
+                set,
+            } => {
+                buf.push(KIND_MANIFEST);
+                put_u32(buf, *version);
+                put_u32(buf, *shards);
+                let bytes = set.as_bytes();
+                assert!(bytes.len() <= u16::MAX as usize, "set name too long");
+                put_u16(buf, bytes.len() as u16);
+                buf.extend_from_slice(bytes);
+            }
+        });
+    }
+
+    /// This record as a standalone frame.
+    pub fn to_frame(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+}
+
+// --- decoding --------------------------------------------------------
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.data.len() {
+            return None;
+        }
+        let s = &self.data[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2)
+            .map(|s| u16::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn u128(&mut self) -> Option<u128> {
+        self.take(16)
+            .map(|s| u128::from_le_bytes(s.try_into().unwrap()))
+    }
+}
+
+fn decode_payload(payload: &[u8], offset: usize) -> Result<Record, WireError> {
+    let malformed = |reason| WireError::Malformed { offset, reason };
+    let mut c = Cursor {
+        data: payload,
+        pos: 0,
+    };
+    let kind = c.u8().ok_or(malformed("empty payload"))?;
+    let record = match kind {
+        KIND_CLASS => {
+            let key = c.u128().ok_or(malformed("short class key"))?;
+            let rep_seq = c.u64().ok_or(malformed("short rep_seq"))?;
+            let count = c.u64().ok_or(malformed("short count"))?;
+            let num_vars = c.u8().ok_or(malformed("short arity"))? as usize;
+            if num_vars > 16 {
+                return Err(malformed("arity above 16"));
+            }
+            let words = facepoint_truth::words::word_count(num_vars);
+            let mut w = Vec::with_capacity(words);
+            for _ in 0..words {
+                w.push(c.u64().ok_or(malformed("short table words"))?);
+            }
+            let representative = TruthTable::from_words(num_vars, &w)
+                .map_err(|_| malformed("invalid table words"))?;
+            Record::Class {
+                key,
+                rep_seq,
+                count,
+                representative,
+            }
+        }
+        KIND_BUMP => Record::Bump {
+            key: c.u128().ok_or(malformed("short bump key"))?,
+        },
+        KIND_EPOCH => Record::Epoch {
+            epoch: c.u64().ok_or(malformed("short epoch"))?,
+        },
+        KIND_CHECKPOINT => Record::CheckpointHeader {
+            version: c.u32().ok_or(malformed("short version"))?,
+            next_gen: c.u64().ok_or(malformed("short next_gen"))?,
+            classes: c.u64().ok_or(malformed("short class count"))?,
+            last_epoch: c.u64().ok_or(malformed("short last_epoch"))?,
+        },
+        KIND_MANIFEST => {
+            let version = c.u32().ok_or(malformed("short version"))?;
+            let shards = c.u32().ok_or(malformed("short shard count"))?;
+            let len = c.u16().ok_or(malformed("short set length"))? as usize;
+            let bytes = c.take(len).ok_or(malformed("short set name"))?;
+            let set = std::str::from_utf8(bytes)
+                .map_err(|_| malformed("set name not UTF-8"))?
+                .to_string();
+            Record::Manifest {
+                version,
+                shards,
+                set,
+            }
+        }
+        _ => return Err(malformed("unknown record kind")),
+    };
+    if c.pos != payload.len() {
+        return Err(malformed("trailing payload bytes"));
+    }
+    Ok(record)
+}
+
+/// A sequential reader over a byte buffer of frames.
+///
+/// `next_record` yields records until a clean end of data (`Ok(None)`),
+/// a torn tail ([`WireError::TornTail`], carrying the truncation
+/// offset) or a malformed-but-CRC-valid record
+/// ([`WireError::Malformed`]).
+#[derive(Debug)]
+pub struct FrameStream<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FrameStream<'a> {
+    /// A stream over `data`, starting at offset 0.
+    pub fn new(data: &'a [u8]) -> Self {
+        FrameStream { data, pos: 0 }
+    }
+
+    /// Byte offset of the next frame — after an `Ok`, the end of
+    /// everything consumed so far.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Decodes the next record.
+    pub fn next_record(&mut self) -> Result<Option<Record>, WireError> {
+        if self.pos == self.data.len() {
+            return Ok(None);
+        }
+        let torn = WireError::TornTail { good_len: self.pos };
+        let rest = &self.data[self.pos..];
+        if rest.len() < FRAME_HEADER_LEN {
+            return Err(torn);
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+        if len > MAX_PAYLOAD_LEN || rest.len() < FRAME_HEADER_LEN + len {
+            return Err(torn);
+        }
+        let payload = &rest[FRAME_HEADER_LEN..FRAME_HEADER_LEN + len];
+        if crc32(payload) != crc {
+            return Err(torn);
+        }
+        let record = decode_payload(payload, self.pos)?;
+        self.pos += FRAME_HEADER_LEN + len;
+        Ok(Some(record))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::Manifest {
+                version: WIRE_VERSION,
+                shards: 64,
+                set: "OCV1+OCV2+OIV+OSV+OSDV".into(),
+            },
+            Record::CheckpointHeader {
+                version: WIRE_VERSION,
+                next_gen: 3,
+                classes: 2,
+                last_epoch: 12,
+            },
+            Record::Class {
+                key: 0xDEAD_BEEF_DEAD_BEEF_0123_4567_89AB_CDEF,
+                rep_seq: 7,
+                count: 41,
+                representative: TruthTable::majority(5),
+            },
+            Record::Class {
+                key: 1,
+                rep_seq: 0,
+                count: 1,
+                representative: TruthTable::from_u64(0, 1).unwrap(),
+            },
+            Record::Bump { key: u128::MAX },
+            Record::Epoch { epoch: 9 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        let records = sample_records();
+        let mut buf = Vec::new();
+        for r in &records {
+            r.encode(&mut buf);
+        }
+        let mut stream = FrameStream::new(&buf);
+        let mut got = Vec::new();
+        while let Some(r) = stream.next_record().unwrap() {
+            got.push(r);
+        }
+        assert_eq!(got, records);
+        assert_eq!(stream.offset(), buf.len());
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value of CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn any_corrupt_byte_in_tail_is_a_torn_tail() {
+        let records = sample_records();
+        let mut clean = Vec::new();
+        for r in &records {
+            r.encode(&mut clean);
+        }
+        let tail_start = {
+            let mut buf = Vec::new();
+            for r in &records[..records.len() - 1] {
+                r.encode(&mut buf);
+            }
+            buf.len()
+        };
+        for offset in tail_start..clean.len() {
+            for flip in [0x01u8, 0xFF] {
+                let mut corrupt = clean.clone();
+                corrupt[offset] ^= flip;
+                let mut stream = FrameStream::new(&corrupt);
+                let mut good = 0;
+                let err = loop {
+                    match stream.next_record() {
+                        Ok(Some(_)) => good += 1,
+                        Ok(None) => panic!("corruption at {offset} went unnoticed"),
+                        Err(e) => break e,
+                    }
+                };
+                assert_eq!(good, records.len() - 1, "corrupt byte {offset}");
+                assert_eq!(
+                    err,
+                    WireError::TornTail {
+                        good_len: tail_start
+                    }
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn short_tail_truncates_not_fails() {
+        let mut buf = Vec::new();
+        for r in sample_records() {
+            r.encode(&mut buf);
+        }
+        // Every proper prefix either ends cleanly on a frame boundary or
+        // reports the last good offset.
+        let mut boundaries = vec![0usize];
+        {
+            let mut s = FrameStream::new(&buf);
+            while s.next_record().unwrap().is_some() {
+                boundaries.push(s.offset());
+            }
+        }
+        for cut in 0..buf.len() {
+            let mut s = FrameStream::new(&buf[..cut]);
+            let outcome = loop {
+                match s.next_record() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break None,
+                    Err(e) => break Some(e),
+                }
+            };
+            if boundaries.contains(&cut) {
+                assert_eq!(outcome, None, "cut {cut} is a clean boundary");
+            } else {
+                let good = *boundaries.iter().filter(|&&b| b < cut).max().unwrap();
+                assert_eq!(
+                    outcome,
+                    Some(WireError::TornTail { good_len: good }),
+                    "cut {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_malformed() {
+        let mut buf = Vec::new();
+        Record::Epoch { epoch: 1 }.encode(&mut buf);
+        // Hand-build a CRC-valid frame with an unknown kind byte.
+        let payload = [0xEEu8, 1, 2, 3];
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        let mut s = FrameStream::new(&buf);
+        assert!(matches!(s.next_record(), Ok(Some(Record::Epoch { .. }))));
+        assert!(matches!(
+            s.next_record(),
+            Err(WireError::Malformed {
+                reason: "unknown record kind",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_field_is_torn_not_alloc() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 64]);
+        let mut s = FrameStream::new(&buf);
+        assert_eq!(s.next_record(), Err(WireError::TornTail { good_len: 0 }));
+    }
+}

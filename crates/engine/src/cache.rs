@@ -75,6 +75,24 @@ impl MemoCache {
         key
     }
 
+    /// Seeds the cache with an already-known `table → key` pair without
+    /// touching the hit/miss counters — used to warm the cache from a
+    /// recovered store's representatives, so a reopened engine's dedup
+    /// fast path works from the first submission. Respects capacity
+    /// like any other insert, and clones the table only when it is
+    /// actually stored (warming from a store far larger than the cache
+    /// must not allocate per rejected entry).
+    pub fn prime(&self, table: &TruthTable, key: u128) {
+        if self.disabled {
+            return;
+        }
+        let idx = self.shard_of(table);
+        let mut shard = self.shards[idx].lock().expect("cache shard poisoned");
+        if shard.len() < self.shard_capacity[idx] {
+            shard.insert(table.clone(), key);
+        }
+    }
+
     /// Returns the memoized key of `table`, or computes, records and
     /// returns it.
     pub fn key_or_compute(&self, table: &TruthTable, compute: impl FnOnce() -> u128) -> u128 {

@@ -1,6 +1,62 @@
 //! Engine tuning knobs.
 
 use facepoint_sig::SignatureSet;
+use std::path::PathBuf;
+
+/// When the durable store flushes its journals to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Never `fsync`: records reach the OS page cache on every buffer
+    /// flush but survival of a *power* failure is up to the kernel's
+    /// writeback. Survives process crashes (SIGKILL) in full.
+    Never,
+    /// `fsync` at epoch barriers — [`Engine::flush`](crate::Engine::flush),
+    /// checkpoints and [`Engine::finish`](crate::Engine::finish). The
+    /// default: crash recovery loses at most the un-fsync'd tail epoch,
+    /// and the journal tax stays a buffered `memcpy` per record.
+    #[default]
+    Barrier,
+    /// `fsync` after every insert. Every acknowledged submission is
+    /// durable the moment `submit` returns from the store — and
+    /// throughput is bounded by disk sync latency. For tests and
+    /// small, precious streams.
+    Always,
+}
+
+/// Durability knobs of an [`Engine`](crate::Engine) — present when the
+/// engine journals to disk, absent for a purely in-memory run.
+///
+/// The on-disk layout under [`PersistConfig::dir`] is one manifest
+/// (`store.meta`) plus, per shard, an append-only segment log
+/// (`shard-NNNN.log.<gen>`) and the newest checkpoint
+/// (`shard-NNNN.ckpt`); see the `facepoint_core::wire` docs for the
+/// record format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistConfig {
+    /// Directory holding the store (created if missing). One store per
+    /// directory.
+    pub dir: PathBuf,
+    /// Journal records a shard accumulates before it is compacted into
+    /// a fresh checkpoint segment (bounding recovery replay by live
+    /// classes, not total submissions). `0` disables automatic
+    /// compaction; [`Engine::finish`](crate::Engine::finish) still
+    /// writes a final checkpoint.
+    pub checkpoint_interval: u64,
+    /// When journal writes are fsync'd.
+    pub sync: SyncPolicy,
+}
+
+impl PersistConfig {
+    /// Durability at `dir` with the default checkpoint interval (8192
+    /// records per shard) and [`SyncPolicy::Barrier`].
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        PersistConfig {
+            dir: dir.into(),
+            checkpoint_interval: 8192,
+            sync: SyncPolicy::Barrier,
+        }
+    }
+}
 
 /// Configuration of an [`Engine`](crate::Engine).
 ///
@@ -45,6 +101,10 @@ pub struct EngineConfig {
     /// cache first and resolves repeated functions without a queue
     /// round-trip (see [`EngineStats::dedup_hits`](crate::EngineStats)).
     pub cache_capacity: usize,
+    /// Durable-store settings; `None` (the default) keeps all state in
+    /// memory. Usually set through [`Engine::open`](crate::Engine::open)
+    /// rather than by hand.
+    pub persist: Option<PersistConfig>,
 }
 
 impl Default for EngineConfig {
@@ -56,6 +116,7 @@ impl Default for EngineConfig {
             chunk_size: 256,
             queue_chunks: 32,
             cache_capacity: 0,
+            persist: None,
         }
     }
 }

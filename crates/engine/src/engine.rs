@@ -1,12 +1,15 @@
 //! The engine proper: ingestion, the worker pool, and result assembly.
 
 use crate::cache::MemoCache;
-use crate::config::EngineConfig;
-use crate::stats::{EngineSnapshot, EngineStats};
-use crate::store::{ClassSummary, ShardedStore};
+use crate::config::{EngineConfig, PersistConfig};
+use crate::stats::{EngineSnapshot, EngineStats, RecoveryReport};
+use crate::store::{self, ClassSummary, ShardedStore};
 use facepoint_core::{Classification, NpnClass, SignatureKernel};
+use facepoint_sig::SignatureSet;
 use facepoint_truth::TruthTable;
 use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
@@ -60,7 +63,37 @@ pub struct Engine {
     dedup_log: WorkerLog,
     /// Functions that skipped the queue via the dedup fast path.
     dedup_hits: u64,
+    /// First submission number of *this run*: `0` for a fresh engine,
+    /// the recovered member count after [`Engine::open`] — so
+    /// resubmitted members never outrank a recovered representative.
+    base_seq: u64,
+    /// What recovery found when the engine was [`Engine::open`]ed over
+    /// existing state.
+    recovery: Option<RecoveryReport>,
+    /// Epoch barriers issued so far (see [`Engine::flush`]).
+    epoch: u64,
     started: Instant,
+}
+
+/// A read-only view of a durable store's contents, produced by
+/// [`Engine::recover`] without starting any workers or modifying a
+/// byte on disk.
+#[derive(Debug, Clone)]
+pub struct RecoveredSnapshot {
+    /// Signature set the store's keys were computed under (from the
+    /// manifest).
+    pub set: SignatureSet,
+    /// Every recovered class, largest first (ties broken by key).
+    pub classes: Vec<ClassSummary>,
+    /// Replay accounting: classes, members, torn tails, epochs.
+    pub report: RecoveryReport,
+}
+
+impl RecoveredSnapshot {
+    /// Total members across all recovered classes.
+    pub fn members(&self) -> u64 {
+        self.report.members
+    }
 }
 
 /// What [`Engine::finish`] returns.
@@ -82,12 +115,115 @@ impl Engine {
     }
 
     /// An engine with explicit tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`EngineConfig::persist`] is set and the durable store
+    /// fails to open — use [`Engine::try_with_config`] (or
+    /// [`Engine::open`]) when disk errors should be handled instead.
     pub fn with_config(cfg: EngineConfig) -> Self {
+        Self::try_with_config(cfg).expect("failed to open the durable store")
+    }
+
+    /// Opens (or creates) a **durable** engine whose class store lives
+    /// under `dir`: every classified member is journaled to a per-shard
+    /// segment log, and any state already in `dir` is recovered first —
+    /// the partition store and (when enabled) the memo cache pick up
+    /// exactly where the previous process stopped, torn tails
+    /// truncated. Inspect what was found via [`Engine::recovery`].
+    ///
+    /// Durability knobs other than the directory (checkpoint interval,
+    /// sync policy) are taken from `cfg.persist` when set, defaults
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a store recorded under a different signature set,
+    /// or corruption outside a log tail.
+    pub fn open(dir: impl Into<PathBuf>, mut cfg: EngineConfig) -> io::Result<Self> {
+        let mut persist = cfg
+            .persist
+            .take()
+            .unwrap_or_else(|| PersistConfig::new(PathBuf::new()));
+        persist.dir = dir.into();
+        cfg.persist = Some(persist);
+        Self::try_with_config(cfg)
+    }
+
+    /// Reads the durable store under `dir` without opening it for
+    /// writing: no workers, no truncation, no new segments — the
+    /// inspection path behind the CLI's `recover` subcommand.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::open`], plus `NotFound` when `dir`
+    /// holds no store manifest.
+    pub fn recover(dir: impl AsRef<Path>) -> io::Result<RecoveredSnapshot> {
+        let (maps, set_name, report) = store::recover_dir(dir.as_ref())?;
+        let set = SignatureSet::parse(&set_name).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("manifest names unknown signature set {set_name:?}"),
+            )
+        })?;
+        let mut classes: Vec<ClassSummary> = maps
+            .into_iter()
+            .flat_map(|map| {
+                map.into_iter().map(|(key, e)| ClassSummary {
+                    key,
+                    representative: e.representative,
+                    size: e.size,
+                })
+            })
+            .collect();
+        classes.sort_by(|a, b| b.size.cmp(&a.size).then(a.key.cmp(&b.key)));
+        Ok(RecoveredSnapshot {
+            set,
+            classes,
+            report,
+        })
+    }
+
+    /// An engine with explicit tuning, reporting store-opening failures
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Only when [`EngineConfig::persist`] is set: see
+    /// [`Engine::open`].
+    pub fn try_with_config(cfg: EngineConfig) -> io::Result<Self> {
         let workers = cfg.resolved_workers();
-        let shards = cfg.resolved_shards();
-        let store = Arc::new(ShardedStore::new(shards));
+        let (store, recovery) = match &cfg.persist {
+            Some(persist) => {
+                let (store, report) =
+                    ShardedStore::open_durable(persist, cfg.resolved_shards(), cfg.set)?;
+                (store, Some(report))
+            }
+            None => (ShardedStore::new(cfg.resolved_shards()), None),
+        };
+        // A pre-existing store's shard count overrides the config (the
+        // key→shard mapping is baked into the segment files).
+        let shards = recovery
+            .as_ref()
+            .map_or_else(|| cfg.resolved_shards(), |r| r.shards);
+        // New submissions must never outrank a recovered representative
+        // (`seq < rep_seq` steals the slot), so the sequence restarts
+        // above BOTH the recovered member count and the highest
+        // recovered rep_seq — the latter can exceed the former when a
+        // torn tail lost records in one shard while another shard
+        // durably holds later submissions.
+        let base_seq = recovery.as_ref().map_or(0, |r| {
+            let mut floor = r.members;
+            store.for_each(|_, entry| floor = floor.max(entry.rep_seq + 1));
+            floor
+        });
+        let store = Arc::new(store);
         let cache = Arc::new(MemoCache::new(cfg.cache_capacity));
-        let processed = Arc::new(AtomicU64::new(0));
+        if recovery.is_some() && cfg.cache_capacity > 0 {
+            // Warm the dedup fast path with the recovered census.
+            store.for_each(|key, entry| cache.prime(&entry.representative, key));
+        }
+        let processed = Arc::new(AtomicU64::new(base_seq));
         let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(cfg.queue_chunks.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let handles = (0..workers)
@@ -100,7 +236,7 @@ impl Engine {
                 std::thread::spawn(move || worker_loop(&rx, &store, &cache, &processed, set))
             })
             .collect();
-        Engine {
+        Ok(Engine {
             workers,
             shards,
             store,
@@ -109,12 +245,23 @@ impl Engine {
             tx: Some(tx),
             handles,
             pending: Vec::with_capacity(cfg.chunk_size),
-            next_seq: 0,
+            next_seq: base_seq,
             dedup_log: Vec::new(),
             dedup_hits: 0,
+            base_seq,
+            // Epoch numbers stay monotonic across reopens of the same
+            // store: resume from the highest barrier recovery saw.
+            epoch: recovery.as_ref().map_or(0, |r| r.last_epoch),
+            recovery,
             started: Instant::now(),
             cfg,
-        }
+        })
+    }
+
+    /// What recovery found when this engine was [`Engine::open`]ed over
+    /// an existing store; `None` for fresh or in-memory engines.
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// The engine's configuration.
@@ -164,8 +311,28 @@ impl Engine {
     }
 
     /// Hands any buffered partial chunk to the workers now.
+    ///
+    /// For a durable engine this is also the **epoch barrier**: an
+    /// epoch marker is appended to every shard journal and the
+    /// journals are flushed — fsync'd under the default
+    /// [`SyncPolicy::Barrier`](crate::SyncPolicy::Barrier) — so every
+    /// member classified *before* the call is crash-durable when it
+    /// returns. Members still queued or in flight are covered by the
+    /// next barrier (or by [`Engine::finish`]'s final checkpoint);
+    /// after a crash, recovery loses at most that un-fsync'd tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the journals cannot be flushed — durability was
+    /// promised and can no longer be provided.
     pub fn flush(&mut self) {
         self.dispatch_pending();
+        if self.cfg.persist.is_some() {
+            self.epoch += 1;
+            self.store
+                .sync_barrier(self.epoch)
+                .expect("epoch barrier failed; durable store is inconsistent");
+        }
     }
 
     fn dispatch_pending(&mut self) {
@@ -209,15 +376,36 @@ impl Engine {
 
     /// Drains the pipeline, joins the workers and assembles the final
     /// input-ordered [`Classification`] plus run statistics.
+    ///
+    /// The classification covers the functions submitted to *this*
+    /// engine instance; for an engine recovered via [`Engine::open`],
+    /// class representatives may predate this run (they are the
+    /// earliest-known members, recovered ones included) and the durable
+    /// store's class counts keep accumulating across runs.
+    ///
+    /// A durable engine writes a final checkpoint of every shard before
+    /// returning, so a subsequent [`Engine::open`] replays checkpoints
+    /// only — no log tail, nothing to lose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker panicked or (durable engines) the final
+    /// checkpoint cannot be written.
     pub fn finish(mut self) -> EngineReport {
         self.dispatch_pending();
         drop(self.tx.take()); // close the channel: workers drain and exit
-        let mut keyed: Vec<(u64, u128)> = Vec::with_capacity(self.next_seq as usize);
+        let submitted_this_run = (self.next_seq - self.base_seq) as usize;
+        let mut keyed: Vec<(u64, u128)> = Vec::with_capacity(submitted_this_run);
         keyed.append(&mut self.dedup_log);
         for handle in self.handles.drain(..) {
             keyed.extend(handle.join().expect("worker panicked"));
         }
-        debug_assert_eq!(keyed.len() as u64, self.next_seq);
+        if self.cfg.persist.is_some() {
+            self.store
+                .checkpoint_all()
+                .expect("final checkpoint failed; durable store is inconsistent");
+        }
+        debug_assert_eq!(keyed.len(), submitted_this_run);
         // Rebuild submission order, then group by first occurrence —
         // the exact grouping rule of `Classifier::classify`, so the
         // result is independent of worker count and interleaving.
@@ -277,6 +465,8 @@ impl Engine {
             cache_misses: self.cache.misses(),
             dedup_hits: self.dedup_hits,
             elapsed: self.started.elapsed(),
+            recovered_members: self.base_seq,
+            durability: self.store.durability_snapshot(),
         }
     }
 }

@@ -22,8 +22,16 @@
 //!   workers touching different classes never contend;
 //! * **memoizes** — an optional sharded table→key cache short-circuits
 //!   repeated-function traffic (cut workloads repeat heavily);
-//! * **reports** — [`EngineStats`] carries throughput, shard occupancy
-//!   and cache hit rates.
+//! * **persists** — [`Engine::open`] journals every class mutation to
+//!   an append-only, CRC-guarded, per-shard segment log with periodic
+//!   checkpoint compaction, so a library-scale census survives
+//!   restarts and SIGKILLs: recovery replays the newest checkpoint
+//!   plus the log tail, truncating torn writes, and loses at most the
+//!   final un-fsync'd epoch (layout and crash-safety argument in the
+//!   `store` module source; knobs on [`PersistConfig`] and
+//!   [`SyncPolicy`]);
+//! * **reports** — [`EngineStats`] carries throughput, shard occupancy,
+//!   cache hit rates and journal counters.
 //!
 //! [`Engine::finish`] drains the pipeline and returns the exact same
 //! partition a single-threaded [`Classifier`](facepoint_core::Classifier)
@@ -59,7 +67,7 @@ mod engine;
 mod stats;
 mod store;
 
-pub use config::EngineConfig;
-pub use engine::{Engine, EngineReport};
-pub use stats::{EngineSnapshot, EngineStats};
+pub use config::{EngineConfig, PersistConfig, SyncPolicy};
+pub use engine::{Engine, EngineReport, RecoveredSnapshot};
+pub use stats::{DurabilityStats, EngineSnapshot, EngineStats, RecoveryReport};
 pub use store::ClassSummary;

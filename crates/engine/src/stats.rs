@@ -68,15 +68,110 @@ pub struct EngineStats {
     pub dedup_hits: u64,
     /// Wall-clock time from engine creation to the report.
     pub elapsed: Duration,
+    /// Members recovered from an existing durable store before this run
+    /// started (`0` for fresh or in-memory engines). They are included
+    /// in `functions_submitted`/`functions_processed`, so the census
+    /// view stays cumulative; [`EngineStats::throughput`] subtracts
+    /// them.
+    pub recovered_members: u64,
+    /// Journal counters when the engine persists to disk, `None` for an
+    /// in-memory run.
+    pub durability: Option<DurabilityStats>,
+}
+
+/// Counters of the durable store's write side.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Bytes appended to shard journals (records and epoch markers;
+    /// checkpoint segments are counted in `checkpoint_bytes`).
+    pub journal_bytes: u64,
+    /// Records appended to shard journals (class creations,
+    /// representative updates and bumps — one per classified member).
+    pub journal_records: u64,
+    /// Checkpoint compactions performed.
+    pub checkpoints: u64,
+    /// Bytes written into checkpoint segments.
+    pub checkpoint_bytes: u64,
+    /// Log segments created (each shard starts one; every compaction
+    /// rolls one more).
+    pub segments_created: u64,
+    /// `fsync` calls issued, all files included.
+    pub fsyncs: u64,
+    /// Epoch barriers issued (see
+    /// [`Engine::flush`](crate::Engine::flush)); shards with nothing
+    /// new since the previous barrier skip the on-disk marker.
+    pub epochs: u64,
+}
+
+impl std::fmt::Display for DurabilityStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} journal records / {} B, {} checkpoints / {} B, \
+             {} segments, {} fsyncs, {} epochs",
+            self.journal_records,
+            self.journal_bytes,
+            self.checkpoints,
+            self.checkpoint_bytes,
+            self.segments_created,
+            self.fsyncs,
+            self.epochs,
+        )
+    }
+}
+
+/// What [`Engine::open`](crate::Engine::open) and
+/// [`Engine::recover`](crate::Engine::recover) found on disk.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Shards of the recovered store (from the manifest).
+    pub shards: usize,
+    /// Live classes rebuilt.
+    pub classes: usize,
+    /// Members across all recovered classes.
+    pub members: u64,
+    /// Classes loaded from checkpoint segments (the rest replayed from
+    /// tail logs).
+    pub checkpoint_classes: u64,
+    /// Tail-log records replayed on top of the checkpoints.
+    pub log_records: u64,
+    /// Bytes dropped from torn tails (un-fsync'd partial writes cut
+    /// short by a crash). `0` after a clean shutdown.
+    pub truncated_bytes: u64,
+    /// Shards whose tail log was torn and truncated.
+    pub torn_shards: usize,
+    /// Highest epoch-barrier marker seen in any journal.
+    pub last_epoch: u64,
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "recovered {} classes / {} members over {} shards \
+             ({} from checkpoints, {} log records replayed, \
+             epoch {}); torn tails: {} shards / {} bytes dropped",
+            self.classes,
+            self.members,
+            self.shards,
+            self.checkpoint_classes,
+            self.log_records,
+            self.last_epoch,
+            self.torn_shards,
+            self.truncated_bytes,
+        )
+    }
 }
 
 impl EngineStats {
-    /// Classified functions per second of wall-clock time.
+    /// Functions classified *by this run* per second of wall-clock time
+    /// (members recovered from disk are not counted — they cost a
+    /// replay, not a classification).
     pub fn throughput(&self) -> f64 {
         if self.elapsed.is_zero() {
             0.0
         } else {
-            self.functions_processed as f64 / self.elapsed.as_secs_f64()
+            (self.functions_processed - self.recovered_members) as f64 / self.elapsed.as_secs_f64()
         }
     }
 
@@ -108,7 +203,11 @@ impl std::fmt::Display for EngineStats {
             self.cache_hit_rate() * 100.0,
             self.cache_hits + self.cache_misses,
             self.dedup_hits,
-        )
+        )?;
+        if let Some(d) = &self.durability {
+            write!(f, " | journal: {d}")?;
+        }
+        Ok(())
     }
 }
 
@@ -129,6 +228,8 @@ mod tests {
             cache_misses: 75,
             dedup_hits: 10,
             elapsed: Duration::from_secs(2),
+            recovered_members: 0,
+            durability: None,
         }
     }
 
