@@ -99,6 +99,21 @@ pub fn parse(text: &str) -> Result<Json, JsonError> {
     Ok(value)
 }
 
+/// Parses a document from raw bytes, rejecting invalid UTF-8 with a
+/// located error instead of panicking or lossily replacing — the
+/// entry point for readers that pull files in as bytes.
+///
+/// # Errors
+///
+/// A [`JsonError`] at the first invalid byte, or any [`parse`] error.
+pub fn parse_bytes(bytes: &[u8]) -> Result<Json, JsonError> {
+    let text = std::str::from_utf8(bytes).map_err(|e| JsonError {
+        offset: e.valid_up_to(),
+        reason: "invalid UTF-8".into(),
+    })?;
+    parse(text)
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -163,12 +178,26 @@ impl Parser<'_> {
         }
         loop {
             self.skip_ws();
+            let key_offset = self.pos;
             let key = self.string()?;
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
             let value = self.value()?;
-            map.insert(key, value);
+            match map.entry(key) {
+                // A duplicate key in a machine-generated file means the
+                // writer is broken; silently keeping either value would
+                // let a schema check pass on garbage.
+                std::collections::btree_map::Entry::Occupied(e) => {
+                    return Err(JsonError {
+                        offset: key_offset,
+                        reason: format!("duplicate object key {:?}", e.key()),
+                    });
+                }
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(value);
+                }
+            }
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
@@ -331,6 +360,61 @@ mod tests {
         let err = parse("[1, x]").unwrap_err();
         assert!(err.offset > 0);
         assert!(err.to_string().contains("JSON"), "{err}");
+    }
+
+    #[test]
+    fn every_truncation_of_a_document_is_an_error_not_a_panic() {
+        // A bench file cut short by a crashed writer must be reported,
+        // never mis-parsed: the document ends in `}`, so every proper
+        // prefix is invalid.
+        let doc =
+            r#"{"bench":"engine","results":[{"n":6,"ok":true,"x":null,"r":[1,2.5e1]}],"s":"aA\n"}"#;
+        assert!(parse(doc).is_ok());
+        for cut in 0..doc.len() {
+            // All-ASCII document, so every cut is a char boundary.
+            assert!(parse(&doc[..cut]).is_err(), "cut {cut} unexpectedly parsed");
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected_with_location() {
+        let err = parse(r#"{"n": 1, "n": 2}"#).unwrap_err();
+        assert!(err.reason.contains("duplicate"), "{err}");
+        assert!(err.reason.contains("\"n\""), "{err}");
+        assert_eq!(err.offset, 9, "{err}");
+        // Nested objects are checked too; distinct keys still pass.
+        assert!(parse(r#"{"a": {"x": 1, "x": 2}}"#).is_err());
+        assert!(parse(r#"{"a": 1, "b": {"a": 1}}"#).is_ok());
+    }
+
+    #[test]
+    fn non_utf8_bytes_are_rejected_with_offset() {
+        let mut bytes = br#"{"bench": ""#.to_vec();
+        bytes.push(0xFF); // invalid UTF-8 inside the string
+        bytes.extend_from_slice(br#""}"#);
+        let err = parse_bytes(&bytes).unwrap_err();
+        assert_eq!(err.offset, 11, "{err}");
+        assert!(err.reason.contains("UTF-8"), "{err}");
+        // Valid bytes still parse through the same entry point.
+        assert_eq!(
+            parse_bytes(br#"{"n": 3}"#)
+                .unwrap()
+                .get("n")
+                .and_then(Json::as_f64),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn string_escape_error_paths() {
+        assert!(parse(r#""unterminated"#).is_err());
+        assert!(parse(r#""bad \q escape""#).is_err());
+        assert!(parse(r#""short \u00""#).is_err());
+        assert!(parse(r#""nonhex \uzzzz""#).is_err());
+        // Lone surrogates are rejected, not mangled.
+        assert!(parse(r#""\ud800""#).is_err());
+        // The replacement-adjacent but valid cases still work.
+        assert_eq!(parse(r#""Aé""#).unwrap().as_str(), Some("Aé"));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use facepoint_core::{Classification, Classifier};
 use facepoint_engine::{Engine, EngineConfig};
 use facepoint_exact::baselines::{CanonicalClassifier, Huang13, Petkovska16, Zhou20};
 use facepoint_exact::{exact_npn_canonical, npn_match};
+use facepoint_serve::{Client, Server, ServerConfig};
 use facepoint_sig::{ocv1, ocv2, oiv, osdv, osdv0, osdv1, osv, osv0, osv1, SignatureSet};
 use facepoint_truth::TruthTable;
 use std::fmt;
@@ -35,7 +36,7 @@ impl fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
-const USAGE: &str = "facepoint <classify|sig|canon|match|cuts|suite|recover> [args]
+const USAGE: &str = "facepoint <classify|sig|canon|match|cuts|suite|recover|serve|client> [args]
   classify [--set SET] [--exact] [--parallel N] [--persist DIR] [FILE]
                                            classify hex tables (stdin or FILE);
                                            --parallel routes through the sharded
@@ -54,7 +55,17 @@ const USAGE: &str = "facepoint <classify|sig|canon|match|cuts|suite|recover> [ar
   recover <dir> [FILE]                     read a persisted class store without
                                            writing; with FILE, diff the stored
                                            census against a one-shot
-                                           classification of FILE's tables";
+                                           classification of FILE's tables
+  serve <addr> [--set SET] [--parallel N] [--persist DIR]
+                                           serve the engine over TCP (wire
+                                           protocol: docs/PROTOCOL.md) until
+                                           SIGTERM/SIGINT, which checkpoints
+                                           and exits; --persist resumes and
+                                           journals the census under DIR
+  client <addr> [FILE] [--top K]           stream FILE's tables (stdin without
+                                           FILE) to a running server, wait for
+                                           the census to drain, print the
+                                           snapshot and the top K classes";
 
 /// Dispatches a full argument vector (without the program name) and
 /// returns the textual report.
@@ -72,6 +83,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("cuts") => cuts(&args[1..]),
         Some("suite") => suite(&args[1..]),
         Some("recover") => recover(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("client") => client(&args[1..]),
         _ => Err(CliError::Usage(USAGE.to_string())),
     }
 }
@@ -440,6 +453,142 @@ fn recover(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `serve <addr>`: expose the engine over TCP (wire spec:
+/// `docs/PROTOCOL.md`) until SIGTERM/SIGINT, then checkpoint (when
+/// persistent) and report the final census. The listening banner goes
+/// to stderr immediately; the returned report is printed on exit.
+fn serve(args: &[String]) -> Result<String, CliError> {
+    let pos = positional(args);
+    let addr = pos.first().copied().ok_or_else(|| {
+        CliError::Usage("serve <addr> [--set SET] [--parallel N] [--persist DIR]".into())
+    })?;
+    let set = match flag_value(args, "--set") {
+        Some(s) => SignatureSet::parse(s)
+            .ok_or_else(|| CliError::Usage(format!("unknown signature set {s:?}")))?,
+        None => SignatureSet::all(),
+    };
+    let workers = parallel_flag(args)?.unwrap_or(0);
+    let persist = flag_value(args, "--persist");
+    let cfg = EngineConfig {
+        set,
+        workers,
+        cache_capacity: 1 << 16,
+        ..EngineConfig::default()
+    };
+    let engine = match persist {
+        Some(dir) => {
+            Engine::open(dir, cfg).map_err(|e| CliError::BadInput(format!("{dir}: {e}")))?
+        }
+        None => Engine::with_config(cfg),
+    };
+    // Announce recovery *now*, not at exit: the operator of a
+    // days-long serve needs immediate confirmation that the census
+    // resumed rather than silently starting fresh.
+    if let Some(recovered) = engine.recovery() {
+        if recovered.members > 0 {
+            eprintln!("resumed: {recovered}");
+        }
+    }
+    let server = Server::bind(addr, engine, ServerConfig::default())
+        .map_err(|e| CliError::BadInput(format!("{addr}: {e}")))?;
+    let local = server
+        .local_addr()
+        .map_err(|e| CliError::BadInput(e.to_string()))?;
+    eprintln!(
+        "facepoint serve: listening on {local} (set {set}, protocol v{}); \
+         SIGTERM/SIGINT checkpoints and exits",
+        facepoint_serve::PROTO_VERSION
+    );
+    facepoint_serve::signal::install();
+    let report = server
+        .run()
+        .map_err(|e| CliError::BadInput(format!("serve: {e}")))?;
+    match report {
+        Some(r) => Ok(format!("engine: {}\n", r.stats)),
+        None => Ok(String::new()),
+    }
+}
+
+/// `client <addr> [FILE]`: stream a file of tables to a running
+/// server, wait until the census drains, and print the snapshot plus
+/// the largest classes — the spec's quickstart flow as one command.
+fn client(args: &[String]) -> Result<String, CliError> {
+    let pos = positional(args);
+    let addr = pos
+        .first()
+        .copied()
+        .ok_or_else(|| CliError::Usage("client <addr> [FILE] [--top K]".into()))?;
+    let top_k: usize = flag_value(args, "--top")
+        .map(|v| v.parse().map_err(|_| CliError::Usage("--top K".into())))
+        .transpose()?
+        .unwrap_or(5);
+    use std::io::BufRead;
+    let mut reader: Box<dyn BufRead> = match pos.get(1) {
+        Some(path) => Box::new(std::io::BufReader::new(
+            std::fs::File::open(path).map_err(|e| CliError::BadInput(format!("{path}: {e}")))?,
+        )),
+        None => Box::new(std::io::BufReader::new(std::io::stdin())),
+    };
+    let remote = |e: facepoint_serve::ProtoError| CliError::BadInput(format!("{addr}: {e}"));
+    let mut client = Client::connect(addr).map_err(remote)?;
+    let info = client.server_info().clone();
+    let mut out = format!(
+        "connected to {addr}: protocol v{} set {} workers {} persistent {}\n",
+        info.version, info.set, info.workers, info.persistent
+    );
+    // Stream the input instead of materializing it: parse each line
+    // locally (errors name the offending line, and tables go out in
+    // the spec's normalized `n:hex` form), send per chunk, and let the
+    // server's backpressure pace the reads — a census-sized file never
+    // has to fit in this process's memory.
+    let mut sent = 0usize;
+    let mut lineno = 0usize;
+    let mut chunk: Vec<String> = Vec::with_capacity(4096);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let eof = reader
+            .read_line(&mut line)
+            .map_err(|e| CliError::BadInput(e.to_string()))?
+            == 0;
+        if !eof {
+            lineno += 1;
+            let trimmed = line.trim();
+            if !trimmed.is_empty() && !trimmed.starts_with('#') {
+                let f = parse_table(trimmed)
+                    .map_err(|e| CliError::BadInput(format!("line {lineno}: {e}")))?;
+                chunk.push(format!("{}:{}", f.num_vars(), f.to_hex()));
+            }
+        }
+        if chunk.len() == 4096 || (eof && !chunk.is_empty()) {
+            client
+                .submit_batch(chunk.iter().map(String::as_str))
+                .map_err(remote)?;
+            sent += chunk.len();
+            chunk.clear();
+        }
+        if eof {
+            break;
+        }
+    }
+    let snap = client
+        .wait_drained(std::time::Duration::from_secs(600))
+        .map_err(remote)?;
+    out.push_str(&format!(
+        "sent {sent} tables; census: {} submitted, {} classes\n",
+        snap.submitted, snap.classes
+    ));
+    for class in client.top(top_k).map_err(remote)? {
+        out.push_str(&format!(
+            "class {:032x}  size {:>8}  representative {}\n",
+            class.key, class.size, class.representative
+        ));
+    }
+    out.push_str(&format!("server: {}\n", client.stats().map_err(remote)?));
+    client.quit().map_err(remote)?;
+    Ok(out)
+}
+
 fn format_tables(fns: &[TruthTable]) -> String {
     let mut out = String::new();
     for f in fns {
@@ -668,6 +817,55 @@ mod tests {
         let recovered = run(&args(&["recover", &store])).unwrap();
         assert!(recovered.contains("100 members"), "{recovered}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn serve_and_client_usage_errors() {
+        assert!(matches!(run(&args(&["serve"])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&args(&["client"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&args(&["serve", "127.0.0.1:0", "--set", "bogus"])),
+            Err(CliError::Usage(_))
+        ));
+        // Nothing listening on a reserved port: a usable error.
+        assert!(matches!(
+            run(&args(&["client", "127.0.0.1:1", "/no/such/file"])),
+            Err(CliError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn client_streams_to_an_in_process_server() {
+        let engine = facepoint_engine::Engine::with_config(facepoint_engine::EngineConfig {
+            workers: 2,
+            ..facepoint_engine::EngineConfig::default()
+        });
+        let server = Server::bind("127.0.0.1:0", engine, ServerConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.shutdown_handle();
+        let run_thread = std::thread::spawn(move || server.run());
+
+        let dir = std::env::temp_dir().join("facepoint-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("client-tables.txt");
+        std::fs::write(&path, "# census\ne8\nd4\n96\n3:69\n").unwrap();
+        let out = run(&args(&[
+            "client",
+            &addr.to_string(),
+            path.to_str().unwrap(),
+            "--top",
+            "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("protocol v1"), "{out}");
+        assert!(out.contains("sent 4 tables"), "{out}");
+        assert!(out.contains("2 classes"), "{out}");
+        assert!(out.contains("representative 3:"), "{out}");
+        assert!(out.contains("server: "), "{out}");
+
+        handle.shutdown();
+        let report = run_thread.join().unwrap().unwrap().unwrap();
+        assert_eq!(report.classification.num_classes(), 2);
     }
 
     #[test]

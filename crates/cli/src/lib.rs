@@ -11,6 +11,8 @@
 //! facepoint match <table> <table>                    # NPN equivalence + witness
 //! facepoint cuts <file.aag> [--support N] [--limit K]
 //! facepoint suite [--support N] [--limit K]          # synthetic workload
+//! facepoint serve <addr> [--persist DIR]             # TCP census service
+//! facepoint client <addr> [FILE]                     # stream tables to it
 //! ```
 //!
 //! Truth tables are written as hex strings, optionally prefixed by the

@@ -46,7 +46,8 @@ impl Classifier {
     /// singletons.
     ///
     /// Produces the same partition as the flat classifier for the same
-    /// [`SignatureSet`] (see the module docs for the balanced-function
+    /// [`SignatureSet`](facepoint_sig::SignatureSet) (see the module
+    /// docs for the balanced-function
     /// argument); faster when the workload separates early (random
     /// functions), slower only by bookkeeping when it does not (heavily
     /// duplicated classes).

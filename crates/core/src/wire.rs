@@ -34,6 +34,15 @@
 //! | 3 | [`Record::Epoch`] | epoch `u64` |
 //! | 4 | [`Record::CheckpointHeader`] | version `u32`, next\_gen `u64`, classes `u64`, last\_epoch `u64` |
 //! | 5 | [`Record::Manifest`] | version `u32`, shards `u32`, set string (`u16` length prefix) |
+//! | 6 | [`Record::Request`] | UTF-8 command line (rest of payload) |
+//! | 7 | [`Record::Response`] | status `u8`, UTF-8 body (rest of payload) |
+//!
+//! Kinds 1–5 are the durable-store records. Kinds 6 and 7 are the
+//! **service frames** of the `facepoint serve` wire protocol
+//! (`docs/PROTOCOL.md` at the repository root): the same
+//! `[len][crc][payload]` framing carries request and response lines
+//! over a TCP connection, so torn-tail detection and CRC guarding work
+//! identically on disk and on the wire.
 
 use facepoint_truth::TruthTable;
 
@@ -106,6 +115,23 @@ pub enum Record {
         /// different sets are incomparable, so mixing is refused.
         set: String,
     },
+    /// One client→server command line of the `facepoint serve`
+    /// protocol (`docs/PROTOCOL.md`). The payload after the kind byte
+    /// is the whole line, UTF-8, no terminator — the frame already
+    /// delimits it.
+    Request {
+        /// The command line, e.g. `"SUBMIT 3:e8"`.
+        line: String,
+    },
+    /// One server→client reply of the `facepoint serve` protocol.
+    Response {
+        /// `0` for success; protocol error codes otherwise (the code
+        /// space is defined by the protocol spec, not by this codec).
+        status: u8,
+        /// Human- and machine-readable reply body. May span multiple
+        /// lines (`TOP` replies do); the frame delimits it.
+        body: String,
+    },
 }
 
 const KIND_CLASS: u8 = 1;
@@ -113,6 +139,8 @@ const KIND_BUMP: u8 = 2;
 const KIND_EPOCH: u8 = 3;
 const KIND_CHECKPOINT: u8 = 4;
 const KIND_MANIFEST: u8 = 5;
+const KIND_REQUEST: u8 = 6;
+const KIND_RESPONSE: u8 = 7;
 
 /// Why a frame or payload failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -287,6 +315,15 @@ impl Record {
                 put_u16(buf, bytes.len() as u16);
                 buf.extend_from_slice(bytes);
             }
+            Record::Request { line } => {
+                buf.push(KIND_REQUEST);
+                buf.extend_from_slice(line.as_bytes());
+            }
+            Record::Response { status, body } => {
+                buf.push(KIND_RESPONSE);
+                buf.push(*status);
+                buf.extend_from_slice(body.as_bytes());
+            }
         });
     }
 
@@ -295,6 +332,20 @@ impl Record {
         let mut buf = Vec::new();
         self.encode(&mut buf);
         buf
+    }
+
+    /// Decodes one frame *payload* (the bytes after the `[len][crc]`
+    /// prologue) whose CRC the caller has already verified — the
+    /// incremental-read path of socket consumers, which pull the header
+    /// and payload off the stream themselves instead of walking an
+    /// in-memory buffer with [`FrameStream`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] (with offset `0`) on structural
+    /// problems; a wrong CRC cannot be detected here.
+    pub fn decode_payload(payload: &[u8]) -> Result<Record, WireError> {
+        decode_payload(payload, 0)
     }
 }
 
@@ -397,6 +448,21 @@ fn decode_payload(payload: &[u8], offset: usize) -> Result<Record, WireError> {
                 set,
             }
         }
+        KIND_REQUEST => {
+            let bytes = c.take(payload.len() - c.pos).unwrap_or(&[]);
+            let line = std::str::from_utf8(bytes)
+                .map_err(|_| malformed("request line not UTF-8"))?
+                .to_string();
+            Record::Request { line }
+        }
+        KIND_RESPONSE => {
+            let status = c.u8().ok_or(malformed("short response status"))?;
+            let bytes = c.take(payload.len() - c.pos).unwrap_or(&[]);
+            let body = std::str::from_utf8(bytes)
+                .map_err(|_| malformed("response body not UTF-8"))?
+                .to_string();
+            Record::Response { status, body }
+        }
         _ => return Err(malformed("unknown record kind")),
     };
     if c.pos != payload.len() {
@@ -485,6 +551,13 @@ mod tests {
             },
             Record::Bump { key: u128::MAX },
             Record::Epoch { epoch: 9 },
+            Record::Request {
+                line: "SUBMIT 3:e8".into(),
+            },
+            Record::Response {
+                status: 0,
+                body: "OK seq=0\nwith a second line".into(),
+            },
         ]
     }
 
@@ -584,6 +657,50 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn service_frames_roundtrip_standalone() {
+        // Empty line / empty body are legal (the kind byte alone, or
+        // kind + status, is a complete payload).
+        for r in [
+            Record::Request {
+                line: String::new(),
+            },
+            Record::Response {
+                status: 4,
+                body: String::new(),
+            },
+            Record::Request {
+                line: "TOP 10".into(),
+            },
+        ] {
+            let frame = r.to_frame();
+            let payload = &frame[FRAME_HEADER_LEN..];
+            assert_eq!(
+                crc32(payload),
+                u32::from_le_bytes(frame[4..8].try_into().unwrap())
+            );
+            assert_eq!(Record::decode_payload(payload).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn non_utf8_service_payload_is_malformed() {
+        for payload in [vec![6u8, 0xFF, 0xFE], vec![7u8, 0, 0xFF, 0xFE]] {
+            assert!(matches!(
+                Record::decode_payload(&payload),
+                Err(WireError::Malformed { .. })
+            ));
+        }
+        // A response missing its status byte is short, not empty-body.
+        assert!(matches!(
+            Record::decode_payload(&[7u8]),
+            Err(WireError::Malformed {
+                reason: "short response status",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -374,6 +374,43 @@ impl Engine {
         self.store.top_classes(limit)
     }
 
+    /// Pushes any buffered partial chunk to the workers and waits until
+    /// everything submitted so far is classified, without ending the
+    /// stream — the quiescence hook for long-running services, where
+    /// [`Engine::finish`] (which consumes the engine) is reserved for
+    /// shutdown.
+    ///
+    /// Returns `true` once the backlog is zero, `false` if `timeout`
+    /// elapsed first (the engine keeps working either way; partial
+    /// progress is kept). After `drain` returns `true`, a
+    /// [`Engine::snapshot`] reflects every prior submission:
+    /// `functions_processed == functions_submitted` and the class
+    /// census is complete for the stream so far.
+    ///
+    /// Unlike [`Engine::flush`] this issues no epoch barrier — combine
+    /// the two (`flush` then `drain`, or `drain` then `flush`) when a
+    /// service wants both a quiescent view and durability of it.
+    pub fn drain(&mut self, timeout: std::time::Duration) -> bool {
+        self.dispatch_pending();
+        let deadline = Instant::now() + timeout;
+        let mut polls = 0u32;
+        while self.processed.load(Ordering::Acquire) < self.next_seq {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            // Yield while the backlog is about to clear, then back off
+            // to sleeping: spinning for a long drain would pin a core
+            // against the very workers being waited on.
+            if polls < 64 {
+                polls += 1;
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        true
+    }
+
     /// Drains the pipeline, joins the workers and assembles the final
     /// input-ordered [`Classification`] plus run statistics.
     ///
@@ -649,6 +686,35 @@ mod tests {
         );
         let report = engine.finish();
         assert_eq!(report.classification.labels(), expected.labels());
+    }
+
+    #[test]
+    fn drain_quiesces_without_finishing() {
+        let fns = workload(5, 10, 8, 17);
+        let total = fns.len() as u64;
+        let expected = Classifier::new(SignatureSet::all()).classify(fns.clone());
+        let mut engine = Engine::with_config(EngineConfig {
+            workers: 3,
+            chunk_size: 9,
+            ..EngineConfig::default()
+        });
+        // Interleave submission with mid-stream drains: after each
+        // drain, the snapshot must account for every prior submission
+        // (the service invariant behind `facepoint serve`'s SNAPSHOT).
+        for chunk in fns.chunks(23) {
+            engine.submit_batch(chunk.iter().cloned());
+            assert!(engine.drain(std::time::Duration::from_secs(30)));
+            let snap = engine.snapshot();
+            assert_eq!(snap.functions_processed, snap.functions_submitted);
+            assert_eq!(snap.backlog(), 0);
+        }
+        let snap = engine.snapshot();
+        assert_eq!(snap.functions_processed, total);
+        assert_eq!(snap.num_classes, expected.num_classes());
+        // The stream is still open: more work and a normal finish.
+        engine.submit(TruthTable::majority(5));
+        let report = engine.finish();
+        assert_eq!(report.stats.functions_processed, total + 1);
     }
 
     #[test]

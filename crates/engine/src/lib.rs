@@ -26,10 +26,12 @@
 //!   an append-only, CRC-guarded, per-shard segment log with periodic
 //!   checkpoint compaction, so a library-scale census survives
 //!   restarts and SIGKILLs: recovery replays the newest checkpoint
-//!   plus the log tail, truncating torn writes, and loses at most the
-//!   final un-fsync'd epoch (layout and crash-safety argument in the
-//!   `store` module source; knobs on [`PersistConfig`] and
-//!   [`SyncPolicy`]);
+//!   plus the log tail, truncating torn writes. What a crash can cost
+//!   depends on [`SyncPolicy`]: at most the final un-fsync'd epoch
+//!   under the default [`SyncPolicy::Barrier`], nothing acknowledged
+//!   under [`SyncPolicy::Always`], and up to the kernel's writeback
+//!   under [`SyncPolicy::Never`] (layout and crash-safety argument in
+//!   the `store` module source; knobs on [`PersistConfig`]);
 //! * **reports** — [`EngineStats`] carries throughput, shard occupancy,
 //!   cache hit rates and journal counters.
 //!

@@ -153,17 +153,22 @@ fn flush_writes_epoch_barriers() {
     for f in random_workload(4, 50, 3) {
         engine.submit(f);
     }
-    engine.flush(); // pushes the partial chunk to the workers
-                    // Wait until everything is classified (and journaled), so the next
-                    // barrier deterministically covers dirty shards.
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
-    while engine.snapshot().functions_processed < 50 {
-        assert!(
-            std::time::Instant::now() < deadline,
-            "engine failed to drain"
-        );
-        std::thread::yield_now();
-    }
+    engine.flush(); // epoch 1: covers whatever the workers journaled so far
+                    // Quiesce, then submit one more member: barrier 2 now
+                    // deterministically has at least one record to cover.
+                    // (Racing the first barrier against the workers made
+                    // this test flaky: on a slow or single-core machine all
+                    // 50 records could land *before* marker 1, leaving
+                    // barrier 2 nothing to stamp.)
+    assert!(
+        engine.drain(std::time::Duration::from_secs(30)),
+        "engine failed to drain"
+    );
+    engine.submit(TruthTable::parity(4));
+    assert!(
+        engine.drain(std::time::Duration::from_secs(30)),
+        "engine failed to drain"
+    );
     engine.flush();
     // A further flush with nothing new is a no-op on disk: idle flush
     // loops must not grow the logs.
@@ -179,9 +184,10 @@ fn flush_writes_epoch_barriers() {
     assert!(durability.fsyncs > 0, "barrier policy fsyncs on flush");
     drop(engine);
     let snap = Engine::recover(&dir).unwrap();
-    assert_eq!(snap.members(), 50);
-    // The last barrier that covered data is the newest marker on disk
-    // (epoch 2; whether epoch 1 reached any shard depends on timing).
+    assert_eq!(snap.members(), 51);
+    // The last barrier that covered data is the newest marker on disk:
+    // epoch 2 stamped the post-drain member; the idle epoch 3 skipped
+    // every shard.
     assert_eq!(snap.report.last_epoch, 2);
 
     // Epoch numbering resumes (stays monotonic) across a reopen.
@@ -198,20 +204,18 @@ fn flush_writes_epoch_barriers() {
     )
     .unwrap();
     engine.submit(TruthTable::majority(3));
-    // Drain so the barrier covers the new member deterministically.
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    // Drain first, so the next barrier covers the new member
+    // deterministically (epoch 3); a second, idle barrier (4) writes no
+    // marker.
+    assert!(
+        engine.drain(std::time::Duration::from_secs(30)),
+        "engine failed to drain"
+    );
     engine.flush();
-    while engine.snapshot().functions_processed < 51 {
-        assert!(
-            std::time::Instant::now() < deadline,
-            "engine failed to drain"
-        );
-        std::thread::yield_now();
-    }
     engine.flush();
     drop(engine);
     let snap = Engine::recover(&dir).unwrap();
-    assert_eq!(snap.report.last_epoch, 4, "epochs resume after reopen");
+    assert_eq!(snap.report.last_epoch, 3, "epochs resume after reopen");
 
     // A clean finish() compacts every log away, but the epoch survives
     // in the checkpoint headers — numbering never regresses.
@@ -231,7 +235,7 @@ fn flush_writes_epoch_barriers() {
     let snap = Engine::recover(&dir).unwrap();
     assert_eq!(snap.report.log_records, 0, "finish compacted the logs");
     assert_eq!(
-        snap.report.last_epoch, 4,
+        snap.report.last_epoch, 3,
         "epoch numbering survives a clean restart"
     );
     std::fs::remove_dir_all(&dir).unwrap();

@@ -1,0 +1,77 @@
+//! # facepoint-serve
+//!
+//! A long-running NPN classification **service**: a TCP front-end for
+//! the streaming [`facepoint_engine::Engine`], speaking a hand-rolled,
+//! length-delimited, CRC-guarded line protocol — the engine's
+//! `submit`/`snapshot`/`top_classes`/`flush` surface over a socket, so
+//! a census outlives any single client and (with persistence) any
+//! single server process.
+//!
+//! The wire contract is **`docs/PROTOCOL.md`** at the repository root:
+//! frame layout, opcodes (`HELLO`, `PING`, `SUBMIT`, `SUBMIT-BATCH`,
+//! `SNAPSHOT`, `TOP`, `STATS`, `FLUSH`, `QUIT`), error codes, version
+//! negotiation and backpressure semantics. This crate is one
+//! implementation of that spec — the spec, not this source, is the
+//! contract. The system-level picture (how a submission travels from
+//! socket to shard journal) is in `docs/ARCHITECTURE.md`.
+//!
+//! Frames reuse the `[len][crc32][payload]` record conventions of
+//! [`facepoint_core::wire`]
+//! ([`Record::Request`](facepoint_core::wire::Record::Request) and
+//! [`Record::Response`](facepoint_core::wire::Record::Response)
+//! kinds), so the same torn-frame detection that guards the durable
+//! store guards the socket.
+//!
+//! # Pieces
+//!
+//! * [`Server`] — blocking acceptor, one reader thread per connection,
+//!   all connections feeding one shared
+//!   [`Engine`](facepoint_engine::Engine); graceful shutdown
+//!   (via [`ShutdownHandle`] or SIGTERM/SIGINT once
+//!   [`signal::install`] is called) finishes the engine, writing a
+//!   final checkpoint when the census is durable.
+//! * [`Client`] — a blocking client written against the spec; used by
+//!   the `facepoint client` subcommand, the integration tests and the
+//!   `served_census` example.
+//! * [`proto`] — the shared framing/grammar layer: opcode and status
+//!   tables, frame read/write over any `Read`/`Write`, and the
+//!   table-literal parser.
+//!
+//! # Quick start
+//!
+//! ```
+//! use facepoint_engine::{Engine, EngineConfig};
+//! use facepoint_serve::{Client, Server, ServerConfig};
+//! use facepoint_sig::SignatureSet;
+//!
+//! let engine = Engine::new(SignatureSet::all());
+//! let server = Server::bind("127.0.0.1:0", engine, ServerConfig::default()).unwrap();
+//! let addr = server.local_addr().unwrap();
+//! let handle = server.shutdown_handle();
+//! let run = std::thread::spawn(move || server.run());
+//!
+//! let mut client = Client::connect(addr).unwrap();
+//! client.submit("e8").unwrap();               // 3-input majority
+//! client.submit("3:d4").unwrap();             // same class, by transform
+//! client.wait_drained(std::time::Duration::from_secs(10)).unwrap();
+//! let snap = client.snapshot().unwrap();
+//! assert_eq!(snap.classes, 1);
+//! client.quit().unwrap();
+//!
+//! handle.shutdown();
+//! let report = run.join().unwrap().unwrap().expect("engine report");
+//! assert_eq!(report.classification.num_classes(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+mod client;
+pub mod proto;
+mod server;
+pub mod signal;
+
+pub use client::{Client, ServeSnapshot, ServerInfo, TopClass};
+pub use proto::{ProtoError, Status, PROTO_VERSION};
+pub use server::{Server, ServerConfig, ShutdownHandle};

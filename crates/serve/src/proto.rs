@@ -1,0 +1,349 @@
+//! The shared protocol layer: status codes, frame I/O and the
+//! table-literal grammar.
+//!
+//! Everything here implements `docs/PROTOCOL.md` (repository root) —
+//! the frame layout is §2, the status codes §5, the table literal
+//! grammar §4.1. Both [`Server`](crate::Server) and
+//! [`Client`](crate::Client) are built from these functions, so a
+//! byte-level disagreement between the two would be a bug in exactly
+//! one place.
+
+use facepoint_core::wire::{crc32, Record, FRAME_HEADER_LEN, MAX_PAYLOAD_LEN};
+use facepoint_truth::TruthTable;
+use std::io::{self, Read, Write};
+
+/// Protocol version this implementation speaks. Sent by the client in
+/// `HELLO`, checked by the server (`EVERSION` on mismatch). Bump on any
+/// incompatible grammar or framing change.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Hard cap on a `SUBMIT-BATCH` count; larger announcements are
+/// refused with `EUSAGE` before any table frame is read.
+pub const MAX_BATCH: u64 = 1 << 20;
+
+/// Response status codes (§5 of the spec). The byte value travels in
+/// the first payload byte of every [`Record::Response`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// Success; the body is the opcode-specific reply.
+    Ok = 0,
+    /// The connection violated the framing or sequencing rules (non-
+    /// request frame, command before `HELLO`, torn batch). The server
+    /// closes the connection after sending this.
+    Proto = 1,
+    /// `HELLO` named a protocol version the server does not speak.
+    Version = 2,
+    /// Unknown opcode or malformed arguments.
+    Usage = 3,
+    /// A truth-table literal failed to parse.
+    Table = 4,
+    /// The server is shutting down; the engine has already been sealed.
+    Shutdown = 5,
+}
+
+impl Status {
+    /// The wire byte.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a wire byte (`None` for codes this implementation does
+    /// not know — a *newer* peer, to be surfaced, not crashed on).
+    pub fn from_code(code: u8) -> Option<Status> {
+        match code {
+            0 => Some(Status::Ok),
+            1 => Some(Status::Proto),
+            2 => Some(Status::Version),
+            3 => Some(Status::Usage),
+            4 => Some(Status::Table),
+            5 => Some(Status::Shutdown),
+            _ => None,
+        }
+    }
+
+    /// The spec's mnemonic token (`"OK"`, `"EPROTO"`, …), used in
+    /// human-facing reports.
+    pub fn token(self) -> &'static str {
+        match self {
+            Status::Ok => "OK",
+            Status::Proto => "EPROTO",
+            Status::Version => "EVERSION",
+            Status::Usage => "EUSAGE",
+            Status::Table => "ETABLE",
+            Status::Shutdown => "ESHUTDOWN",
+        }
+    }
+}
+
+impl std::fmt::Display for Status {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// What a [`Client`](crate::Client) call can fail with.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The transport failed (connect, read, write, unexpected EOF).
+    Io(io::Error),
+    /// The server answered with a non-`OK` status.
+    Remote {
+        /// The status code (`None` if the server sent a code this
+        /// client does not know).
+        status: Option<Status>,
+        /// The server's error message.
+        message: String,
+    },
+    /// The peer sent something the spec does not allow at this point
+    /// (wrong frame kind, unparseable reply body).
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "transport: {e}"),
+            ProtoError::Remote { status, message } => match status {
+                Some(s) => write!(f, "{s}: {message}"),
+                None => write!(f, "unknown status: {message}"),
+            },
+            ProtoError::Malformed(m) => write!(f, "malformed reply: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// Appends `record` to `w` as one frame. The caller owns buffering and
+/// flushing (both peers wrap their streams in `BufWriter` and flush at
+/// the spec's flush points).
+pub fn write_record(w: &mut impl Write, record: &Record) -> io::Result<()> {
+    w.write_all(&record.to_frame())
+}
+
+/// Writes one request frame carrying `line`.
+pub fn write_request(w: &mut impl Write, line: &str) -> io::Result<()> {
+    write_record(w, &Record::Request { line: line.into() })
+}
+
+/// Writes one response frame.
+pub fn write_response(w: &mut impl Write, status: Status, body: &str) -> io::Result<()> {
+    write_record(
+        w,
+        &Record::Response {
+            status: status.code(),
+            body: body.into(),
+        },
+    )
+}
+
+/// Reads exactly one frame off `r` and decodes it.
+///
+/// Returns `Ok(None)` on a clean EOF *between* frames — the peer hung
+/// up at a frame boundary, which is how connections end.
+///
+/// # Errors
+///
+/// `UnexpectedEof` when the stream ends mid-frame, `InvalidData` for a
+/// CRC mismatch, an oversized length field or a structurally malformed
+/// payload. A framing error leaves the stream position undefined, so
+/// the caller must drop the connection — there is no resynchronization
+/// (§2.3 of the spec).
+pub fn read_record(r: &mut impl Read) -> io::Result<Option<Record>> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    // Distinguish EOF-at-boundary from EOF-mid-header by reading the
+    // first byte separately.
+    let mut got = 0;
+    while got < header.len() {
+        let n = r.read(&mut header[got..])?;
+        if n == 0 {
+            if got == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "stream ended mid frame header",
+            ));
+        }
+        got += n;
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if len > MAX_PAYLOAD_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_PAYLOAD_LEN} cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    if crc32(&payload) != crc {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame CRC mismatch",
+        ));
+    }
+    Record::decode_payload(&payload)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Parses a table literal (§4.1): `hex` with a power-of-two digit
+/// count (variable count inferred as `log2(digits) + 2`), or `n:hex`
+/// for an explicit variable count (required for 0- and 1-variable
+/// tables). A leading `0x`/`0X` on the hex part is accepted.
+///
+/// # Errors
+///
+/// A human-readable description of the first problem, suitable as an
+/// `ETABLE` message body.
+pub fn parse_table_line(spec: &str) -> Result<TruthTable, String> {
+    let spec = spec.trim();
+    let (n, hex) = match spec.split_once(':') {
+        Some((n_str, hex)) => {
+            let n: usize = n_str
+                .parse()
+                .map_err(|_| format!("bad variable count {n_str:?}"))?;
+            (n, hex)
+        }
+        None => {
+            let hex = spec
+                .strip_prefix("0x")
+                .or_else(|| spec.strip_prefix("0X"))
+                .unwrap_or(spec);
+            let digits = hex.len();
+            if digits == 0 || !digits.is_power_of_two() {
+                return Err(format!(
+                    "cannot infer the variable count from {digits} hex digits; use n:hex"
+                ));
+            }
+            (digits.trailing_zeros() as usize + 2, hex)
+        }
+    };
+    let hex = hex
+        .strip_prefix("0x")
+        .or_else(|| hex.strip_prefix("0X"))
+        .unwrap_or(hex);
+    TruthTable::from_hex(n, hex).map_err(|e| format!("{spec:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_codes_roundtrip() {
+        for s in [
+            Status::Ok,
+            Status::Proto,
+            Status::Version,
+            Status::Usage,
+            Status::Table,
+            Status::Shutdown,
+        ] {
+            assert_eq!(Status::from_code(s.code()), Some(s));
+            assert!(!s.token().is_empty());
+        }
+        assert_eq!(Status::from_code(200), None);
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_pipe() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_request(&mut buf, "PING").unwrap();
+        write_response(&mut buf, Status::Ok, "pong").unwrap();
+        write_response(&mut buf, Status::Usage, "no such opcode").unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(
+            read_record(&mut r).unwrap(),
+            Some(Record::Request {
+                line: "PING".into()
+            })
+        );
+        assert_eq!(
+            read_record(&mut r).unwrap(),
+            Some(Record::Response {
+                status: 0,
+                body: "pong".into()
+            })
+        );
+        assert_eq!(
+            read_record(&mut r).unwrap(),
+            Some(Record::Response {
+                status: Status::Usage.code(),
+                body: "no such opcode".into()
+            })
+        );
+        assert_eq!(read_record(&mut r).unwrap(), None); // clean EOF
+    }
+
+    #[test]
+    fn mid_frame_eof_and_bad_crc_are_errors() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_request(&mut buf, "SNAPSHOT").unwrap();
+        // Cut inside the header, then inside the payload.
+        for cut in [3, FRAME_HEADER_LEN + 2] {
+            let err = read_record(&mut io::Cursor::new(&buf[..cut])).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut {cut}");
+        }
+        // Flip a payload byte: CRC mismatch.
+        let mut bad = buf.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        let err = read_record(&mut io::Cursor::new(&bad)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Oversized length field: refused before allocation.
+        let mut huge = (u32::MAX).to_le_bytes().to_vec();
+        huge.extend_from_slice(&[0; 4]);
+        let err = read_record(&mut io::Cursor::new(&huge)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    /// Pins the byte-level examples of `docs/PROTOCOL.md` §2.2 to the
+    /// implementation: if this test needs updating, the spec's example
+    /// bytes (and the protocol version) must change with it.
+    #[test]
+    fn spec_byte_examples_are_pinned() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, "SUBMIT 3:e8").unwrap();
+        assert_eq!(
+            buf,
+            [
+                0x0c, 0x00, 0x00, 0x00, // len = 12
+                0x21, 0x2c, 0xd2, 0x14, // crc32(payload)
+                0x06, // kind: request
+                b'S', b'U', b'B', b'M', b'I', b'T', b' ', b'3', b':', b'e', b'8',
+            ]
+        );
+        let mut buf = Vec::new();
+        write_response(&mut buf, Status::Ok, "seq=0").unwrap();
+        assert_eq!(
+            buf,
+            [
+                0x07, 0x00, 0x00, 0x00, // len = 7
+                0xab, 0x06, 0x43, 0xf3, // crc32(payload)
+                0x07, // kind: response
+                0x00, // status: OK
+                b's', b'e', b'q', b'=', b'0',
+            ]
+        );
+    }
+
+    #[test]
+    fn table_literals() {
+        assert_eq!(parse_table_line("e8").unwrap(), TruthTable::majority(3));
+        assert_eq!(parse_table_line(" 3:e8 ").unwrap(), TruthTable::majority(3));
+        assert_eq!(parse_table_line("0xE8").unwrap(), TruthTable::majority(3));
+        assert!(parse_table_line("abc").is_err(), "3 digits");
+        assert!(parse_table_line("zz").is_err(), "not hex");
+        assert!(parse_table_line("x:e8").is_err());
+        assert!(parse_table_line("").is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Minimal SIGTERM/SIGINT latch for graceful shutdown.
+//!
+//! The offline build vendors no `libc` or `signal-hook`, so this is
+//! the smallest possible hand-rolled handler: `signal(2)` installs an
+//! async-signal-safe function that stores one atomic flag, and the
+//! server's accept loop polls [`triggered`] between accepts. Nothing
+//! else may happen in a signal handler, and nothing else does.
+//!
+//! [`install`] is opt-in (the `facepoint serve` CLI path calls it;
+//! in-process servers in tests and examples use
+//! [`ShutdownHandle`](crate::ShutdownHandle) instead) and a no-op on
+//! non-Unix targets, where [`triggered`] simply never fires.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal has been delivered since [`install`].
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::SeqCst)
+}
+
+/// Resets the latch — lets one process run several serve lifecycles
+/// (and lets tests exercise the flag without delivering real signals).
+pub fn reset() {
+    TRIGGERED.store(false, Ordering::SeqCst);
+}
+
+/// Marks the latch as if a signal had arrived. Exists for tests and
+/// for embedders with their own signal stack; the handler installed by
+/// [`install`] does exactly this.
+pub fn trigger() {
+    TRIGGERED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use std::os::raw::c_int;
+
+    const SIGINT: c_int = 2;
+    const SIGTERM: c_int = 15;
+
+    extern "C" {
+        // POSIX `signal(2)`. The handler argument and return value are
+        // `sighandler_t` (a function pointer); `usize` has the same
+        // representation for the values we pass.
+        fn signal(signum: c_int, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: c_int) {
+        // Only an atomic store: the one thing that is async-signal-safe.
+        super::trigger();
+    }
+
+    /// Installs the latch for SIGTERM and SIGINT.
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(c_int) as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signals to hook on this target; [`super::triggered`] stays
+    /// false unless [`super::trigger`] is called.
+    pub fn install() {}
+}
+
+/// Routes SIGTERM and SIGINT into the latch that
+/// [`Server::run`](crate::Server::run) polls, so an external
+/// `kill <pid>` produces the same graceful finish-and-checkpoint path
+/// as [`ShutdownHandle::shutdown`](crate::ShutdownHandle::shutdown).
+/// Call once, before `run`. No-op outside Unix.
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_set_and_reset() {
+        reset();
+        assert!(!triggered());
+        trigger();
+        assert!(triggered());
+        reset();
+        assert!(!triggered());
+        // Installing must not itself trigger.
+        install();
+        assert!(!triggered());
+    }
+}

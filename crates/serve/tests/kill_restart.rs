@@ -1,0 +1,268 @@
+//! The served-census crash gauntlet: a `facepoint serve --persist`
+//! process is SIGKILLed mid-stream, restarted over the same store, and
+//! re-fed the stream — after which its census must converge to exactly
+//! the one-shot `Classifier` partition. A final SIGTERM exercises the
+//! graceful path: the signal latch, the engine's final checkpoint and
+//! a clean (torn-tail-free) recovery.
+//!
+//! The server child is this same test binary re-executed with
+//! `FACEPOINT_SERVE_CHILD` set (single `#[test]` so the re-exec never
+//! races another test). The child binds port 0 and publishes its
+//! address through a file in the store directory.
+
+use facepoint_bench::random_workload;
+use facepoint_core::{signature_key, Classifier};
+use facepoint_engine::{Engine, EngineConfig, PersistConfig, SyncPolicy};
+use facepoint_serve::{signal, Client, Server, ServerConfig};
+use facepoint_sig::SignatureSet;
+use facepoint_truth::TruthTable;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+const CHILD_ENV: &str = "FACEPOINT_SERVE_CHILD";
+const DIR_ENV: &str = "FACEPOINT_SERVE_DIR";
+const STREAM_ENV: &str = "SERVE_GAUNTLET_STREAM";
+const ADDR_FILE: &str = "serve-addr.txt";
+const DRAIN: Duration = Duration::from_secs(60);
+
+fn stream_size() -> usize {
+    std::env::var(STREAM_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4_000)
+}
+
+/// Two thirds fresh tables, one third repeats — creations, bumps and
+/// dedup-fast-path journal traffic, like the engine's own gauntlet.
+fn gauntlet_stream(total: usize) -> Vec<String> {
+    let fresh = random_workload(6, (2 * total).div_ceil(3).max(1), 0x5EED);
+    let mut tables: Vec<TruthTable> = Vec::with_capacity(total);
+    for i in 0..total {
+        if i % 3 == 2 {
+            let again = tables[i / 2].clone();
+            tables.push(again);
+        } else {
+            tables.push(fresh[(i - i / 3) % fresh.len()].clone());
+        }
+    }
+    tables
+        .iter()
+        .map(|f| format!("{}:{}", f.num_vars(), f.to_hex()))
+        .collect()
+}
+
+fn expected_partition(lines: &[String]) -> HashMap<u128, u64> {
+    let fns: Vec<TruthTable> = lines
+        .iter()
+        .map(|l| {
+            let (n, hex) = l.split_once(':').unwrap();
+            TruthTable::from_hex(n.parse().unwrap(), hex).unwrap()
+        })
+        .collect();
+    Classifier::new(SignatureSet::all())
+        .classify(fns)
+        .classes()
+        .iter()
+        .map(|c| {
+            (
+                signature_key(c.representative(), SignatureSet::all()),
+                c.size() as u64,
+            )
+        })
+        .collect()
+}
+
+/// The child: serve the store directory until killed (or SIGTERMed,
+/// which finishes the engine and exits 0).
+fn child_main() -> ! {
+    let dir = PathBuf::from(std::env::var(DIR_ENV).expect("child needs a store dir"));
+    signal::reset();
+    signal::install();
+    let cfg = EngineConfig {
+        workers: 2,
+        chunk_size: 64,
+        cache_capacity: 1 << 14,
+        persist: Some(PersistConfig {
+            dir: dir.clone(),
+            checkpoint_interval: 64, // kills land on compactions too
+            sync: SyncPolicy::Barrier,
+        }),
+        ..EngineConfig::default()
+    };
+    let engine = Engine::open(&dir, cfg).expect("child: open store");
+    let server = Server::bind(
+        "127.0.0.1:0",
+        engine,
+        ServerConfig {
+            accept_poll: Duration::from_millis(5),
+        },
+    )
+    .expect("child: bind");
+    let addr = server.local_addr().expect("child: local addr");
+    // Publish the bound address atomically (write-then-rename, so the
+    // parent never reads a half-written file).
+    let tmp = dir.join("serve-addr.tmp");
+    std::fs::write(&tmp, addr.to_string()).expect("child: write addr");
+    std::fs::rename(&tmp, dir.join(ADDR_FILE)).expect("child: publish addr");
+    let report = server.run().expect("child: serve");
+    assert!(report.is_some(), "child: engine sealed twice");
+    std::process::exit(0);
+}
+
+fn spawn_child(dir: &Path) -> (std::process::Child, SocketAddr) {
+    let _ = std::fs::remove_file(dir.join(ADDR_FILE));
+    std::fs::create_dir_all(dir).unwrap();
+    let child = std::process::Command::new(std::env::current_exe().unwrap())
+        .env(CHILD_ENV, "1")
+        .env(DIR_ENV, dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn serve child");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(dir.join(ADDR_FILE)) {
+            if let Ok(addr) = text.trim().parse() {
+                break addr;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "serve child never published its address"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    (child, addr)
+}
+
+fn top_by_key(client: &mut Client) -> HashMap<u128, u64> {
+    client
+        .top(usize::MAX)
+        .unwrap()
+        .into_iter()
+        .map(|c| (c.key, c.size))
+        .collect()
+}
+
+#[test]
+fn sigkill_restart_refeed_converges() {
+    if std::env::var(CHILD_ENV).is_ok() {
+        child_main();
+    }
+    let lines = gauntlet_stream(stream_size());
+    let expected = expected_partition(&lines);
+    let dir = std::env::temp_dir().join(format!("facepoint-serve-gauntlet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- Phase 1: stream into the served census, SIGKILL mid-stream.
+    let (mut child, addr) = spawn_child(&dir);
+    let killer = {
+        let pid = child.id();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(120));
+            // SIGKILL via the raw pid: no grace, no checkpoint.
+            let status = std::process::Command::new("kill")
+                .args(["-KILL", &pid.to_string()])
+                .status()
+                .expect("spawn kill");
+            assert!(status.success());
+        })
+    };
+    let mut client = Client::connect(addr).unwrap();
+    assert!(client.server_info().persistent);
+    let mut sent_before_kill = 0usize;
+    for chunk in lines.chunks(64) {
+        match client.submit_batch(chunk.iter().map(String::as_str)) {
+            Ok(_) => sent_before_kill += chunk.len(),
+            Err(_) => break, // the kill landed
+        }
+        // Periodic epoch barriers, so some of the stream is durable.
+        if sent_before_kill.is_multiple_of(512) && client.flush().is_err() {
+            break;
+        }
+    }
+    killer.join().unwrap();
+    let _ = child.wait();
+    drop(client);
+
+    // --- Phase 2: restart over the same store; the recovered census
+    // must be a subset of the one-shot partition.
+    let (mut child, addr) = spawn_child(&dir);
+    let mut client = Client::connect(addr).unwrap();
+    let recovered = top_by_key(&mut client);
+    let recovered_members: u64 = recovered.values().sum();
+    assert!(
+        recovered_members <= lines.len() as u64,
+        "recovered more members than were ever sent"
+    );
+    for (key, size) in &recovered {
+        let expected_size = expected
+            .get(key)
+            .unwrap_or_else(|| panic!("recovered class {key:032x} unknown to the classifier"));
+        assert!(
+            size <= expected_size,
+            "class {key:032x} overcounted after recovery: {size} > {expected_size}"
+        );
+    }
+
+    // --- Phase 3: re-feed the full stream and require convergence:
+    // exact class set, counts = recovered + one full stream.
+    for chunk in lines.chunks(256) {
+        client
+            .submit_batch(chunk.iter().map(String::as_str))
+            .unwrap();
+    }
+    let snap = client.wait_drained(DRAIN).unwrap();
+    assert_eq!(snap.backlog, 0);
+    assert_eq!(snap.classes as usize, expected.len());
+    let converged = top_by_key(&mut client);
+    assert_eq!(converged.len(), expected.len());
+    for (key, expected_size) in &expected {
+        let before = recovered.get(key).copied().unwrap_or(0);
+        assert_eq!(
+            converged.get(key),
+            Some(&(before + expected_size)),
+            "class {key:032x} did not converge to recovered + resubmitted"
+        );
+    }
+    client.quit().unwrap();
+
+    // --- Phase 4: SIGTERM = graceful: final checkpoint, exit 0, and a
+    // read-only recovery with no torn tails and the full census.
+    let status = std::process::Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("spawn kill");
+    assert!(status.success());
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let exit = loop {
+        match child.try_wait().expect("wait for SIGTERMed child") {
+            Some(status) => break status,
+            None => {
+                assert!(
+                    Instant::now() < deadline,
+                    "child ignored SIGTERM (graceful shutdown hung)"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    };
+    assert!(exit.success(), "graceful shutdown exited with {exit:?}");
+    let snap = Engine::recover(&dir).expect("post-SIGTERM recover");
+    assert_eq!(snap.report.torn_shards, 0, "{}", snap.report);
+    assert_eq!(snap.report.truncated_bytes, 0, "{}", snap.report);
+    assert_eq!(snap.classes.len(), expected.len());
+    assert_eq!(
+        snap.members(),
+        recovered_members + lines.len() as u64,
+        "cumulative census drifted across kill + restart"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+    println!(
+        "SIGKILL after ~{sent_before_kill} submissions: {recovered_members} members survived; \
+         refeed converged to {} classes; SIGTERM checkpointed cleanly",
+        expected.len()
+    );
+}

@@ -87,8 +87,9 @@ enum Build {
 }
 
 /// Reusable scratch state for single-pass, allocation-free signature
-/// computation. See the [module docs](self) for the algorithm; create
-/// one per worker thread and feed it any number of functions.
+/// computation. See the `kernel` module docs (in the source — the
+/// module is private) for the algorithm; create one per worker thread
+/// and feed it any number of functions.
 ///
 /// # Examples
 ///

@@ -1,0 +1,83 @@
+//! A served census, end to end in one process: spawn the TCP service,
+//! stream 10k random tables through the protocol client, and print
+//! the heavy-hitter classes — the `facepoint serve` / `facepoint
+//! client` flow (wire spec: `docs/PROTOCOL.md`) without leaving the
+//! program.
+//!
+//! ```text
+//! cargo run --release --example served_census
+//! ```
+
+use facepoint::engine::{Engine, EngineConfig};
+use facepoint::serve::{Client, Server, ServerConfig};
+use facepoint::truth::TruthTable;
+use facepoint::SignatureSet;
+use rand::{RngExt, SeedableRng};
+use std::time::Duration;
+
+const TOTAL: usize = 10_000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- The server side: an engine behind a TCP acceptor. -----------
+    let engine = Engine::with_config(EngineConfig {
+        cache_capacity: 1 << 14,
+        ..EngineConfig::with_set(SignatureSet::all())
+    });
+    let server = Server::bind("127.0.0.1:0", engine, ServerConfig::default())?;
+    let addr = server.local_addr()?;
+    let shutdown = server.shutdown_handle();
+    let serving = std::thread::spawn(move || server.run());
+    println!("serving on {addr}");
+
+    // --- The client side: 10k random 6-variable tables, batched. -----
+    // A third are repeats, so the census has classes worth ranking
+    // (and the server's dedup fast path gets traffic).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xCE2505);
+    let mut lines: Vec<String> = Vec::with_capacity(TOTAL);
+    for i in 0..TOTAL {
+        let line = if i % 3 == 2 {
+            lines[rng.random_range(0..lines.len())].clone()
+        } else {
+            let f = TruthTable::random(6, &mut rng)?;
+            format!("6:{}", f.to_hex())
+        };
+        lines.push(line);
+    }
+    let mut client = Client::connect(addr)?;
+    let info = client.server_info();
+    println!(
+        "connected: protocol v{} set {} workers {}",
+        info.version, info.set, info.workers
+    );
+    for chunk in lines.chunks(1024) {
+        client.submit_batch(chunk.iter().map(String::as_str))?;
+    }
+    let snap = client.wait_drained(Duration::from_secs(120))?;
+    println!(
+        "census drained: {} submitted, {} classes",
+        snap.submitted, snap.classes
+    );
+    assert_eq!(snap.submitted as usize, TOTAL);
+    assert_eq!(snap.backlog, 0);
+
+    println!("top classes:");
+    for class in client.top(8)? {
+        println!(
+            "  {:032x}  size {:>6}  representative {}",
+            class.key, class.size, class.representative
+        );
+    }
+    println!("server stats: {}", client.stats()?);
+    client.quit()?;
+
+    // --- Graceful shutdown returns the same census as a one-shot run.
+    shutdown.shutdown();
+    let report = serving.join().expect("server thread")?.expect("report");
+    println!(
+        "final: {} functions -> {} classes",
+        report.classification.num_functions(),
+        report.classification.num_classes()
+    );
+    assert_eq!(report.classification.num_functions(), TOTAL);
+    Ok(())
+}

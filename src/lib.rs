@@ -16,7 +16,9 @@
 //! * [`aig`] — and-inverter graphs, cut enumeration and the synthetic
 //!   EPFL-style benchmark suite,
 //! * [`engine`] — the sharded, parallel, streaming classification
-//!   engine for throughput-oriented workloads.
+//!   engine for throughput-oriented workloads,
+//! * [`serve`] — the TCP service front-end and its protocol client
+//!   (wire spec in `docs/PROTOCOL.md`).
 //!
 //! The most common entry points are lifted to the crate root.
 //!
@@ -45,6 +47,7 @@ pub use facepoint_aig as aig;
 pub use facepoint_core as core;
 pub use facepoint_engine as engine;
 pub use facepoint_exact as exact;
+pub use facepoint_serve as serve;
 pub use facepoint_sig as sig;
 pub use facepoint_truth as truth;
 
