@@ -104,6 +104,33 @@ fn bench_journaled_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_ingest_contention(c: &mut Criterion) {
+    // The work-stealing pool under deliberate queue pressure:
+    // one-function chunks put a queue operation on every submission,
+    // so this measures the ingest path itself (the trajectory bin's
+    // contention sweep records the same shape against the retired
+    // mutex-queue baseline in BENCH_engine.json).
+    let mut group = c.benchmark_group("engine_ingest_contention");
+    group.sample_size(10);
+    let fns = facepoint_bench::balanced_workload(8, 2048, 0xC0E);
+    group.throughput(Throughput::Elements(fns.len() as u64));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("steal-pool", workers), &fns, |b, fns| {
+            b.iter(|| {
+                let mut engine = Engine::with_config(EngineConfig {
+                    workers,
+                    chunk_size: 1,
+                    deque_capacity: 64,
+                    ..EngineConfig::default()
+                });
+                engine.submit_batch(fns.iter().cloned());
+                black_box(engine.finish().classification.num_classes())
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_memo_cache_on_repeat_traffic(c: &mut Criterion) {
     // Cut streams repeat functions; replaying the same harvest three
     // times models steady-state traffic over a slowly-changing design.
@@ -130,6 +157,7 @@ criterion_group! {
         .measurement_time(std::time::Duration::from_secs(2));
     targets = bench_engine_scaling_random,
     bench_engine_scaling_cuts,
+    bench_ingest_contention,
     bench_journaled_ingest,
     bench_memo_cache_on_repeat_traffic
 }

@@ -68,6 +68,28 @@ fn workload(n: usize) -> Vec<TruthTable> {
     fns
 }
 
+/// Runs `pass` up to five times and requires at least one execution
+/// with zero allocations in its window. The counter is process-global,
+/// and the libtest harness's *main* thread occasionally allocates
+/// while the test thread is mid-window (it did so reliably enough on
+/// single-core runners to flake this test) — such foreign noise can
+/// only ever *add* counts, so one clean pass proves the measured code
+/// allocation-free, while code that really allocates fails all five
+/// passes deterministically.
+fn assert_some_pass_allocates_nothing(what: std::fmt::Arguments<'_>, mut pass: impl FnMut()) {
+    let mut deltas = Vec::new();
+    for _ in 0..5 {
+        let before = allocations();
+        pass();
+        let delta = allocations() - before;
+        if delta == 0 {
+            return;
+        }
+        deltas.push(delta);
+    }
+    panic!("{what}: every steady-state pass allocated ({deltas:?})");
+}
+
 // One #[test] on purpose: the allocation counter is process-global, so
 // a second test running on a parallel harness thread would bleed its
 // allocations into this one's measured window.
@@ -81,15 +103,13 @@ fn steady_state_digest_and_msv_into_allocate_nothing() {
             // Warm-up: grow every scratch buffer to its high-water mark
             // and record the expected keys.
             let expected: Vec<u128> = fns.iter().map(|f| kernel.key(f)).collect();
-            let before = allocations();
-            for (f, &want) in fns.iter().zip(&expected) {
-                assert_eq!(kernel.key(f), want);
-            }
-            let after = allocations();
-            assert_eq!(
-                after - before,
-                0,
-                "steady-state digest keys must not allocate (set = {set}, n = {n})"
+            assert_some_pass_allocates_nothing(
+                format_args!("steady-state digest keys (set = {set}, n = {n})"),
+                || {
+                    for (f, &want) in fns.iter().zip(&expected) {
+                        assert_eq!(kernel.key(f), want);
+                    }
+                },
             );
         }
     }
@@ -101,13 +121,9 @@ fn steady_state_digest_and_msv_into_allocate_nothing() {
     for f in &fns {
         kernel.msv_into(f, &mut out); // warm-up growth
     }
-    let before = allocations();
-    for f in &fns {
-        kernel.msv_into(f, &mut out);
-    }
-    assert_eq!(
-        allocations() - before,
-        0,
-        "materializing into a reused buffer must not allocate"
-    );
+    assert_some_pass_allocates_nothing(format_args!("materializing into a reused buffer"), || {
+        for f in &fns {
+            kernel.msv_into(f, &mut out);
+        }
+    });
 }

@@ -91,9 +91,28 @@ pub struct EngineConfig {
     /// costs; within a chunk a worker runs lock-free except for store
     /// inserts.
     pub chunk_size: usize,
-    /// Bounded ingest-queue capacity in *chunks*. `submit` blocks when
-    /// the queue is full — backpressure instead of unbounded memory.
-    pub queue_chunks: usize,
+    /// Bounded capacity of each worker's ingest deque, in *chunks*
+    /// (minimum 1). The pool's total capacity is
+    /// `workers × deque_capacity`; `submit` blocks when every deque is
+    /// full — backpressure instead of unbounded memory.
+    pub deque_capacity: usize,
+    /// Chunks a worker steals from a victim's deque in one go when its
+    /// own deque runs dry (clamped to `1..=deque_capacity`). Larger
+    /// batches amortize the victim's lock over more work; smaller ones
+    /// keep load spread finer. Steals are counted in
+    /// [`EngineStats::steals`](crate::EngineStats::steals).
+    pub steal_batch: usize,
+    /// Whether to record the per-submission label log that
+    /// [`Engine::finish`](crate::Engine::finish) assembles into the
+    /// input-ordered [`Classification`](facepoint_core::Classification)
+    /// (default `true`). The log costs 4 bytes per submitted function;
+    /// set this to `false` for **census-only streaming** — partition
+    /// counts, snapshots, `top_classes` and persistence all still work,
+    /// `finish` reports the classes through
+    /// [`EngineReport::census`](crate::EngineReport::census), and
+    /// steady-state engine memory stays flat however long the stream
+    /// runs (streams larger than RAM become feasible).
+    pub track_labels: bool,
     /// Capacity of the table→key memo cache in entries (`0` disables
     /// it). The cache pays off exactly when the stream repeats
     /// functions, as AIG cut traffic does. Enabling it also enables
@@ -114,7 +133,9 @@ impl Default for EngineConfig {
             workers: 0,
             shards: 64,
             chunk_size: 256,
-            queue_chunks: 32,
+            deque_capacity: 8,
+            steal_batch: 4,
+            track_labels: true,
             cache_capacity: 0,
             persist: None,
         }
@@ -158,6 +179,9 @@ mod tests {
         assert!(cfg.resolved_workers() >= 1);
         assert_eq!(cfg.resolved_shards(), 64);
         assert_eq!(cfg.set, SignatureSet::all());
+        assert!(cfg.track_labels);
+        assert!(cfg.deque_capacity >= 1);
+        assert!(cfg.steal_batch >= 1);
     }
 
     #[test]

@@ -1,7 +1,9 @@
-//! The engine proper: ingestion, the worker pool, and result assembly.
+//! The engine proper: ingestion, the work-stealing worker pool, and
+//! result assembly.
 
 use crate::cache::MemoCache;
 use crate::config::{EngineConfig, PersistConfig};
+use crate::pool::{PoolConfig, StealPool};
 use crate::stats::{EngineSnapshot, EngineStats, RecoveryReport};
 use crate::store::{self, ClassSummary, ShardedStore};
 use facepoint_core::{Classification, NpnClass, SignatureKernel};
@@ -11,7 +13,6 @@ use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -24,10 +25,88 @@ struct Job {
     entries: Vec<(u64, TruthTable)>,
 }
 
-/// Per-worker record of what went where: `(submission seq, key)`.
-/// Collected at [`Engine::finish`] to rebuild the input-ordered
-/// partition without any cross-worker coordination during the run.
-type WorkerLog = Vec<(u64, u128)>;
+/// The streaming replacement for the old per-worker `(seq, key)` log.
+///
+/// Workers used to accumulate every submission into a worker-local
+/// `Vec` that was only collected at [`Engine::finish`] — memory grew
+/// linearly with stream length, unbounded for streams larger than RAM
+/// and flatly contradicting the streaming design. Now every chunk is
+/// **applied as soon as it is classified**: under one short lock the
+/// sink interns the chunk's keys into dense `u32` class ids and writes
+/// them into a submission-indexed label array. Steady-state cost drops
+/// from 24 bytes per function (`(u64, u128)` pairs) to 4, and with
+/// [`EngineConfig::track_labels`] off the sink is disabled entirely —
+/// the census lives in the sharded store alone and engine memory stays
+/// **flat** however long the stream runs (enforced by the
+/// counting-allocator regression test in `tests/memory.rs`).
+#[derive(Debug)]
+struct OrderSink {
+    enabled: bool,
+    /// First submission number of this run; labels are indexed by
+    /// `seq - base`.
+    base: u64,
+    inner: Mutex<OrderState>,
+}
+
+#[derive(Debug, Default)]
+struct OrderState {
+    /// Set by [`OrderSink::seal`]; late appliers (a `SubmitHandle`
+    /// racing `finish`) become no-ops instead of corrupting the result.
+    sealed: bool,
+    /// key → dense internal id, in first-applied order (remapped to
+    /// first-*submitted* order when the result is assembled).
+    ids: HashMap<u128, u32>,
+    /// internal id → key.
+    keys: Vec<u128>,
+    /// `seq - base` → internal id (`u32::MAX` = not yet applied).
+    labels: Vec<u32>,
+}
+
+impl OrderSink {
+    fn new(enabled: bool, base: u64) -> Self {
+        OrderSink {
+            enabled,
+            base,
+            inner: Mutex::new(OrderState::default()),
+        }
+    }
+
+    /// Records a classified chunk. One lock per chunk, not per
+    /// function; cheap enough that workers apply in their own loop.
+    fn apply(&self, entries: &[(u64, u128)]) {
+        if !self.enabled || entries.is_empty() {
+            return;
+        }
+        let mut state = self.inner.lock().expect("order sink poisoned");
+        if state.sealed {
+            return;
+        }
+        let OrderState {
+            ids, keys, labels, ..
+        } = &mut *state;
+        for &(seq, key) in entries {
+            let id = *ids.entry(key).or_insert_with(|| {
+                let id = u32::try_from(keys.len()).expect("more than u32::MAX classes");
+                keys.push(key);
+                id
+            });
+            let idx = (seq - self.base) as usize;
+            if labels.len() <= idx {
+                labels.resize(idx + 1, u32::MAX);
+            }
+            labels[idx] = id;
+        }
+    }
+
+    /// Takes the accumulated state and marks the sink sealed: anything
+    /// applied afterwards is dropped.
+    fn seal(&self) -> OrderState {
+        let mut state = self.inner.lock().expect("order sink poisoned");
+        let taken = std::mem::take(&mut *state);
+        state.sealed = true;
+        taken
+    }
+}
 
 /// The sharded, parallel, streaming NPN classification engine.
 ///
@@ -35,8 +114,9 @@ type WorkerLog = Vec<(u64, u128)>;
 ///
 /// 1. create ([`Engine::new`] / [`Engine::with_config`]) — workers
 ///    start idle;
-/// 2. feed it ([`Engine::submit`], [`Engine::submit_batch`]) — keys are
-///    computed and classes recorded concurrently with ingestion;
+/// 2. feed it ([`Engine::submit`], [`Engine::submit_batch`], or
+///    concurrently through [`SubmitHandle`]s) — keys are computed and
+///    classes recorded concurrently with ingestion;
 /// 3. observe mid-stream ([`Engine::snapshot`], [`Engine::top_classes`])
 ///    — no pause, no drain;
 /// 4. [`Engine::finish`] — drains the queue, joins the workers and
@@ -51,18 +131,22 @@ pub struct Engine {
     store: Arc<ShardedStore>,
     cache: Arc<MemoCache>,
     processed: Arc<AtomicU64>,
-    tx: Option<SyncSender<Job>>,
-    handles: Vec<JoinHandle<WorkerLog>>,
+    pool: Arc<StealPool<Job>>,
+    order: Arc<OrderSink>,
+    handles: Vec<JoinHandle<()>>,
     /// Chunk being accumulated by `submit` calls, with each function's
     /// submission number (dedup fast-path hits leave gaps).
     pending: Vec<(u64, TruthTable)>,
-    next_seq: u64,
-    /// `(seq, key)` records of functions resolved by the ingestion-side
-    /// dedup fast path (memo-cache probe), merged with the worker logs
-    /// at [`Engine::finish`].
-    dedup_log: WorkerLog,
-    /// Functions that skipped the queue via the dedup fast path.
-    dedup_hits: u64,
+    /// Next submission number — shared with every [`SubmitHandle`], so
+    /// submission order is the global allocation order of this counter.
+    next_seq: Arc<AtomicU64>,
+    /// Functions that skipped the queue via the dedup fast path
+    /// (engine-side and handle-side).
+    dedup_hits: Arc<AtomicU64>,
+    /// In-flight [`SubmitHandle`] calls; [`Engine::finish`] waits for
+    /// zero after closing the pool so a call that passed the open check
+    /// completes — and lands in the result — before assembly starts.
+    handle_ops: Arc<AtomicU64>,
     /// First submission number of *this run*: `0` for a fresh engine,
     /// the recovered member count after [`Engine::open`] — so
     /// resubmitted members never outrank a recovered representative.
@@ -102,9 +186,199 @@ pub struct EngineReport {
     /// The partition, identical to what a one-shot
     /// [`Classifier`](facepoint_core::Classifier) on the same stream
     /// (in submission order) would produce.
+    ///
+    /// Empty for a census-only engine
+    /// ([`EngineConfig::track_labels`]` == false`): per-submission
+    /// labels were never recorded, so the stream's census is reported
+    /// through [`EngineReport::census`] (and
+    /// [`EngineStats::num_classes`]) instead.
     pub classification: Classification,
     /// Throughput and occupancy counters for the run.
     pub stats: EngineStats,
+    /// The final classes, largest first — populated **only** for a
+    /// census-only engine ([`EngineConfig::track_labels`]` == false`),
+    /// where `classification` is empty by design. Label-tracking
+    /// engines leave this empty (the same information, plus labels, is
+    /// in `classification`).
+    pub census: Vec<ClassSummary>,
+}
+
+/// An ingestion endpoint detached from the [`Engine`]'s `&mut` API:
+/// many handles submit **concurrently** — from different threads —
+/// into the same work-stealing pool, while the engine object stays
+/// free for observation calls (`snapshot`, `stats`, `top_classes`).
+///
+/// This is the service front-end's fairness primitive: one connection
+/// streaming a huge batch pushes through its own handle (blocking on
+/// pool backpressure, not on a shared engine lock), so other
+/// connections' snapshot/stats requests are never queued behind it.
+///
+/// Submission numbers are allocated from the engine's shared counter,
+/// so handle and engine submissions interleave into one global
+/// submission order. Handles buffer nothing between calls: every
+/// `submit`/`submit_batch` call is fully dispatched before it returns,
+/// which keeps [`Engine::drain`]'s quiescence contract intact.
+///
+/// A handle may outlive its engine's [`Engine::finish`]; submissions
+/// that lose that race are refused (`None`) **before a submission
+/// number is consumed**, and `finish` waits for handle calls already
+/// past that check — so every submission a handle accepts is in the
+/// finished result, and every refused one left no trace. A batch *in
+/// flight* when the pool closes is classified inline on the
+/// submitting thread.
+pub struct SubmitHandle {
+    pool: Arc<StealPool<Job>>,
+    store: Arc<ShardedStore>,
+    cache: Arc<MemoCache>,
+    order: Arc<OrderSink>,
+    processed: Arc<AtomicU64>,
+    next_seq: Arc<AtomicU64>,
+    dedup_hits: Arc<AtomicU64>,
+    /// In-flight handle calls, shared with the engine: incremented
+    /// *before* the closed check, so [`Engine::finish`] (which waits
+    /// for zero after closing the pool) either sees this call's count
+    /// or this call sees the closed pool — never neither.
+    handle_ops: Arc<AtomicU64>,
+    chunk_size: usize,
+    set: SignatureSet,
+    /// Kernel for the close-race inline path; built on first use.
+    fallback: Option<Box<SignatureKernel>>,
+    log_scratch: Vec<(u64, u128)>,
+}
+
+/// One buffered [`SubmitHandle::submit_batch`] entry, held *without* a
+/// submission number until its chunk is flushed (see `flush_batch`).
+enum BatchEntry {
+    /// The memo cache already knows this table's key.
+    Hit(u128, TruthTable),
+    /// Needs keying by a worker.
+    Miss(TruthTable),
+}
+
+/// Decrements the in-flight handle-call count on every exit path.
+/// Owns its counter (an `Arc` clone) so holding it does not borrow the
+/// handle, which keeps mutating the handle's own state underneath.
+struct OpGuard(Arc<AtomicU64>);
+
+impl Drop for OpGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl SubmitHandle {
+    /// Registers an in-flight call, or refuses it (`None`) when the
+    /// engine is finishing. Order matters: the count goes up *before*
+    /// the closed check (see [`SubmitHandle::handle_ops`]).
+    fn begin_op(&self) -> Option<OpGuard> {
+        self.handle_ops.fetch_add(1, Ordering::SeqCst);
+        let guard = OpGuard(Arc::clone(&self.handle_ops));
+        if self.pool.is_closed() {
+            return None; // guard drop undoes the increment
+        }
+        Some(guard)
+    }
+
+    /// Submits one function; returns its submission number, or `None`
+    /// if the engine has already been finished (the submission is
+    /// refused before a number is consumed).
+    ///
+    /// Repeated functions take the same dedup fast path as
+    /// [`Engine::submit`] when the memo cache is enabled.
+    pub fn submit(&mut self, f: TruthTable) -> Option<u64> {
+        let _op = self.begin_op()?;
+        let seq = self.next_seq.fetch_add(1, Ordering::AcqRel);
+        if let Some(key) = self.cache.peek(&f) {
+            self.store.insert(key, &f, seq);
+            self.order.apply(&[(seq, key)]);
+            self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            self.processed.fetch_add(1, Ordering::AcqRel);
+            return Some(seq);
+        }
+        self.dispatch(vec![(seq, f)]);
+        Some(seq)
+    }
+
+    /// Submits every function of `fns` in order; returns the
+    /// submission number of the first one (consecutive within each
+    /// dispatched chunk; another handle can interleave only at chunk
+    /// boundaries), or `None` if the engine has already been finished.
+    pub fn submit_batch(&mut self, fns: impl IntoIterator<Item = TruthTable>) -> Option<u64> {
+        let _op = self.begin_op()?;
+        let chunk_size = self.chunk_size.max(1);
+        let mut first = None;
+        // Entries are buffered WITHOUT submission numbers; a chunk's
+        // numbers are allocated en bloc at flush time. A caller's
+        // iterator panicking mid-batch therefore just drops unnumbered
+        // tables — it can never strand an allocated submission number,
+        // which would wedge `drain` and break `finish`'s accounting.
+        let mut buf: Vec<BatchEntry> = Vec::with_capacity(chunk_size);
+        for f in fns {
+            let entry = match self.cache.peek(&f) {
+                Some(key) => BatchEntry::Hit(key, f),
+                None => BatchEntry::Miss(f),
+            };
+            buf.push(entry);
+            if buf.len() >= chunk_size {
+                self.flush_batch(&mut buf, &mut first);
+            }
+        }
+        self.flush_batch(&mut buf, &mut first);
+        Some(first.unwrap_or_else(|| self.next_seq.load(Ordering::Acquire)))
+    }
+
+    /// Numbers and dispatches one buffered chunk: dedup hits resolve
+    /// inline (store bump, order log, progress — the fast path, just
+    /// batched), misses go to the pool.
+    fn flush_batch(&mut self, buf: &mut Vec<BatchEntry>, first: &mut Option<u64>) {
+        if buf.is_empty() {
+            return;
+        }
+        let base = self.next_seq.fetch_add(buf.len() as u64, Ordering::AcqRel);
+        first.get_or_insert(base);
+        let mut hits: Vec<(u64, u128)> = Vec::new();
+        let mut misses: Vec<(u64, TruthTable)> = Vec::with_capacity(buf.len());
+        for (i, entry) in buf.drain(..).enumerate() {
+            let seq = base + i as u64;
+            match entry {
+                BatchEntry::Hit(key, table) => {
+                    self.store.insert(key, &table, seq);
+                    hits.push((seq, key));
+                }
+                BatchEntry::Miss(table) => misses.push((seq, table)),
+            }
+        }
+        if !hits.is_empty() {
+            self.order.apply(&hits);
+            self.dedup_hits
+                .fetch_add(hits.len() as u64, Ordering::Relaxed);
+            self.processed
+                .fetch_add(hits.len() as u64, Ordering::AcqRel);
+        }
+        if !misses.is_empty() {
+            self.dispatch(misses);
+        }
+    }
+
+    /// Pushes a chunk into the pool; if the pool closed mid-call, the
+    /// chunk's submission numbers are already allocated, so it is
+    /// classified inline here rather than dropped.
+    fn dispatch(&mut self, entries: Vec<(u64, TruthTable)>) {
+        if let Err(job) = self.pool.push(Job { entries }) {
+            let kernel = self
+                .fallback
+                .get_or_insert_with(|| Box::new(SignatureKernel::new(self.set)));
+            classify_job(
+                job,
+                kernel,
+                &self.store,
+                &self.cache,
+                &self.processed,
+                &self.order,
+                &mut self.log_scratch,
+            );
+        }
+    }
 }
 
 impl Engine {
@@ -224,16 +498,23 @@ impl Engine {
             store.for_each(|key, entry| cache.prime(&entry.representative, key));
         }
         let processed = Arc::new(AtomicU64::new(base_seq));
-        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(cfg.queue_chunks.max(1));
-        let rx = Arc::new(Mutex::new(rx));
+        let order = Arc::new(OrderSink::new(cfg.track_labels, base_seq));
+        let pool = Arc::new(StealPool::new(PoolConfig {
+            workers,
+            deque_capacity: cfg.deque_capacity.max(1),
+            steal_batch: cfg.steal_batch.max(1),
+        }));
         let handles = (0..workers)
-            .map(|_| {
-                let rx = Arc::clone(&rx);
+            .map(|me| {
+                let pool = Arc::clone(&pool);
                 let store = Arc::clone(&store);
                 let cache = Arc::clone(&cache);
                 let processed = Arc::clone(&processed);
+                let order = Arc::clone(&order);
                 let set = cfg.set;
-                std::thread::spawn(move || worker_loop(&rx, &store, &cache, &processed, set))
+                std::thread::spawn(move || {
+                    worker_loop(me, &pool, &store, &cache, &processed, &order, set)
+                })
             })
             .collect();
         Ok(Engine {
@@ -242,12 +523,13 @@ impl Engine {
             store,
             cache,
             processed,
-            tx: Some(tx),
+            pool,
+            order,
             handles,
             pending: Vec::with_capacity(cfg.chunk_size),
-            next_seq: base_seq,
-            dedup_log: Vec::new(),
-            dedup_hits: 0,
+            next_seq: Arc::new(AtomicU64::new(base_seq)),
+            dedup_hits: Arc::new(AtomicU64::new(0)),
+            handle_ops: Arc::new(AtomicU64::new(0)),
             base_seq,
             // Epoch numbers stay monotonic across reopens of the same
             // store: resume from the highest barrier recovery saw.
@@ -269,12 +551,32 @@ impl Engine {
         &self.cfg
     }
 
+    /// A detached ingestion endpoint feeding this engine's worker pool;
+    /// see [`SubmitHandle`]. Create one per producer thread (the
+    /// service front-end creates one per connection).
+    pub fn submit_handle(&self) -> SubmitHandle {
+        SubmitHandle {
+            pool: Arc::clone(&self.pool),
+            store: Arc::clone(&self.store),
+            cache: Arc::clone(&self.cache),
+            order: Arc::clone(&self.order),
+            processed: Arc::clone(&self.processed),
+            next_seq: Arc::clone(&self.next_seq),
+            dedup_hits: Arc::clone(&self.dedup_hits),
+            handle_ops: Arc::clone(&self.handle_ops),
+            chunk_size: self.cfg.chunk_size.max(1),
+            set: self.cfg.set,
+            fallback: None,
+            log_scratch: Vec::new(),
+        }
+    }
+
     /// Submits one function for classification and returns its
     /// submission number (the index it will have in the final
     /// [`Classification`]'s label vector).
     ///
     /// Functions are buffered into chunks; a full chunk is handed to
-    /// the worker pool, **blocking if the ingest queue is full**
+    /// the worker pool, **blocking if every worker deque is full**
     /// (backpressure). Use [`Engine::flush`] to push a partial chunk
     /// early.
     ///
@@ -284,12 +586,11 @@ impl Engine {
     /// here, skipping the queue round-trip entirely. Fast-path
     /// resolutions are counted in [`EngineStats::dedup_hits`].
     pub fn submit(&mut self, f: TruthTable) -> u64 {
-        let seq = self.next_seq;
-        self.next_seq += 1;
+        let seq = self.next_seq.fetch_add(1, Ordering::AcqRel);
         if let Some(key) = self.cache.peek(&f) {
             self.store.insert(key, &f, seq);
-            self.dedup_log.push((seq, key));
-            self.dedup_hits += 1;
+            self.order.apply(&[(seq, key)]);
+            self.dedup_hits.fetch_add(1, Ordering::Relaxed);
             self.processed.fetch_add(1, Ordering::AcqRel);
             return seq;
         }
@@ -301,13 +602,18 @@ impl Engine {
     }
 
     /// Submits every function of `fns` in order; returns the submission
-    /// number of the first one (they are consecutive).
+    /// number of the first one (consecutive for this batch unless a
+    /// concurrent [`SubmitHandle`] interleaves its own submissions).
     pub fn submit_batch(&mut self, fns: impl IntoIterator<Item = TruthTable>) -> u64 {
-        let first = self.next_seq;
+        // Taken from the first actual submission, not read up front: a
+        // concurrent handle could otherwise claim the read number
+        // first and the returned index would name its function.
+        let mut first = None;
         for f in fns {
-            self.submit(f);
+            let seq = self.submit(f);
+            first.get_or_insert(seq);
         }
-        first
+        first.unwrap_or_else(|| self.next_seq.load(Ordering::Acquire))
     }
 
     /// Hands any buffered partial chunk to the workers now.
@@ -341,15 +647,15 @@ impl Engine {
         }
         let entries = std::mem::take(&mut self.pending);
         self.pending = Vec::with_capacity(self.cfg.chunk_size);
-        let tx = self.tx.as_ref().expect("engine already finished");
-        tx.send(Job { entries })
-            .expect("worker pool hung up while the engine is alive");
+        self.pool
+            .push(Job { entries })
+            .unwrap_or_else(|_| unreachable!("pool closed while the engine is alive"));
     }
 
     /// Functions accepted so far (including any buffered, queued or
     /// in-flight ones).
     pub fn functions_submitted(&self) -> u64 {
-        self.next_seq
+        self.next_seq.load(Ordering::Acquire)
     }
 
     /// A mid-stream view: how much is classified, how many classes
@@ -361,7 +667,7 @@ impl Engine {
     pub fn snapshot(&self) -> EngineSnapshot {
         let shard_class_counts = self.store.shard_class_counts();
         EngineSnapshot {
-            functions_submitted: self.next_seq,
+            functions_submitted: self.next_seq.load(Ordering::Acquire),
             functions_processed: self.processed.load(Ordering::Acquire),
             num_classes: shard_class_counts.iter().sum(),
             shard_class_counts,
@@ -387,6 +693,11 @@ impl Engine {
     /// `functions_processed == functions_submitted` and the class
     /// census is complete for the stream so far.
     ///
+    /// Progress is counted **per function**, not per chunk, so the
+    /// backlog observed while waiting shrinks smoothly even when a
+    /// single huge chunk is in flight (see
+    /// [`EngineSnapshot::backlog`]).
+    ///
     /// Unlike [`Engine::flush`] this issues no epoch barrier — combine
     /// the two (`flush` then `drain`, or `drain` then `flush`) when a
     /// service wants both a quiescent view and durability of it.
@@ -394,7 +705,7 @@ impl Engine {
         self.dispatch_pending();
         let deadline = Instant::now() + timeout;
         let mut polls = 0u32;
-        while self.processed.load(Ordering::Acquire) < self.next_seq {
+        while self.processed.load(Ordering::Acquire) < self.next_seq.load(Ordering::Acquire) {
             if Instant::now() >= deadline {
                 return false;
             }
@@ -420,6 +731,11 @@ impl Engine {
     /// earliest-known members, recovered ones included) and the durable
     /// store's class counts keep accumulating across runs.
     ///
+    /// A census-only engine ([`EngineConfig::track_labels`]` == false`)
+    /// returns an **empty** classification — per-submission labels were
+    /// never recorded, which is what keeps its memory flat — and
+    /// reports the final classes through [`EngineReport::census`].
+    ///
     /// A durable engine writes a final checkpoint of every shard before
     /// returning, so a subsequent [`Engine::open`] replays checkpoints
     /// only — no log tail, nothing to lose.
@@ -430,33 +746,84 @@ impl Engine {
     /// checkpoint cannot be written.
     pub fn finish(mut self) -> EngineReport {
         self.dispatch_pending();
-        drop(self.tx.take()); // close the channel: workers drain and exit
-        let submitted_this_run = (self.next_seq - self.base_seq) as usize;
-        let mut keyed: Vec<(u64, u128)> = Vec::with_capacity(submitted_this_run);
-        keyed.append(&mut self.dedup_log);
+        self.pool.close();
+        // Wait out in-flight `SubmitHandle` calls: a call that passed
+        // its open check before the close above completes (a push that
+        // loses the race classifies inline — possibly a whole batch's
+        // tail, hence the sleep backoff instead of a pure spin), and
+        // any call starting now is refused before it consumes a
+        // submission number — so after this loop the submission count
+        // is final and the order sink can be sealed without dropping
+        // anything.
+        let mut polls = 0u32;
+        while self.handle_ops.load(Ordering::SeqCst) > 0 {
+            if polls < 64 {
+                polls += 1;
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
         for handle in self.handles.drain(..) {
-            keyed.extend(handle.join().expect("worker panicked"));
+            handle.join().expect("worker panicked");
+        }
+        // Sweep whatever a close-racing `SubmitHandle` push may have
+        // stranded (normally nothing) so every allocated submission
+        // number is classified.
+        let leftovers = self.pool.drain_remaining();
+        if !leftovers.is_empty() {
+            let mut kernel = SignatureKernel::new(self.cfg.set);
+            let mut log = Vec::new();
+            for job in leftovers {
+                classify_job(
+                    job,
+                    &mut kernel,
+                    &self.store,
+                    &self.cache,
+                    &self.processed,
+                    &self.order,
+                    &mut log,
+                );
+            }
         }
         if self.cfg.persist.is_some() {
             self.store
                 .checkpoint_all()
                 .expect("final checkpoint failed; durable store is inconsistent");
         }
-        debug_assert_eq!(keyed.len(), submitted_this_run);
-        // Rebuild submission order, then group by first occurrence —
-        // the exact grouping rule of `Classifier::classify`, so the
-        // result is independent of worker count and interleaving.
-        keyed.sort_unstable_by_key(|&(seq, _)| seq);
-        let mut ids: HashMap<u128, usize> = HashMap::new();
+        let submitted_this_run = (self.next_seq.load(Ordering::Acquire) - self.base_seq) as usize;
+        let state = self.order.seal();
+        if !self.cfg.track_labels {
+            // Census-only: the store is the result.
+            let census = self.store.top_classes(usize::MAX);
+            let stats = self.stats_inner(Some(census.len()));
+            return EngineReport {
+                classification: Classification::from_parts(Vec::new(), Vec::new()),
+                stats,
+                census,
+            };
+        }
+        // Remap the sink's applied-order internal ids to
+        // first-*submitted* order — the exact grouping rule of
+        // `Classifier::classify`, so the result is independent of
+        // worker count and interleaving.
+        debug_assert_eq!(state.labels.len(), submitted_this_run);
+        let mut remap: Vec<u32> = vec![u32::MAX; state.keys.len()];
         let mut class_keys: Vec<u128> = Vec::new();
         let mut sizes: Vec<usize> = Vec::new();
-        let mut labels: Vec<usize> = Vec::with_capacity(keyed.len());
-        for (_, key) in keyed {
-            let id = *ids.entry(key).or_insert_with(|| {
-                class_keys.push(key);
+        let mut labels: Vec<usize> = Vec::with_capacity(state.labels.len());
+        for &internal in &state.labels {
+            assert!(
+                internal != u32::MAX,
+                "submission missing from the order log"
+            );
+            let internal = internal as usize;
+            if remap[internal] == u32::MAX {
+                remap[internal] = class_keys.len() as u32;
+                class_keys.push(state.keys[internal]);
                 sizes.push(0);
-                class_keys.len() - 1
-            });
+            }
+            let id = remap[internal] as usize;
             sizes[id] += 1;
             labels.push(id);
         }
@@ -475,6 +842,7 @@ impl Engine {
         EngineReport {
             classification: Classification::from_parts(labels, classes),
             stats,
+            census: Vec::new(),
         }
     }
 
@@ -491,7 +859,7 @@ impl Engine {
         let shard_counts = self.store.shard_class_counts();
         let num_classes = num_classes_override.unwrap_or_else(|| shard_counts.iter().sum());
         EngineStats {
-            functions_submitted: self.next_seq,
+            functions_submitted: self.next_seq.load(Ordering::Acquire),
             functions_processed: self.processed.load(Ordering::Acquire),
             num_classes,
             workers: self.workers,
@@ -500,7 +868,9 @@ impl Engine {
             max_shard_classes: shard_counts.iter().copied().max().unwrap_or(0),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
-            dedup_hits: self.dedup_hits,
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            steals: self.pool.steals(),
+            parks: self.pool.parks(),
             elapsed: self.started.elapsed(),
             recovered_members: self.base_seq,
             durability: self.store.durability_snapshot(),
@@ -510,40 +880,56 @@ impl Engine {
 
 impl Drop for Engine {
     fn drop(&mut self) {
-        // Close the channel so detached workers terminate; `finish`
-        // already took `tx` on the normal path.
-        drop(self.tx.take());
+        // Close the pool so detached workers terminate; `finish`
+        // already closed it on the normal path.
+        self.pool.close();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-fn worker_loop(
-    rx: &Mutex<Receiver<Job>>,
+/// Classifies one chunk: key each entry (through the memo cache), land
+/// it in the store, count progress **per function** — so `pending()`
+/// and [`Engine::drain`] observe smooth, never-overshooting progress
+/// even mid-chunk — then stream the chunk's `(seq, key)` pairs into the
+/// order sink in one short lock.
+fn classify_job(
+    job: Job,
+    kernel: &mut SignatureKernel,
     store: &ShardedStore,
     cache: &MemoCache,
     processed: &AtomicU64,
+    order: &OrderSink,
+    log: &mut Vec<(u64, u128)>,
+) {
+    for (seq, table) in job.entries {
+        let key = cache.key_or_compute(&table, || kernel.key(&table));
+        store.insert(key, &table, seq);
+        log.push((seq, key));
+        processed.fetch_add(1, Ordering::AcqRel);
+    }
+    order.apply(log);
+    log.clear();
+}
+
+fn worker_loop(
+    me: usize,
+    pool: &StealPool<Job>,
+    store: &ShardedStore,
+    cache: &MemoCache,
+    processed: &AtomicU64,
+    order: &OrderSink,
     set: facepoint_sig::SignatureSet,
-) -> WorkerLog {
-    let mut log: WorkerLog = Vec::new();
+) {
     // One kernel per worker, reused for the whole stream: scratch
     // buffers grow to the largest arity seen, then key computation is
-    // allocation-free.
+    // allocation-free. The chunk log is reused the same way, so the
+    // steady-state worker allocates nothing per chunk.
     let mut kernel = SignatureKernel::new(set);
-    loop {
-        // Hold the receiver lock only to pop one chunk.
-        let job = match rx.lock().expect("ingest queue poisoned").recv() {
-            Ok(job) => job,
-            Err(_) => return log, // channel closed: engine is finishing
-        };
-        let n = job.entries.len() as u64;
-        for (seq, table) in job.entries {
-            let key = cache.key_or_compute(&table, || kernel.key(&table));
-            store.insert(key, &table, seq);
-            log.push((seq, key));
-        }
-        processed.fetch_add(n, Ordering::AcqRel);
+    let mut log: Vec<(u64, u128)> = Vec::new();
+    while let Some(job) = pool.next_item(me) {
+        classify_job(job, &mut kernel, store, cache, processed, order, &mut log);
     }
 }
 
@@ -724,5 +1110,131 @@ mod tests {
         let report = engine.finish();
         let line = report.stats.to_string();
         assert!(line.contains("1 functions -> 1 classes"), "{line}");
+    }
+
+    #[test]
+    fn progress_is_counted_per_function_mid_chunk() {
+        // One giant chunk on one worker: `processed` must advance
+        // *inside* the chunk (per-function counting), so `drain` and
+        // `backlog()` never overshoot while a chunk is in flight.
+        let fns = facepoint_bench::random_workload(8, 400, 0x9A9);
+        let total = fns.len() as u64;
+        let mut engine = Engine::with_config(EngineConfig {
+            workers: 1,
+            chunk_size: fns.len(),
+            ..EngineConfig::default()
+        });
+        engine.submit_batch(fns);
+        engine.flush();
+        let deadline = Instant::now() + std::time::Duration::from_secs(120);
+        let mut saw_partial = false;
+        loop {
+            let snap = engine.snapshot();
+            assert!(snap.functions_processed <= total, "progress overshot");
+            if snap.functions_processed > 0 && snap.functions_processed < total {
+                saw_partial = true;
+            }
+            if snap.functions_processed == total {
+                break;
+            }
+            assert!(Instant::now() < deadline, "engine failed to drain");
+            std::thread::yield_now();
+        }
+        assert!(
+            saw_partial,
+            "processed jumped 0 -> total; chunk-granular counting is back"
+        );
+        let report = engine.finish();
+        assert_eq!(report.stats.functions_processed, total);
+    }
+
+    #[test]
+    fn forced_steal_schedule_matches_classifier() {
+        // Deque capacity 1 and chunk size 1 force constant migration
+        // between deques; the partition must not notice.
+        let fns = workload(4, 9, 5, 0x57EA);
+        let expected = Classifier::new(SignatureSet::all()).classify(fns.clone());
+        let mut engine = Engine::with_config(EngineConfig {
+            workers: 8,
+            chunk_size: 1,
+            deque_capacity: 1,
+            steal_batch: 1,
+            ..EngineConfig::default()
+        });
+        engine.submit_batch(fns.iter().cloned());
+        let report = engine.finish();
+        assert_eq!(report.classification.labels(), expected.labels());
+        // The counters surfaced for observability never go backwards
+        // and are wired up (parks are guaranteed: idle workers on a
+        // drained pool must sleep, not spin).
+        assert!(report.stats.parks > 0, "{}", report.stats);
+    }
+
+    #[test]
+    fn census_only_mode_reports_through_census() {
+        let fns = workload(4, 7, 3, 0xCE45);
+        let expected = Classifier::new(SignatureSet::all()).classify(fns.clone());
+        let mut engine = Engine::with_config(EngineConfig {
+            workers: 2,
+            chunk_size: 4,
+            track_labels: false,
+            ..EngineConfig::default()
+        });
+        engine.submit_batch(fns.iter().cloned());
+        let report = engine.finish();
+        // No labels were tracked…
+        assert_eq!(report.classification.num_functions(), 0);
+        assert_eq!(report.classification.num_classes(), 0);
+        // …but the census is complete and correct.
+        assert_eq!(report.census.len(), expected.num_classes());
+        assert_eq!(
+            report.census.iter().map(|c| c.size).sum::<usize>(),
+            expected.num_functions()
+        );
+        assert_eq!(report.stats.num_classes, expected.num_classes());
+        assert_eq!(report.stats.functions_processed, fns.len() as u64);
+    }
+
+    #[test]
+    fn submit_handles_interleave_with_engine_submissions() {
+        let fns = workload(4, 8, 6, 0x4A4D);
+        let expected_classes = Classifier::new(SignatureSet::all())
+            .classify(fns.clone())
+            .num_classes();
+        let mut engine = Engine::with_config(EngineConfig {
+            workers: 2,
+            chunk_size: 4,
+            ..EngineConfig::default()
+        });
+        let (left, right) = fns.split_at(fns.len() / 2);
+        let mut handle = engine.submit_handle();
+        let right = right.to_vec();
+        let feeder = std::thread::spawn(move || {
+            handle.submit_batch(right).expect("engine is open");
+        });
+        for f in left.iter().cloned() {
+            engine.submit(f);
+        }
+        feeder.join().unwrap();
+        let report = engine.finish();
+        // Interleaving order is nondeterministic, so compare the
+        // partition's shape rather than its labels.
+        assert_eq!(report.stats.functions_processed, fns.len() as u64);
+        assert_eq!(report.classification.num_functions(), fns.len());
+        assert_eq!(report.classification.num_classes(), expected_classes);
+    }
+
+    #[test]
+    fn submit_handle_refuses_after_finish() {
+        let mut engine = Engine::with_config(EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        });
+        let mut handle = engine.submit_handle();
+        engine.submit(TruthTable::majority(3));
+        let report = engine.finish();
+        assert_eq!(report.stats.functions_processed, 1);
+        assert_eq!(handle.submit(TruthTable::parity(3)), None);
+        assert_eq!(handle.submit_batch([TruthTable::parity(3)]), None);
     }
 }

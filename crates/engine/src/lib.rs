@@ -13,9 +13,14 @@
 //! * **streams** — [`Engine::submit`] / [`Engine::submit_batch`] accept
 //!   functions while classification is in flight, and
 //!   [`Engine::snapshot`] answers queries mid-stream;
-//! * **parallelizes** — a worker pool over bounded channels computes
+//! * **parallelizes** — a **work-stealing** worker pool computes
 //!   [`signature_key`](facepoint_core::signature_key)s concurrently
-//!   with ingestion (backpressure instead of unbounded buffering);
+//!   with ingestion: each worker drains its own bounded deque (LIFO)
+//!   and steals from its peers (FIFO) when it runs dry, so no global
+//!   queue lock exists and `submit` blocks only when every deque is
+//!   full (backpressure instead of unbounded buffering). Concurrent
+//!   producers feed the same pool through [`SubmitHandle`]s without
+//!   touching the engine object;
 //! * **shards** — the partition store spreads classes over `S` shards
 //!   keyed by the *high bits* of the 128-bit MSV digest (the digest is
 //!   uniform, so shards load-balance), each behind its own lock, so
@@ -66,10 +71,11 @@
 mod cache;
 mod config;
 mod engine;
+mod pool;
 mod stats;
 mod store;
 
 pub use config::{EngineConfig, PersistConfig, SyncPolicy};
-pub use engine::{Engine, EngineReport, RecoveredSnapshot};
+pub use engine::{Engine, EngineReport, RecoveredSnapshot, SubmitHandle};
 pub use stats::{DurabilityStats, EngineSnapshot, EngineStats, RecoveryReport};
 pub use store::ClassSummary;

@@ -66,6 +66,20 @@ pub struct EngineStats {
     /// memo cache already knew their key, so they skipped the queue
     /// round-trip entirely (0 when the cache is disabled).
     pub dedup_hits: u64,
+    /// Chunks that migrated between worker deques via work stealing. A
+    /// balanced stream on an idle machine steals rarely (producers
+    /// target the least-loaded deque); a high rate means load arrived
+    /// unevenly — or some workers run slower than others — and the pool
+    /// rebalanced it. Stealing is how the pool keeps every core busy
+    /// without a shared queue, so a nonzero value is health, not
+    /// trouble.
+    pub steals: u64,
+    /// Times a worker found every deque empty and went to sleep on the
+    /// pool's condvar (it is woken by the next push). High `parks` with
+    /// high throughput means ingestion, not classification, is the
+    /// bottleneck; near-zero `parks` under load means the workers never
+    /// starve.
+    pub parks: u64,
     /// Wall-clock time from engine creation to the report.
     pub elapsed: Duration,
     /// Members recovered from an existing durable store before this run
@@ -192,7 +206,7 @@ impl std::fmt::Display for EngineStats {
             f,
             "{} functions -> {} classes | {} workers, {} shards \
              ({} occupied, max {}) | {:.0} fn/s | cache {:.1}% of {} \
-             | {} deduped at ingest",
+             | {} deduped at ingest | {} steals, {} parks",
             self.functions_processed,
             self.num_classes,
             self.workers,
@@ -203,6 +217,8 @@ impl std::fmt::Display for EngineStats {
             self.cache_hit_rate() * 100.0,
             self.cache_hits + self.cache_misses,
             self.dedup_hits,
+            self.steals,
+            self.parks,
         )?;
         if let Some(d) = &self.durability {
             write!(f, " | journal: {d}")?;
@@ -227,6 +243,8 @@ mod tests {
             cache_hits: 25,
             cache_misses: 75,
             dedup_hits: 10,
+            steals: 3,
+            parks: 7,
             elapsed: Duration::from_secs(2),
             recovered_members: 0,
             durability: None,

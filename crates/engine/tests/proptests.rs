@@ -86,4 +86,82 @@ proptest! {
         let report = engine.finish();
         prop_assert_eq!(report.classification.num_functions(), fns.len());
     }
+
+    /// Forced-steal schedules: deque capacity 1 with tiny chunks makes
+    /// every push land on a different deque and every idle worker
+    /// steal, at 1, 2 and 8 workers — the partition must be identical
+    /// to the one-shot classifier whatever the migration pattern.
+    #[test]
+    fn stealing_pools_match_classifier_under_forced_steals(
+        fns in arb_workload(),
+        set in arb_set(),
+        chunk in 1usize..=4,
+        steal_batch in 1usize..=4,
+    ) {
+        let expected = Classifier::new(set).classify(fns.clone());
+        for workers in [1usize, 2, 8] {
+            let mut engine = Engine::with_config(EngineConfig {
+                set,
+                workers,
+                chunk_size: chunk,
+                deque_capacity: 1,
+                steal_batch,
+                ..EngineConfig::default()
+            });
+            engine.submit_batch(fns.clone());
+            let got = engine.finish().classification;
+            prop_assert_eq!(
+                got.labels(),
+                expected.labels(),
+                "{} workers, chunk {}, steal batch {}",
+                workers, chunk, steal_batch
+            );
+            prop_assert_eq!(got.num_classes(), expected.num_classes());
+        }
+    }
+
+    /// Forced steals with persistence on: the journal (appended under
+    /// the shard lock, whatever worker got the chunk) must still
+    /// replay to exactly the partition's census after the engine is
+    /// gone.
+    #[test]
+    fn stolen_chunks_keep_the_journal_replayable(
+        fns in arb_workload(),
+        chunk in 1usize..=4,
+        interval in 1u64..=16,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "facepoint-steal-replay-{}-{interval}-{chunk}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let expected = Classifier::new(SignatureSet::all()).classify(fns.clone());
+        let mut engine = Engine::open(&dir, EngineConfig {
+            workers: 8,
+            chunk_size: chunk,
+            deque_capacity: 1,
+            steal_batch: 1,
+            shards: 4,
+            persist: Some(facepoint_engine::PersistConfig {
+                dir: dir.clone(),
+                checkpoint_interval: interval,
+                sync: facepoint_engine::SyncPolicy::Never,
+            }),
+            ..EngineConfig::default()
+        }).expect("open durable engine");
+        engine.submit_batch(fns.clone());
+        let report = engine.finish();
+        prop_assert_eq!(report.classification.labels(), expected.labels());
+        // Replay from disk alone: same classes, same sizes.
+        let snap = Engine::recover(&dir).expect("recover");
+        prop_assert_eq!(snap.classes.len(), expected.num_classes());
+        prop_assert_eq!(snap.members(), fns.len() as u64);
+        let mut expected_sizes: Vec<usize> =
+            expected.classes().iter().map(|c| c.size()).collect();
+        expected_sizes.sort_unstable();
+        let mut got_sizes: Vec<usize> = snap.classes.iter().map(|c| c.size).collect();
+        got_sizes.sort_unstable();
+        prop_assert_eq!(got_sizes, expected_sizes);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 }

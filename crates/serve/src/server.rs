@@ -1,17 +1,23 @@
 //! The service front-end: acceptor, per-connection readers, dispatch.
 //!
-//! One [`Engine`] serves every connection. Request handling locks the
-//! engine per command, so the engine's own bounded ingest queue is the
-//! backpressure boundary: when workers fall behind, `submit` blocks
-//! under the lock, every other connection queues on the lock, their
-//! reads stall, and TCP receive windows push the wait back into the
-//! clients (§6 of `docs/PROTOCOL.md`). Nothing in the server buffers
-//! an unbounded amount.
+//! One [`Engine`] serves every connection, but **ingestion does not go
+//! through the engine lock**: each connection lazily takes a
+//! [`SubmitHandle`] — a detached endpoint into the engine's
+//! work-stealing pool — and `SUBMIT`/`SUBMIT-BATCH` push through it
+//! concurrently. A connection streaming a huge batch therefore blocks
+//! on the pool's bounded deques (backpressure, §6 of
+//! `docs/PROTOCOL.md`), not on a lock that `SNAPSHOT`/`STATS`/`TOP`
+//! from other connections need: observation requests take the engine
+//! mutex only for the microseconds of a counter sweep and can never be
+//! starved by a busy ingester (pinned by `tests/fairness.rs`). When
+//! workers fall behind, a submitting connection's read loop stalls in
+//! its own push and TCP receive windows push the wait back into that
+//! client alone. Nothing in the server buffers an unbounded amount.
 
 use crate::proto::{self, Status, MAX_BATCH, PROTO_VERSION};
 use crate::signal;
 use facepoint_core::wire::Record;
-use facepoint_engine::{Engine, EngineReport};
+use facepoint_engine::{Engine, EngineReport, SubmitHandle};
 use facepoint_truth::TruthTable;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -252,6 +258,12 @@ impl Server {
 struct Session {
     /// Set by a successful `HELLO`; most opcodes are refused before it.
     greeted: bool,
+    /// This connection's private ingestion endpoint, created on its
+    /// first submission (under one brief engine-lock acquisition) and
+    /// reused for the connection's lifetime. Submissions push through
+    /// it without touching the engine lock, so one connection's batch
+    /// can never serialize another connection's observation requests.
+    handle: Option<SubmitHandle>,
 }
 
 /// What the dispatcher wants done with the connection after the
@@ -269,7 +281,10 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
-    let mut session = Session { greeted: false };
+    let mut session = Session {
+        greeted: false,
+        handle: None,
+    };
     loop {
         let line = match proto::read_record(&mut reader) {
             Ok(Some(Record::Request { line })) => line,
@@ -348,14 +363,14 @@ fn dispatch(
                 return (Status::Usage, "SUBMIT <table>".into(), Action::Continue);
             }
             match proto::parse_table_line(args) {
-                Ok(table) => with_engine(shared, |engine| {
-                    let seq = engine.submit(table);
-                    (Status::Ok, format!("seq={seq}"), Action::Continue)
-                }),
+                Ok(table) => match submit_handle(shared, session).and_then(|h| h.submit(table)) {
+                    Some(seq) => (Status::Ok, format!("seq={seq}"), Action::Continue),
+                    None => shutdown_reply(),
+                },
                 Err(e) => (Status::Table, e, Action::Continue),
             }
         }
-        "SUBMIT-BATCH" => submit_batch(shared, args, reader),
+        "SUBMIT-BATCH" => submit_batch(shared, session, args, reader),
         "SNAPSHOT" => with_engine(shared, |engine| {
             let snap = engine.snapshot();
             (
@@ -443,6 +458,26 @@ fn top_body(classes: Vec<facepoint_engine::ClassSummary>, budget: usize) -> Stri
     body
 }
 
+/// The connection's private [`SubmitHandle`], created on first use —
+/// the only submission-path step that takes the engine lock, and only
+/// once per connection. `None` when the engine has been sealed.
+fn submit_handle<'s>(shared: &Shared, session: &'s mut Session) -> Option<&'s mut SubmitHandle> {
+    if session.handle.is_none() {
+        session.handle = Some(shared.lock_engine().as_ref()?.submit_handle());
+    }
+    session.handle.as_mut()
+}
+
+/// The uniform `ESHUTDOWN` answer for requests that arrive after the
+/// engine is sealed (or that lose the race with `finish`).
+fn shutdown_reply() -> (Status, String, Action) {
+    (
+        Status::Shutdown,
+        "server is shutting down".into(),
+        Action::Close,
+    )
+}
+
 /// Runs `f` on the shared engine, or answers `ESHUTDOWN` if it has
 /// been sealed.
 fn with_engine(
@@ -452,11 +487,7 @@ fn with_engine(
     let mut guard = shared.lock_engine();
     match guard.as_mut() {
         Some(engine) => f(engine),
-        None => (
-            Status::Shutdown,
-            "server is shutting down".into(),
-            Action::Close,
-        ),
+        None => shutdown_reply(),
     }
 }
 
@@ -472,8 +503,15 @@ const MAX_BATCH_BYTES: usize = 1 << 26;
 /// `SUBMIT-BATCH <n>`: reads the `n` announced table frames, then
 /// submits all of them atomically — a parse failure anywhere rejects
 /// the whole batch (the frames are still consumed, keeping the stream
-/// in sync; §4.5).
-fn submit_batch(shared: &Shared, args: &str, reader: &mut impl Read) -> (Status, String, Action) {
+/// in sync; §4.5). Submission goes through the connection's own
+/// [`SubmitHandle`]: a huge batch blocks on pool backpressure, never
+/// on the engine lock other connections need.
+fn submit_batch(
+    shared: &Shared,
+    session: &mut Session,
+    args: &str,
+    reader: &mut impl Read,
+) -> (Status, String, Action) {
     let n: u64 = match args.parse() {
         Ok(n) if n <= MAX_BATCH => n,
         Ok(n) => {
@@ -536,14 +574,14 @@ fn submit_batch(shared: &Shared, args: &str, reader: &mut impl Read) -> (Status,
             Action::Continue,
         );
     }
-    with_engine(shared, |engine| {
-        let first = engine.submit_batch(tables);
-        (
+    match submit_handle(shared, session).and_then(|h| h.submit_batch(tables)) {
+        Some(first) => (
             Status::Ok,
             format!("first={first} count={n}"),
             Action::Continue,
-        )
-    })
+        ),
+        None => shutdown_reply(),
+    }
 }
 
 #[cfg(test)]
@@ -565,7 +603,10 @@ mod tests {
     }
 
     fn greeted() -> Session {
-        Session { greeted: true }
+        Session {
+            greeted: true,
+            handle: None,
+        }
     }
 
     fn empty() -> io::Cursor<Vec<u8>> {
@@ -578,7 +619,10 @@ mod tests {
     #[test]
     fn dispatch_covers_the_opcode_table() {
         let shared = shared();
-        let mut s = Session { greeted: false };
+        let mut s = Session {
+            greeted: false,
+            handle: None,
+        };
 
         // Pre-handshake: only HELLO, PING, QUIT.
         let (st, body, act) = dispatch(&shared, &mut s, "SNAPSHOT", &mut empty());
@@ -737,9 +781,18 @@ mod tests {
     #[test]
     fn sealed_engine_answers_eshutdown() {
         let shared = shared();
+        // A connection that already holds a submit handle from before
+        // the seal must also be refused (its handle observes the
+        // closed pool).
+        let mut veteran = greeted();
+        let (st, _, _) = dispatch(&shared, &mut veteran, "SUBMIT e8", &mut empty());
+        assert_eq!(st, Status::Ok);
+        assert!(veteran.handle.is_some());
         // Seal as Server::run does at shutdown.
         let engine = shared.lock_engine().take().unwrap();
         drop(engine.finish());
+        let (st, _, act) = dispatch(&shared, &mut veteran, "SUBMIT d4", &mut empty());
+        assert_eq!((st, act), (Status::Shutdown, Action::Close));
         for op in ["SUBMIT e8", "SNAPSHOT", "TOP 5", "STATS", "FLUSH"] {
             let (st, _, act) = dispatch(&shared, &mut greeted(), op, &mut empty());
             assert_eq!((st, act), (Status::Shutdown, Action::Close), "{op}");
