@@ -50,6 +50,10 @@ struct Schema {
     file: &'static str,
     bench: &'static str,
     row_fields: &'static [&'static str],
+    /// Required numeric fields that may legitimately be zero (latency
+    /// percentiles of an empty histogram), unlike `row_fields` which
+    /// must be strictly positive.
+    nonneg_row_fields: &'static [&'static str],
     throughput_field: &'static str,
 }
 
@@ -64,6 +68,7 @@ const SCHEMAS: [Schema; 2] = [
             "reference_fns_per_sec",
             "speedup",
         ],
+        nonneg_row_fields: &[],
         throughput_field: "kernel_fns_per_sec",
     },
     Schema {
@@ -77,6 +82,12 @@ const SCHEMAS: [Schema; 2] = [
             "classes",
             "journaled_fns_per_sec",
             "journal_ratio",
+        ],
+        nonneg_row_fields: &[
+            "chunk_p50_nanos",
+            "chunk_p90_nanos",
+            "chunk_p99_nanos",
+            "chunk_max_nanos",
         ],
         throughput_field: "fns_per_sec",
     },
@@ -130,6 +141,19 @@ fn load(dir: &Path, schema: &Schema, check: &mut Checker) -> BTreeMap<u64, f64> 
                 Some(v) if v > 0.0 => {}
                 Some(v) => check.fail(format!(
                     "{} results[{i}]: \"{field}\" = {v} is not positive",
+                    path.display()
+                )),
+                None => check.fail(format!(
+                    "{} results[{i}]: missing number \"{field}\"",
+                    path.display()
+                )),
+            }
+        }
+        for field in schema.nonneg_row_fields {
+            match row.get(field).and_then(Json::as_f64) {
+                Some(v) if v >= 0.0 => {}
+                Some(v) => check.fail(format!(
+                    "{} results[{i}]: \"{field}\" = {v} is negative",
                     path.display()
                 )),
                 None => check.fail(format!(
@@ -270,8 +294,27 @@ fn main() {
     if let Ok(text) = std::fs::read_to_string(&engine_path) {
         if let Ok(doc) = parse(&text) {
             let rows = doc.get("results").and_then(Json::as_arr).unwrap_or(&[]);
-            for row in rows {
+            for (i, row) in rows.iter().enumerate() {
                 let n = row.get("n").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+                // Latency percentiles must form a monotone ladder —
+                // the histogram's structural invariant, re-checked at
+                // the artifact boundary so a hand-edited file fails
+                // too. Missing fields are already schema failures.
+                let quantile = |f: &str| row.get(f).and_then(Json::as_f64);
+                if let (Some(p50), Some(p90), Some(p99), Some(max)) = (
+                    quantile("chunk_p50_nanos"),
+                    quantile("chunk_p90_nanos"),
+                    quantile("chunk_p99_nanos"),
+                    quantile("chunk_max_nanos"),
+                ) {
+                    if !(p50 <= p90 && p90 <= p99 && p99 <= max) {
+                        check.fail(format!(
+                            "BENCH_engine.json results[{i}]: chunk latency \
+                             percentiles not monotone: p50 {p50} p90 {p90} \
+                             p99 {p99} max {max}"
+                        ));
+                    }
+                }
                 let Some(ratio) = row.get("journal_ratio").and_then(Json::as_f64) else {
                     continue; // already reported as a schema failure
                 };

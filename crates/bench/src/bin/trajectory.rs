@@ -52,22 +52,28 @@ fn unix_time() -> u64 {
 }
 
 /// One engine pass over `fns`, optionally journaling into `persist`;
-/// returns (functions/second, classes).
+/// returns (functions/second, classes, chunk-latency [p50, p90, p99,
+/// max] in nanoseconds from the engine's own telemetry).
 fn engine_pass(
     fns: &[TruthTable],
     set: SignatureSet,
     persist: Option<PersistConfig>,
-) -> (f64, usize) {
+) -> (f64, usize, [u64; 4]) {
     let mut engine = Engine::with_config(EngineConfig {
         set,
         persist,
         ..EngineConfig::default()
     });
+    // The registry (and this histogram handle) outlive `finish`, so
+    // the latency distribution survives the engine teardown.
+    let chunk_latency = engine.telemetry().histogram("engine_chunk_classify_nanos");
     engine.submit_batch(fns.iter().cloned());
     let report = engine.finish();
+    let lat = chunk_latency.snapshot();
     (
         report.stats.throughput(),
         report.classification.num_classes(),
+        [lat.p50(), lat.p90(), lat.p99(), lat.max],
     )
 }
 
@@ -252,18 +258,19 @@ fn main() {
         // its time by dropping n = 9..10 instead.
         let count = (16384 >> (n - 6)).max(512);
         let fns = random_workload(n, count, 0xE61E ^ n as u64);
-        let (mem_fps, classes) = engine_pass(&fns, set, None);
+        let (mem_fps, classes, [p50, p90, p99, max]) = engine_pass(&fns, set, None);
         let journal_dir =
             std::env::temp_dir().join(format!("facepoint-trajectory-{}-{n}", std::process::id()));
         let _ = std::fs::remove_dir_all(&journal_dir);
-        let (journal_fps, journal_classes) =
+        let (journal_fps, journal_classes, _) =
             engine_pass(&fns, set, Some(PersistConfig::new(&journal_dir)));
         let _ = std::fs::remove_dir_all(&journal_dir);
         assert_eq!(classes, journal_classes, "journaling changed the partition");
         let ratio = journal_fps / mem_fps;
         println!(
             "engine n={n}: {mem_fps:.0} fn/s in-memory, {journal_fps:.0} fn/s \
-             journaled ({:.0}% of in-memory) over {count} functions ({workers} workers)",
+             journaled ({:.0}% of in-memory) over {count} functions ({workers} workers); \
+             chunk latency p50 {p50} / p99 {p99} ns",
             ratio * 100.0
         );
         if !eng_rows.is_empty() {
@@ -273,7 +280,9 @@ fn main() {
             "    {{\"n\": {n}, \"functions\": {count}, \"workers\": {workers}, \
              \"fns_per_sec\": {mem_fps:.1}, \"classes\": {classes}, \
              \"journaled_fns_per_sec\": {journal_fps:.1}, \
-             \"journal_ratio\": {ratio:.3}}}"
+             \"journal_ratio\": {ratio:.3}, \
+             \"chunk_p50_nanos\": {p50}, \"chunk_p90_nanos\": {p90}, \
+             \"chunk_p99_nanos\": {p99}, \"chunk_max_nanos\": {max}}}"
         ));
     }
     // --- contention sweep: the work-stealing pool vs the retired

@@ -56,16 +56,23 @@ const USAGE: &str = "facepoint <classify|sig|canon|match|cuts|suite|recover|serv
                                            writing; with FILE, diff the stored
                                            census against a one-shot
                                            classification of FILE's tables
-  serve <addr> [--set SET] [--parallel N] [--persist DIR]
+  serve <addr> [--set SET] [--parallel N] [--persist DIR] [--metrics-interval SECS]
                                            serve the engine over TCP (wire
                                            protocol: docs/PROTOCOL.md) until
                                            SIGTERM/SIGINT, which checkpoints
                                            and exits; --persist resumes and
-                                           journals the census under DIR
+                                           journals the census under DIR;
+                                           --metrics-interval emits the full
+                                           telemetry snapshot to stderr every
+                                           SECS seconds, one JSON object per
+                                           line
   client <addr> [FILE] [--top K]           stream FILE's tables (stdin without
-                                           FILE) to a running server, wait for
+         [--metrics]                       FILE) to a running server, wait for
                                            the census to drain, print the
-                                           snapshot and the top K classes";
+                                           snapshot and the top K classes;
+                                           --metrics instead scrapes and prints
+                                           the server's telemetry snapshot
+                                           (docs/PROTOCOL.md §4.11)";
 
 /// Dispatches a full argument vector (without the program name) and
 /// returns the textual report.
@@ -453,6 +460,62 @@ fn recover(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Spawns the `--metrics-interval` emitter: every `every`, one flat
+/// JSON object (the full registry snapshot) is written to `sink` as a
+/// single line — JSONL an operator can tail or pipe into a collector.
+/// The thread sleeps in short ticks so the returned stop flag is
+/// honored within ~25 ms, not an `every` later.
+fn spawn_metrics_emitter(
+    registry: std::sync::Arc<facepoint_telemetry::Registry>,
+    every: std::time::Duration,
+    mut sink: impl std::io::Write + Send + 'static,
+) -> (
+    std::sync::Arc<std::sync::atomic::AtomicBool>,
+    std::thread::JoinHandle<()>,
+) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::{Duration, Instant};
+    let stop = std::sync::Arc::new(AtomicBool::new(false));
+    let flag = std::sync::Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        const TICK: Duration = Duration::from_millis(25);
+        let mut next = Instant::now() + every;
+        while !flag.load(Ordering::SeqCst) {
+            std::thread::sleep(TICK.min(every));
+            if Instant::now() < next {
+                continue;
+            }
+            next += every;
+            if writeln!(sink, "{}", registry.render_json()).is_err() {
+                return; // a dead sink ends the emitter, not the server
+            }
+            let _ = sink.flush();
+        }
+    });
+    (stop, handle)
+}
+
+/// Parses `--metrics-interval SECS` (fractional seconds allowed).
+fn metrics_interval_flag(args: &[String]) -> Result<Option<std::time::Duration>, CliError> {
+    let usage = || CliError::Usage("--metrics-interval SECS (a positive number)".into());
+    match flag_value(args, "--metrics-interval") {
+        None => {
+            // A bare trailing flag is an error, not a silent no-op.
+            if args.iter().any(|a| a == "--metrics-interval") {
+                return Err(usage());
+            }
+            Ok(None)
+        }
+        Some(v) => {
+            let secs: f64 = v.parse().map_err(|_| usage())?;
+            if !(secs > 0.0 && secs.is_finite()) {
+                return Err(usage());
+            }
+            Ok(Some(std::time::Duration::from_secs_f64(secs)))
+        }
+    }
+}
+
 /// `serve <addr>`: expose the engine over TCP (wire spec:
 /// `docs/PROTOCOL.md`) until SIGTERM/SIGINT, then checkpoint (when
 /// persistent) and report the final census. The listening banner goes
@@ -460,7 +523,11 @@ fn recover(args: &[String]) -> Result<String, CliError> {
 fn serve(args: &[String]) -> Result<String, CliError> {
     let pos = positional(args);
     let addr = pos.first().copied().ok_or_else(|| {
-        CliError::Usage("serve <addr> [--set SET] [--parallel N] [--persist DIR]".into())
+        CliError::Usage(
+            "serve <addr> [--set SET] [--parallel N] [--persist DIR] \
+             [--metrics-interval SECS]"
+                .into(),
+        )
     })?;
     let set = match flag_value(args, "--set") {
         Some(s) => SignatureSet::parse(s)
@@ -468,6 +535,7 @@ fn serve(args: &[String]) -> Result<String, CliError> {
         None => SignatureSet::all(),
     };
     let workers = parallel_flag(args)?.unwrap_or(0);
+    let metrics_interval = metrics_interval_flag(args)?;
     let persist = flag_value(args, "--persist");
     let cfg = EngineConfig {
         set,
@@ -489,6 +557,9 @@ fn serve(args: &[String]) -> Result<String, CliError> {
             eprintln!("resumed: {recovered}");
         }
     }
+    // The registry outlives the engine handoff to the server, so the
+    // emitter keeps sampling while the server owns the engine.
+    let registry = engine.telemetry();
     let server = Server::bind(addr, engine, ServerConfig::default())
         .map_err(|e| CliError::BadInput(format!("{addr}: {e}")))?;
     let local = server
@@ -499,10 +570,16 @@ fn serve(args: &[String]) -> Result<String, CliError> {
          SIGTERM/SIGINT checkpoints and exits",
         facepoint_serve::PROTO_VERSION
     );
+    let emitter =
+        metrics_interval.map(|every| spawn_metrics_emitter(registry, every, std::io::stderr()));
     facepoint_serve::signal::install();
     let report = server
         .run()
         .map_err(|e| CliError::BadInput(format!("serve: {e}")))?;
+    if let Some((stop, handle)) = emitter {
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        let _ = handle.join();
+    }
     match report {
         Some(r) => Ok(format!("engine: {}\n", r.stats)),
         None => Ok(String::new()),
@@ -517,11 +594,20 @@ fn client(args: &[String]) -> Result<String, CliError> {
     let addr = pos
         .first()
         .copied()
-        .ok_or_else(|| CliError::Usage("client <addr> [FILE] [--top K]".into()))?;
+        .ok_or_else(|| CliError::Usage("client <addr> [FILE] [--top K] [--metrics]".into()))?;
     let top_k: usize = flag_value(args, "--top")
         .map(|v| v.parse().map_err(|_| CliError::Usage("--top K".into())))
         .transpose()?
         .unwrap_or(5);
+    // --metrics: scrape the server's telemetry snapshot (PROTOCOL.md
+    // §4.11) and print it instead of streaming tables.
+    if args.iter().any(|a| a == "--metrics") {
+        let remote = |e: facepoint_serve::ProtoError| CliError::BadInput(format!("{addr}: {e}"));
+        let mut client = Client::connect(addr).map_err(remote)?;
+        let scrape = client.metrics().map_err(remote)?;
+        client.quit().map_err(remote)?;
+        return Ok(scrape);
+    }
     use std::io::BufRead;
     let mut reader: Box<dyn BufRead> = match pos.get(1) {
         Some(path) => Box::new(std::io::BufReader::new(
@@ -827,11 +913,75 @@ mod tests {
             run(&args(&["serve", "127.0.0.1:0", "--set", "bogus"])),
             Err(CliError::Usage(_))
         ));
+        // --metrics-interval wants a positive number of seconds.
+        for bad in ["nope", "0", "-1", "inf"] {
+            assert!(
+                matches!(
+                    run(&args(&["serve", "127.0.0.1:0", "--metrics-interval", bad])),
+                    Err(CliError::Usage(_))
+                ),
+                "--metrics-interval {bad} accepted"
+            );
+        }
+        assert!(matches!(
+            run(&args(&["serve", "127.0.0.1:0", "--metrics-interval"])),
+            Err(CliError::Usage(_))
+        ));
         // Nothing listening on a reserved port: a usable error.
         assert!(matches!(
             run(&args(&["client", "127.0.0.1:1", "/no/such/file"])),
             Err(CliError::BadInput(_))
         ));
+    }
+
+    /// A `Write` sink the emitter test can inspect from outside the
+    /// emitter thread.
+    #[derive(Clone, Default)]
+    struct SharedSink(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl std::io::Write for SharedSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn metrics_emitter_writes_jsonl_and_stops() {
+        let engine = facepoint_engine::Engine::with_config(facepoint_engine::EngineConfig {
+            workers: 2,
+            ..facepoint_engine::EngineConfig::default()
+        });
+        let sink = SharedSink::default();
+        let (stop, handle) = spawn_metrics_emitter(
+            engine.telemetry(),
+            std::time::Duration::from_millis(20),
+            sink.clone(),
+        );
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while sink.0.lock().unwrap().is_empty() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "emitter never produced a line"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        handle.join().unwrap();
+        let text = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"engine_workers\": 2"), "{line}");
+            assert!(
+                line.contains("\"engine_chunk_classify_nanos_count\""),
+                "{line}"
+            );
+        }
+        drop(engine.finish());
     }
 
     #[test]
@@ -862,6 +1012,15 @@ mod tests {
         assert!(out.contains("2 classes"), "{out}");
         assert!(out.contains("representative 3:"), "{out}");
         assert!(out.contains("server: "), "{out}");
+
+        // --metrics scrapes the telemetry snapshot instead of streaming.
+        let scrape = run(&args(&["client", &addr.to_string(), "--metrics"])).unwrap();
+        assert!(scrape.contains("engine_workers 2.000000\n"), "{scrape}");
+        assert!(
+            scrape.contains("engine_functions_processed_total 4\n"),
+            "{scrape}"
+        );
+        assert!(scrape.contains("serve_metrics_nanos_count"), "{scrape}");
 
         handle.shutdown();
         let report = run_thread.join().unwrap().unwrap().unwrap();

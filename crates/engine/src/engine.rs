@@ -5,9 +5,10 @@ use crate::cache::MemoCache;
 use crate::config::{EngineConfig, PersistConfig};
 use crate::pool::{PoolConfig, StealPool};
 use crate::stats::{EngineSnapshot, EngineStats, RecoveryReport};
-use crate::store::{self, ClassSummary, ShardedStore};
+use crate::store::{self, ClassSummary, ShardedStore, StoreTelemetry};
 use facepoint_core::{Classification, NpnClass, SignatureKernel};
 use facepoint_sig::SignatureSet;
+use facepoint_telemetry::{LatencyHistogram, Registry};
 use facepoint_truth::TruthTable;
 use std::collections::HashMap;
 use std::io;
@@ -23,6 +24,12 @@ use std::time::Instant;
 /// buffer, leaving buffered chunks with non-contiguous sequences.
 struct Job {
     entries: Vec<(u64, TruthTable)>,
+    /// When the chunk started accumulating — the earliest submission
+    /// it carries. The `engine_chunk_classify_nanos` histogram records
+    /// `submitted_at → classified` per chunk, so queue wait (and any
+    /// time a partial chunk sat buffered) is part of the latency, not
+    /// hidden from it.
+    submitted_at: Instant,
 }
 
 /// The streaming replacement for the old per-worker `(seq, key)` log.
@@ -157,6 +164,16 @@ pub struct Engine {
     /// Epoch barriers issued so far (see [`Engine::flush`]).
     epoch: u64,
     started: Instant,
+    /// The metrics registry behind [`Engine::telemetry`]: every
+    /// instrument of this engine (and, through `facepoint serve`, of
+    /// the service wrapping it) lives here.
+    telemetry: Arc<Registry>,
+    /// Submit→classified chunk latency; threaded to the workers and
+    /// every inline-classification fallback.
+    chunk_latency: Arc<LatencyHistogram>,
+    /// When `pending` went empty→non-empty — the `submitted_at` of the
+    /// chunk it will become. Meaningless while `pending` is empty.
+    pending_since: Instant,
 }
 
 /// A read-only view of a durable store's contents, produced by
@@ -244,6 +261,7 @@ pub struct SubmitHandle {
     /// Kernel for the close-race inline path; built on first use.
     fallback: Option<Box<SignatureKernel>>,
     log_scratch: Vec<(u64, u128)>,
+    chunk_latency: Arc<LatencyHistogram>,
 }
 
 /// One buffered [`SubmitHandle::submit_batch`] entry, held *without* a
@@ -295,7 +313,7 @@ impl SubmitHandle {
             self.processed.fetch_add(1, Ordering::AcqRel);
             return Some(seq);
         }
-        self.dispatch(vec![(seq, f)]);
+        self.dispatch(vec![(seq, f)], Instant::now());
         Some(seq)
     }
 
@@ -313,24 +331,28 @@ impl SubmitHandle {
         // tables — it can never strand an allocated submission number,
         // which would wedge `drain` and break `finish`'s accounting.
         let mut buf: Vec<BatchEntry> = Vec::with_capacity(chunk_size);
+        let mut chunk_since = Instant::now();
         for f in fns {
+            if buf.is_empty() {
+                chunk_since = Instant::now();
+            }
             let entry = match self.cache.peek(&f) {
                 Some(key) => BatchEntry::Hit(key, f),
                 None => BatchEntry::Miss(f),
             };
             buf.push(entry);
             if buf.len() >= chunk_size {
-                self.flush_batch(&mut buf, &mut first);
+                self.flush_batch(&mut buf, &mut first, chunk_since);
             }
         }
-        self.flush_batch(&mut buf, &mut first);
+        self.flush_batch(&mut buf, &mut first, chunk_since);
         Some(first.unwrap_or_else(|| self.next_seq.load(Ordering::Acquire)))
     }
 
     /// Numbers and dispatches one buffered chunk: dedup hits resolve
     /// inline (store bump, order log, progress — the fast path, just
     /// batched), misses go to the pool.
-    fn flush_batch(&mut self, buf: &mut Vec<BatchEntry>, first: &mut Option<u64>) {
+    fn flush_batch(&mut self, buf: &mut Vec<BatchEntry>, first: &mut Option<u64>, since: Instant) {
         if buf.is_empty() {
             return;
         }
@@ -356,15 +378,18 @@ impl SubmitHandle {
                 .fetch_add(hits.len() as u64, Ordering::AcqRel);
         }
         if !misses.is_empty() {
-            self.dispatch(misses);
+            self.dispatch(misses, since);
         }
     }
 
     /// Pushes a chunk into the pool; if the pool closed mid-call, the
     /// chunk's submission numbers are already allocated, so it is
     /// classified inline here rather than dropped.
-    fn dispatch(&mut self, entries: Vec<(u64, TruthTable)>) {
-        if let Err(job) = self.pool.push(Job { entries }) {
+    fn dispatch(&mut self, entries: Vec<(u64, TruthTable)>, since: Instant) {
+        if let Err(job) = self.pool.push(Job {
+            entries,
+            submitted_at: since,
+        }) {
             let kernel = self
                 .fallback
                 .get_or_insert_with(|| Box::new(SignatureKernel::new(self.set)));
@@ -376,6 +401,7 @@ impl SubmitHandle {
                 &self.processed,
                 &self.order,
                 &mut self.log_scratch,
+                &self.chunk_latency,
             );
         }
     }
@@ -467,14 +493,36 @@ impl Engine {
     /// [`Engine::open`].
     pub fn try_with_config(cfg: EngineConfig) -> io::Result<Self> {
         let workers = cfg.resolved_workers();
+        // The registry exists before anything it instruments:
+        // recovery-replay timing below covers the store open itself.
+        let telemetry = Arc::new(Registry::new());
+        let chunk_latency = telemetry.histogram("engine_chunk_classify_nanos");
+        let store_telemetry = StoreTelemetry {
+            append_nanos: telemetry.histogram("store_journal_append_nanos"),
+            fsync_nanos: telemetry.histogram("store_fsync_nanos"),
+            checkpoint_nanos: telemetry.histogram("store_checkpoint_nanos"),
+        };
+        let opened = Instant::now();
         let (store, recovery) = match &cfg.persist {
             Some(persist) => {
-                let (store, report) =
-                    ShardedStore::open_durable(persist, cfg.resolved_shards(), cfg.set)?;
+                let (store, report) = ShardedStore::open_durable(
+                    persist,
+                    cfg.resolved_shards(),
+                    cfg.set,
+                    store_telemetry,
+                )?;
                 (store, Some(report))
             }
             None => (ShardedStore::new(cfg.resolved_shards()), None),
         };
+        // Wall-clock cost of opening the store and replaying its
+        // checkpoints + log tails (0 for in-memory engines).
+        let replay_nanos = if recovery.is_some() {
+            u64::try_from(opened.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        } else {
+            0
+        };
+        telemetry.counter_fn("store_recovery_replay_nanos", move || replay_nanos);
         // A pre-existing store's shard count overrides the config (the
         // key→shard mapping is baked into the segment files).
         let shards = recovery
@@ -504,6 +552,75 @@ impl Engine {
             deque_capacity: cfg.deque_capacity.max(1),
             steal_batch: cfg.steal_batch.max(1),
         }));
+        let next_seq = Arc::new(AtomicU64::new(base_seq));
+        let dedup_hits = Arc::new(AtomicU64::new(0));
+        // Totals the subsystems already track in their own atomics are
+        // surfaced as sampled series — read at scrape time, never
+        // double-counted on the hot path.
+        {
+            let p = Arc::clone(&pool);
+            telemetry.counter_fn("engine_steals_total", move || p.steals());
+            let p = Arc::clone(&pool);
+            telemetry.counter_fn("engine_parks_total", move || p.parks());
+            let p = Arc::clone(&pool);
+            telemetry.gauge_fn("engine_deque_depth", move || p.queued() as f64);
+            let c = Arc::clone(&cache);
+            telemetry.counter_fn("engine_cache_hits_total", move || c.hits());
+            let c = Arc::clone(&cache);
+            telemetry.counter_fn("engine_cache_misses_total", move || c.misses());
+            let c = Arc::clone(&cache);
+            telemetry.gauge_fn("engine_cache_hit_ratio", move || {
+                let (hits, misses) = (c.hits(), c.misses());
+                let total = hits + misses;
+                if total == 0 {
+                    0.0
+                } else {
+                    hits as f64 / total as f64
+                }
+            });
+            let n = Arc::clone(&next_seq);
+            telemetry.counter_fn("engine_functions_submitted_total", move || {
+                n.load(Ordering::Acquire)
+            });
+            let p = Arc::clone(&processed);
+            telemetry.counter_fn("engine_functions_processed_total", move || {
+                p.load(Ordering::Acquire)
+            });
+            let (n, p) = (Arc::clone(&next_seq), Arc::clone(&processed));
+            telemetry.gauge_fn("engine_backlog", move || {
+                // Saturating for the same racy-read reason as
+                // `EngineSnapshot::backlog`.
+                n.load(Ordering::Acquire)
+                    .saturating_sub(p.load(Ordering::Acquire)) as f64
+            });
+            let d = Arc::clone(&dedup_hits);
+            telemetry.counter_fn("engine_dedup_hits_total", move || d.load(Ordering::Relaxed));
+            telemetry.gauge_fn("engine_workers", move || workers as f64);
+            // Weak, not Arc: the registry outlives the engine when a
+            // caller keeps `Engine::telemetry()` after `finish`, and a
+            // strong reference here would pin the durable store — and
+            // its advisory file lock — for the registry's lifetime,
+            // refusing a reopen of the same directory. A post-finish
+            // scrape reads these totals as 0 instead.
+            let s = Arc::downgrade(&store);
+            telemetry.counter_fn("store_journal_records_total", move || {
+                s.upgrade()
+                    .and_then(|s| s.durability_snapshot())
+                    .map_or(0, |d| d.journal_records)
+            });
+            let s = Arc::downgrade(&store);
+            telemetry.counter_fn("store_fsyncs_total", move || {
+                s.upgrade()
+                    .and_then(|s| s.durability_snapshot())
+                    .map_or(0, |d| d.fsyncs)
+            });
+            let s = Arc::downgrade(&store);
+            telemetry.counter_fn("store_checkpoints_total", move || {
+                s.upgrade()
+                    .and_then(|s| s.durability_snapshot())
+                    .map_or(0, |d| d.checkpoints)
+            });
+        }
         let handles = (0..workers)
             .map(|me| {
                 let pool = Arc::clone(&pool);
@@ -512,8 +629,18 @@ impl Engine {
                 let processed = Arc::clone(&processed);
                 let order = Arc::clone(&order);
                 let set = cfg.set;
+                let chunk_latency = Arc::clone(&chunk_latency);
                 std::thread::spawn(move || {
-                    worker_loop(me, &pool, &store, &cache, &processed, &order, set)
+                    worker_loop(
+                        me,
+                        &pool,
+                        &store,
+                        &cache,
+                        &processed,
+                        &order,
+                        set,
+                        &chunk_latency,
+                    )
                 })
             })
             .collect();
@@ -527,8 +654,8 @@ impl Engine {
             order,
             handles,
             pending: Vec::with_capacity(cfg.chunk_size),
-            next_seq: Arc::new(AtomicU64::new(base_seq)),
-            dedup_hits: Arc::new(AtomicU64::new(0)),
+            next_seq,
+            dedup_hits,
             handle_ops: Arc::new(AtomicU64::new(0)),
             base_seq,
             // Epoch numbers stay monotonic across reopens of the same
@@ -536,8 +663,23 @@ impl Engine {
             epoch: recovery.as_ref().map_or(0, |r| r.last_epoch),
             recovery,
             started: Instant::now(),
+            telemetry,
+            chunk_latency,
+            pending_since: Instant::now(),
             cfg,
         })
+    }
+
+    /// The engine's metrics registry, for in-process consumers: every
+    /// engine and store series (`engine_*`, `store_*`) is registered
+    /// here, and `facepoint serve` adds its `serve_*` series to the
+    /// same registry — one
+    /// [`render_text`](facepoint_telemetry::Registry::render_text)
+    /// call covers all three layers. Recording into the returned
+    /// registry's instruments is lock-free and allocation-free;
+    /// snapshotting locks it briefly and allocates the output.
+    pub fn telemetry(&self) -> Arc<Registry> {
+        Arc::clone(&self.telemetry)
     }
 
     /// What recovery found when this engine was [`Engine::open`]ed over
@@ -568,6 +710,7 @@ impl Engine {
             set: self.cfg.set,
             fallback: None,
             log_scratch: Vec::new(),
+            chunk_latency: Arc::clone(&self.chunk_latency),
         }
     }
 
@@ -593,6 +736,9 @@ impl Engine {
             self.dedup_hits.fetch_add(1, Ordering::Relaxed);
             self.processed.fetch_add(1, Ordering::AcqRel);
             return seq;
+        }
+        if self.pending.is_empty() {
+            self.pending_since = Instant::now();
         }
         self.pending.push((seq, f));
         if self.pending.len() >= self.cfg.chunk_size.max(1) {
@@ -648,7 +794,10 @@ impl Engine {
         let entries = std::mem::take(&mut self.pending);
         self.pending = Vec::with_capacity(self.cfg.chunk_size);
         self.pool
-            .push(Job { entries })
+            .push(Job {
+                entries,
+                submitted_at: self.pending_since,
+            })
             .unwrap_or_else(|_| unreachable!("pool closed while the engine is alive"));
     }
 
@@ -783,6 +932,7 @@ impl Engine {
                     &self.processed,
                     &self.order,
                     &mut log,
+                    &self.chunk_latency,
                 );
             }
         }
@@ -893,7 +1043,11 @@ impl Drop for Engine {
 /// it in the store, count progress **per function** — so `pending()`
 /// and [`Engine::drain`] observe smooth, never-overshooting progress
 /// even mid-chunk — then stream the chunk's `(seq, key)` pairs into the
-/// order sink in one short lock.
+/// order sink in one short lock and record the chunk's
+/// submit→classified latency. Allocation-free in steady state (the
+/// reused `log` stops growing once it has seen the largest chunk), so
+/// the flat-memory guarantee survives the instrumentation.
+#[allow(clippy::too_many_arguments)]
 fn classify_job(
     job: Job,
     kernel: &mut SignatureKernel,
@@ -902,7 +1056,9 @@ fn classify_job(
     processed: &AtomicU64,
     order: &OrderSink,
     log: &mut Vec<(u64, u128)>,
+    chunk_latency: &LatencyHistogram,
 ) {
+    let submitted_at = job.submitted_at;
     for (seq, table) in job.entries {
         let key = cache.key_or_compute(&table, || kernel.key(&table));
         store.insert(key, &table, seq);
@@ -911,8 +1067,10 @@ fn classify_job(
     }
     order.apply(log);
     log.clear();
+    chunk_latency.record_duration(submitted_at.elapsed());
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     me: usize,
     pool: &StealPool<Job>,
@@ -921,6 +1079,7 @@ fn worker_loop(
     processed: &AtomicU64,
     order: &OrderSink,
     set: facepoint_sig::SignatureSet,
+    chunk_latency: &LatencyHistogram,
 ) {
     // One kernel per worker, reused for the whole stream: scratch
     // buffers grow to the largest arity seen, then key computation is
@@ -929,7 +1088,16 @@ fn worker_loop(
     let mut kernel = SignatureKernel::new(set);
     let mut log: Vec<(u64, u128)> = Vec::new();
     while let Some(job) = pool.next_item(me) {
-        classify_job(job, &mut kernel, store, cache, processed, order, &mut log);
+        classify_job(
+            job,
+            &mut kernel,
+            store,
+            cache,
+            processed,
+            order,
+            &mut log,
+            chunk_latency,
+        );
     }
 }
 
@@ -1222,6 +1390,114 @@ mod tests {
         assert_eq!(report.stats.functions_processed, fns.len() as u64);
         assert_eq!(report.classification.num_functions(), fns.len());
         assert_eq!(report.classification.num_classes(), expected_classes);
+    }
+
+    /// Reads one series out of a text exposition, panicking with the
+    /// whole scrape when it is absent (every value renders as a number,
+    /// so `f64` covers counters, gauges and histogram fields alike).
+    fn series(text: &str, name: &str) -> f64 {
+        let prefix = format!("{name} ");
+        text.lines()
+            .find_map(|l| l.strip_prefix(&prefix))
+            .unwrap_or_else(|| panic!("series {name} missing from scrape:\n{text}"))
+            .parse()
+            .unwrap_or_else(|e| panic!("series {name} is not numeric: {e}"))
+    }
+
+    #[test]
+    fn telemetry_scrape_covers_engine_series() {
+        let fns = workload(4, 6, 5, 0x7E1E);
+        let total = fns.len() as u64;
+        let mut engine = Engine::with_config(EngineConfig {
+            workers: 2,
+            chunk_size: 4,
+            cache_capacity: 64,
+            ..EngineConfig::default()
+        });
+        let telemetry = engine.telemetry();
+        engine.submit_batch(fns);
+        engine.flush();
+        assert!(engine.drain(std::time::Duration::from_secs(30)));
+        let text = telemetry.render_text();
+        assert_eq!(
+            series(&text, "engine_functions_submitted_total") as u64,
+            total
+        );
+        assert_eq!(
+            series(&text, "engine_functions_processed_total") as u64,
+            total
+        );
+        assert_eq!(series(&text, "engine_backlog"), 0.0);
+        assert_eq!(series(&text, "engine_workers"), 2.0);
+        // Every chunk's latency was recorded, and the percentile chain
+        // holds in a real scrape, not just in the histogram's unit
+        // tests.
+        assert!(series(&text, "engine_chunk_classify_nanos_count") >= 1.0);
+        let (p50, p90, p99, max) = (
+            series(&text, "engine_chunk_classify_nanos_p50"),
+            series(&text, "engine_chunk_classify_nanos_p90"),
+            series(&text, "engine_chunk_classify_nanos_p99"),
+            series(&text, "engine_chunk_classify_nanos_max"),
+        );
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= max, "{text}");
+        // The cache saw traffic; ratio stays within [0, 1].
+        let ratio = series(&text, "engine_cache_hit_ratio");
+        assert!((0.0..=1.0).contains(&ratio), "{ratio}");
+        // In-memory engine: the store series exist but stay zero.
+        assert_eq!(series(&text, "store_journal_records_total"), 0.0);
+        assert_eq!(series(&text, "store_recovery_replay_nanos"), 0.0);
+        engine.finish();
+    }
+
+    #[test]
+    fn durable_engine_records_store_latencies() {
+        let dir = std::env::temp_dir()
+            .join("facepoint-engine-tests")
+            .join(format!("telemetry-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = EngineConfig {
+            workers: 2,
+            chunk_size: 4,
+            persist: Some(PersistConfig {
+                dir: dir.clone(),
+                checkpoint_interval: 8,
+                sync: crate::SyncPolicy::Barrier,
+            }),
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::open(&dir, cfg.clone()).unwrap();
+        let telemetry = engine.telemetry();
+        engine.submit_batch(workload(4, 6, 8, 0xD0C));
+        engine.flush(); // epoch barrier → fsync under Barrier policy
+        assert!(engine.drain(std::time::Duration::from_secs(30)));
+        // 48 submissions at checkpoint_interval 8 force compactions
+        // while the stream is live.
+        let text = telemetry.render_text();
+        assert!(
+            series(&text, "store_journal_append_nanos_count") >= 1.0,
+            "{text}"
+        );
+        assert!(series(&text, "store_journal_records_total") >= 1.0);
+        assert!(series(&text, "store_fsync_nanos_count") >= 1.0);
+        assert!(series(&text, "store_fsyncs_total") >= 1.0);
+        assert!(series(&text, "store_checkpoint_nanos_count") >= 1.0);
+        assert!(series(&text, "store_checkpoints_total") >= 1.0);
+        engine.finish(); // final checkpoint; drops the store
+                         // The registry holds the store only weakly, so finishing the
+                         // engine releases the store's directory lock even while this
+                         // telemetry handle lives on — sampled store totals read 0 now.
+        let text = telemetry.render_text();
+        assert_eq!(series(&text, "store_journal_records_total"), 0.0);
+        // Reopening replays the checkpoints; the replay gauge reflects
+        // the measured open cost.
+        let reopened = Engine::open(&dir, cfg).unwrap();
+        let text = reopened.telemetry().render_text();
+        assert!(
+            series(&text, "store_recovery_replay_nanos") >= 1.0,
+            "{text}"
+        );
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -130,6 +130,13 @@ impl<T> StealPool<T> {
         self.parks.load(Ordering::Relaxed)
     }
 
+    /// Items currently queued across all deques (excludes items a
+    /// worker has already taken and is processing) — the live deque
+    /// depth behind the `engine_deque_depth` gauge.
+    pub fn queued(&self) -> usize {
+        self.queued.load(Ordering::SeqCst)
+    }
+
     fn lock_deque(&self, i: usize) -> std::sync::MutexGuard<'_, VecDeque<T>> {
         self.deques[i].q.lock().expect("ingest deque poisoned")
     }

@@ -20,9 +20,13 @@ pub struct EngineSnapshot {
 
 impl EngineSnapshot {
     /// Functions submitted but not yet classified (queued or in
-    /// flight).
+    /// flight). Saturating: the two counters are read without a common
+    /// lock, so a racing reader can observe `processed` bumped by a
+    /// worker before it sees the `submitted` increment that covered the
+    /// same function — a plain subtraction would wrap to ~`u64::MAX`.
     pub fn backlog(&self) -> u64 {
-        self.functions_submitted - self.functions_processed
+        self.functions_submitted
+            .saturating_sub(self.functions_processed)
     }
 
     /// Occupancy skew: largest shard count over the ideal per-shard
@@ -270,6 +274,15 @@ mod tests {
         };
         assert_eq!(snap.backlog(), 3);
         assert_eq!(snap.shard_skew(), 2.0);
+        // A racy read can see `processed` ahead of `submitted`; the
+        // backlog clamps to zero instead of wrapping.
+        let racy = EngineSnapshot {
+            functions_submitted: 5,
+            functions_processed: 7,
+            num_classes: 1,
+            shard_class_counts: vec![1],
+        };
+        assert_eq!(racy.backlog(), 0);
         let empty = EngineSnapshot {
             functions_submitted: 0,
             functions_processed: 0,

@@ -49,6 +49,7 @@
 use crate::config::{PersistConfig, SyncPolicy};
 use crate::stats::{DurabilityStats, RecoveryReport};
 use facepoint_core::wire::{self, Record, WireError, WIRE_VERSION};
+use facepoint_telemetry::LatencyHistogram;
 use facepoint_truth::TruthTable;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -56,6 +57,23 @@ use std::io::{self, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Latency instruments of the durable write path, shared across
+/// shards. The engine hands in histograms registered in its
+/// [`Registry`](facepoint_telemetry::Registry); a standalone store
+/// (tests, tools) uses `StoreTelemetry::default()`, whose detached
+/// histograms record into nothing anyone reads — same code path, no
+/// `Option` in the hot path.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StoreTelemetry {
+    /// Buffered journal append latency, per record.
+    pub append_nanos: Arc<LatencyHistogram>,
+    /// `fsync` (sync_data/sync_all) latency, per call.
+    pub fsync_nanos: Arc<LatencyHistogram>,
+    /// Checkpoint compaction duration, per compaction.
+    pub checkpoint_nanos: Arc<LatencyHistogram>,
+}
 
 /// One NPN class as the store sees it.
 #[derive(Debug, Clone)]
@@ -190,13 +208,18 @@ struct ShardJournal {
     /// automatically.
     checkpoint_interval: u64,
     counters: Arc<DurabilityCounters>,
+    telemetry: StoreTelemetry,
 }
 
 impl ShardJournal {
     /// Writes the scratch buffer to the log and applies the per-record
     /// sync policy.
     fn commit_scratch(&mut self) -> io::Result<()> {
+        let started = Instant::now();
         self.writer.write_all(&self.scratch)?;
+        self.telemetry
+            .append_nanos
+            .record_duration(started.elapsed());
         self.counters
             .journal_bytes
             .fetch_add(self.scratch.len() as u64, Ordering::Relaxed);
@@ -208,9 +231,22 @@ impl ShardJournal {
         self.scratch.clear();
         if self.sync == SyncPolicy::Always {
             self.writer.flush()?;
-            self.writer.get_ref().sync_data()?;
-            self.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
+            self.timed_fsync(|j| j.writer.get_ref().sync_data())?;
         }
+        Ok(())
+    }
+
+    /// Runs one fsync-class call, timing it into the fsync histogram
+    /// and counting it — every `sync_data`/`sync_all` of the write
+    /// path goes through here so the latency series and the
+    /// [`DurabilityCounters::fsyncs`] total can never drift apart.
+    fn timed_fsync(&mut self, f: impl FnOnce(&mut Self) -> io::Result<()>) -> io::Result<()> {
+        let started = Instant::now();
+        f(self)?;
+        self.telemetry
+            .fsync_nanos
+            .record_duration(started.elapsed());
+        self.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -235,8 +271,7 @@ impl ShardJournal {
             .fetch_add(len, Ordering::Relaxed);
         self.writer.flush()?;
         if self.sync != SyncPolicy::Never {
-            self.writer.get_ref().sync_data()?;
-            self.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
+            self.timed_fsync(|j| j.writer.get_ref().sync_data())?;
         }
         Ok(())
     }
@@ -245,6 +280,7 @@ impl ShardJournal {
     /// segment (atomic rename) and rolls the log to the next
     /// generation.
     fn compact(&mut self, map: &HashMap<u128, ClassEntry>) -> io::Result<()> {
+        let compact_started = Instant::now();
         // Everything in the current log is contained in `map`; the log
         // itself needs no sync before being superseded.
         self.writer.flush()?;
@@ -271,15 +307,14 @@ impl ShardJournal {
             let mut f = File::create(&tmp)?;
             f.write_all(&buf)?;
             if self.sync != SyncPolicy::Never {
-                f.sync_data()?;
-                self.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
+                self.timed_fsync(|_| f.sync_data())?;
             }
         }
         std::fs::rename(&tmp, ckpt_path(&self.dir, self.shard_id))?;
         if self.sync != SyncPolicy::Never {
             // Persist the rename itself.
-            File::open(&self.dir)?.sync_all()?;
-            self.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
+            let dir_handle = File::open(&self.dir)?;
+            self.timed_fsync(|_| dir_handle.sync_all())?;
         }
         self.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
         self.counters
@@ -295,6 +330,9 @@ impl ShardJournal {
         self.gen = next_gen;
         self.records_since_ckpt = 0;
         self.dirty = false;
+        self.telemetry
+            .checkpoint_nanos
+            .record_duration(compact_started.elapsed());
         Ok(())
     }
 }
@@ -362,6 +400,7 @@ impl ShardedStore {
         persist: &PersistConfig,
         default_shards: usize,
         set: facepoint_sig::SignatureSet,
+        telemetry: StoreTelemetry,
     ) -> io::Result<(Self, RecoveryReport)> {
         assert!(default_shards.is_power_of_two(), "shard count must be 2^k");
         let dir = &persist.dir;
@@ -431,6 +470,7 @@ impl ShardedStore {
                 sync: persist.sync,
                 checkpoint_interval: persist.checkpoint_interval,
                 counters: Arc::clone(&counters),
+                telemetry: telemetry.clone(),
             };
             shard_cells.push(Mutex::new(Shard {
                 map: rec.map,
@@ -950,7 +990,13 @@ mod tests {
             checkpoint_interval: interval,
             sync: SyncPolicy::Never, // tests don't need real fsyncs
         };
-        ShardedStore::open_durable(&cfg, 4, facepoint_sig::SignatureSet::all()).unwrap()
+        ShardedStore::open_durable(
+            &cfg,
+            4,
+            facepoint_sig::SignatureSet::all(),
+            StoreTelemetry::default(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -1029,9 +1075,14 @@ mod tests {
             checkpoint_interval: 0,
             sync: SyncPolicy::Never,
         };
-        let err = ShardedStore::open_durable(&cfg, 4, facepoint_sig::SignatureSet::OIV)
-            .map(|_| ())
-            .expect_err("set mismatch must be refused");
+        let err = ShardedStore::open_durable(
+            &cfg,
+            4,
+            facepoint_sig::SignatureSet::OIV,
+            StoreTelemetry::default(),
+        )
+        .map(|_| ())
+        .expect_err("set mismatch must be refused");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -1049,8 +1100,13 @@ mod tests {
             sync: SyncPolicy::Never,
         };
         // Ask for 16 shards; the store keeps its persisted 4.
-        let (store, report) =
-            ShardedStore::open_durable(&cfg, 16, facepoint_sig::SignatureSet::all()).unwrap();
+        let (store, report) = ShardedStore::open_durable(
+            &cfg,
+            16,
+            facepoint_sig::SignatureSet::all(),
+            StoreTelemetry::default(),
+        )
+        .unwrap();
         assert_eq!(report.shards, 4);
         assert_eq!(store.shards.len(), 4);
         assert!(store.get(u128::MAX).is_some());

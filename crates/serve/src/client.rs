@@ -251,6 +251,19 @@ impl Client {
         }
     }
 
+    /// `METRICS` — the server's full telemetry scrape as the §4.11
+    /// text exposition: one `name SP value` line per series, each
+    /// LF-terminated, names sorted. Counter and histogram-bucket
+    /// values are integers; gauges are decimal. The scrape spans all
+    /// three layers (`engine_*`, `store_*`, `serve_*`).
+    ///
+    /// # Errors
+    ///
+    /// Transport or remote failures.
+    pub fn metrics(&mut self) -> Result<String, ProtoError> {
+        self.exchange("METRICS")
+    }
+
     /// `QUIT` — says goodbye and closes the connection.
     ///
     /// # Errors

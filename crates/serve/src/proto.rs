@@ -334,6 +334,18 @@ mod tests {
                 b's', b'e', b'q', b'=', b'0',
             ]
         );
+        // The §4.11 METRICS request frame.
+        let mut buf = Vec::new();
+        write_request(&mut buf, "METRICS").unwrap();
+        assert_eq!(
+            buf,
+            [
+                0x08, 0x00, 0x00, 0x00, // len = 8
+                0x6d, 0x5d, 0xee, 0x23, // crc32(payload)
+                0x06, // kind: request
+                b'M', b'E', b'T', b'R', b'I', b'C', b'S',
+            ]
+        );
     }
 
     #[test]

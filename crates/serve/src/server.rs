@@ -18,13 +18,14 @@ use crate::proto::{self, Status, MAX_BATCH, PROTO_VERSION};
 use crate::signal;
 use facepoint_core::wire::Record;
 use facepoint_engine::{Engine, EngineReport, SubmitHandle};
+use facepoint_telemetry::{Counter, Gauge, LatencyHistogram, Registry};
 use facepoint_truth::TruthTable;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tuning (transport-level; engine tuning lives in
 /// [`EngineConfig`](facepoint_engine::EngineConfig), fixed when the
@@ -44,6 +45,71 @@ impl Default for ServerConfig {
     }
 }
 
+/// Opcode → latency-series table: every opcode of §4 gets its own
+/// `serve_<op>_nanos` histogram, and the empty-opcode entry (last) is
+/// the catch-all for unknown opcodes. Names are fixed here so the
+/// series set a scrape reports is identical on every server.
+const OP_SERIES: [(&str, &str); 11] = [
+    ("HELLO", "serve_hello_nanos"),
+    ("PING", "serve_ping_nanos"),
+    ("SUBMIT", "serve_submit_nanos"),
+    ("SUBMIT-BATCH", "serve_submit_batch_nanos"),
+    ("SNAPSHOT", "serve_snapshot_nanos"),
+    ("TOP", "serve_top_nanos"),
+    ("STATS", "serve_stats_nanos"),
+    ("FLUSH", "serve_flush_nanos"),
+    ("METRICS", "serve_metrics_nanos"),
+    ("QUIT", "serve_quit_nanos"),
+    ("", "serve_other_nanos"),
+];
+
+/// Transport-layer instruments, registered into the *engine's*
+/// registry at construction so one `METRICS` scrape covers all three
+/// layers (`engine_*`, `store_*`, `serve_*`). Recording goes through
+/// the pre-resolved `Arc` handles — nothing on the request path locks
+/// the registry or allocates.
+struct ServeTelemetry {
+    /// The engine's registry, kept alive independently of the engine
+    /// itself so `METRICS` can still be answered while the server
+    /// drains for shutdown.
+    registry: Arc<Registry>,
+    /// Live connections (`serve_connections`).
+    connections: Arc<Gauge>,
+    /// Raw socket bytes, counted below the buffering layers
+    /// (`serve_bytes_read_total` / `serve_bytes_written_total`).
+    bytes_read: Arc<Counter>,
+    bytes_written: Arc<Counter>,
+    /// Per-opcode request latency, [`OP_SERIES`] order.
+    op_nanos: Vec<(&'static str, Arc<LatencyHistogram>)>,
+}
+
+impl ServeTelemetry {
+    fn new(registry: Arc<Registry>) -> ServeTelemetry {
+        let op_nanos = OP_SERIES
+            .iter()
+            .map(|(op, name)| (*op, registry.histogram(name)))
+            .collect();
+        ServeTelemetry {
+            connections: registry.gauge("serve_connections"),
+            bytes_read: registry.counter("serve_bytes_read_total"),
+            bytes_written: registry.counter("serve_bytes_written_total"),
+            op_nanos,
+            registry,
+        }
+    }
+
+    /// The latency histogram charged for opcode `op`; unknown opcodes
+    /// land in the trailing catch-all.
+    fn op_histogram(&self, op: &str) -> &LatencyHistogram {
+        let (_, h) = self
+            .op_nanos
+            .iter()
+            .find(|(known, _)| *known == op)
+            .unwrap_or_else(|| self.op_nanos.last().expect("catch-all series"));
+        h
+    }
+}
+
 /// Shared server state: the engine every connection feeds, and the
 /// shutdown latch.
 struct Shared {
@@ -58,9 +124,20 @@ struct Shared {
     /// file descriptor open (no EOF for the peer, and an fd leak on a
     /// long-running server).
     conns: Mutex<std::collections::HashMap<u64, TcpStream>>,
+    serve: ServeTelemetry,
 }
 
 impl Shared {
+    fn new(engine: Engine) -> Shared {
+        let serve = ServeTelemetry::new(engine.telemetry());
+        Shared {
+            engine: Mutex::new(Some(engine)),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(std::collections::HashMap::new()),
+            serve,
+        }
+    }
+
     fn lock_engine(&self) -> std::sync::MutexGuard<'_, Option<Engine>> {
         // A panic in a handler thread must not wedge the server: the
         // engine state itself is only mutated through &mut methods
@@ -68,6 +145,40 @@ impl Shared {
         self.engine
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Counts raw socket bytes into a telemetry counter, underneath the
+/// session's `BufReader` — what is measured is what actually crossed
+/// the socket, not per-call buffered reads.
+struct CountingRead<R> {
+    inner: R,
+    total: Arc<Counter>,
+}
+
+impl<R: Read> Read for CountingRead<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.total.add(n as u64);
+        Ok(n)
+    }
+}
+
+/// The write-side twin of [`CountingRead`], underneath `BufWriter`.
+struct CountingWrite<W> {
+    inner: W,
+    total: Arc<Counter>,
+}
+
+impl<W: Write> Write for CountingWrite<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.total.add(n as u64);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
     }
 }
 
@@ -110,11 +221,7 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         Ok(Server {
             listener,
-            shared: Arc::new(Shared {
-                engine: Mutex::new(Some(engine)),
-                shutdown: AtomicBool::new(false),
-                conns: Mutex::new(std::collections::HashMap::new()),
-            }),
+            shared: Arc::new(Shared::new(engine)),
             cfg,
         })
     }
@@ -275,12 +382,30 @@ enum Action {
     Close,
 }
 
+/// Decrements the `serve_connections` gauge however the handler exits
+/// (clean close, transport error, or a panic unwinding through it).
+struct ConnGauge<'a>(&'a Gauge);
+
+impl Drop for ConnGauge<'_> {
+    fn drop(&mut self) {
+        self.0.add(-1);
+    }
+}
+
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
+    let mut reader = BufReader::new(CountingRead {
+        inner: read_half,
+        total: Arc::clone(&shared.serve.bytes_read),
+    });
+    let mut writer = BufWriter::new(CountingWrite {
+        inner: stream,
+        total: Arc::clone(&shared.serve.bytes_written),
+    });
+    shared.serve.connections.add(1);
+    let _live = ConnGauge(&shared.serve.connections);
     let mut session = Session {
         greeted: false,
         handle: None,
@@ -300,7 +425,19 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             // answered reliably any more.
             Ok(None) | Err(_) => return,
         };
+        // Latency is charged from parse to response-ready: for a batch
+        // that includes reading its table frames, which is the part of
+        // request handling a client actually waits on.
+        let started = Instant::now();
         let (status, body, action) = dispatch(shared, &mut session, &line, &mut reader);
+        let op = match line.split_once(' ') {
+            Some((op, _)) => op,
+            None => line.trim(),
+        };
+        shared
+            .serve
+            .op_histogram(op)
+            .record_duration(started.elapsed());
         if proto::write_response(&mut writer, status, &body).is_err() || writer.flush().is_err() {
             return;
         }
@@ -408,11 +545,19 @@ fn dispatch(
             let epochs = engine.stats().durability.map_or(0, |d| d.epochs);
             (Status::Ok, format!("epochs={epochs}"), Action::Continue)
         }),
+        // Served straight from the registry, which outlives the engine:
+        // the scrape path stays answerable even while the server drains
+        // for shutdown, so an operator can watch the drain itself.
+        "METRICS" => (
+            Status::Ok,
+            shared.serve.registry.render_text(),
+            Action::Continue,
+        ),
         _ => (
             Status::Usage,
             format!(
                 "unknown opcode {op:?}; expected HELLO, PING, SUBMIT, SUBMIT-BATCH, \
-                 SNAPSHOT, TOP, STATS, FLUSH or QUIT"
+                 SNAPSHOT, TOP, STATS, FLUSH, METRICS or QUIT"
             ),
             Action::Continue,
         ),
@@ -595,11 +740,7 @@ mod tests {
             workers: 2,
             ..EngineConfig::with_set(SignatureSet::all())
         });
-        Shared {
-            engine: Mutex::new(Some(engine)),
-            shutdown: AtomicBool::new(false),
-            conns: Mutex::new(std::collections::HashMap::new()),
-        }
+        Shared::new(engine)
     }
 
     fn greeted() -> Session {
@@ -719,9 +860,33 @@ mod tests {
         assert_eq!(st, Status::Ok);
         assert_eq!(body, "epochs=0"); // in-memory engine: no barriers
 
+        // METRICS: every line obeys the §4.11 `name SP value` grammar
+        // and the scrape spans all three layers.
+        let (st, body, act) = dispatch(&shared, &mut s, "METRICS", &mut empty());
+        assert_eq!((st, act), (Status::Ok, Action::Continue));
+        for line in body.lines() {
+            let (name, value) = line.split_once(' ').expect("name SP value");
+            assert!(!name.is_empty() && value.parse::<f64>().is_ok(), "{line}");
+        }
+        for series in [
+            "engine_functions_processed_total",
+            "engine_chunk_classify_nanos_count",
+            "engine_workers",
+            "store_journal_records_total",
+            "serve_connections",
+            "serve_submit_nanos_count",
+            "serve_bytes_read_total",
+        ] {
+            assert!(
+                body.lines().any(|l| l.starts_with(&format!("{series} "))),
+                "no {series} series in scrape:\n{body}"
+            );
+        }
+
         let (st, body, _) = dispatch(&shared, &mut s, "FROB 1 2", &mut empty());
         assert_eq!(st, Status::Usage);
         assert!(body.contains("unknown opcode"), "{body}");
+        assert!(body.contains("METRICS"), "{body}");
 
         let (st, body, act) = dispatch(&shared, &mut s, "QUIT", &mut empty());
         assert_eq!((st, act), (Status::Ok, Action::Close));
@@ -807,5 +972,33 @@ mod tests {
             &mut io::Cursor::new(frames),
         );
         assert_eq!(st, Status::Shutdown);
+        // METRICS is the exception: the registry outlives the engine,
+        // so the drain itself stays observable.
+        let (st, body, act) = dispatch(&shared, &mut greeted(), "METRICS", &mut empty());
+        assert_eq!((st, act), (Status::Ok, Action::Continue));
+        assert!(body.contains("engine_workers "), "{body}");
+    }
+
+    /// Every §4 opcode maps to its own latency series; unknown opcodes
+    /// land in the catch-all.
+    #[test]
+    fn op_histograms_cover_the_opcode_table() {
+        let shared = shared();
+        for (op, name) in &OP_SERIES {
+            if op.is_empty() {
+                continue;
+            }
+            shared.serve.op_histogram(op).record(1);
+            let text = shared.serve.registry.render_text();
+            let line = format!("{name}_count 1");
+            assert!(text.lines().any(|l| l == line), "no {line} after {op}");
+        }
+        shared.serve.op_histogram("FROB").record(1);
+        shared.serve.op_histogram("").record(1);
+        let text = shared.serve.registry.render_text();
+        assert!(
+            text.lines().any(|l| l == "serve_other_nanos_count 2"),
+            "{text}"
+        );
     }
 }

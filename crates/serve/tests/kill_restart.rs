@@ -227,6 +227,51 @@ fn sigkill_restart_refeed_converges() {
             "class {key:032x} did not converge to recovered + resubmitted"
         );
     }
+    // --- Phase 3b: scrape METRICS off the live, recovered child. The
+    // scrape must parse line by line, span all three layers, report
+    // the phase-2 replay, and keep every histogram's percentile
+    // ladder monotone.
+    let scrape = client.metrics().unwrap();
+    let series: HashMap<&str, f64> = scrape
+        .lines()
+        .map(|l| {
+            let (name, value) = l
+                .split_once(' ')
+                .unwrap_or_else(|| panic!("scrape line {l:?} is not `name value`"));
+            let value: f64 = value
+                .parse()
+                .unwrap_or_else(|_| panic!("unparseable value in scrape line {l:?}"));
+            (name, value)
+        })
+        .collect();
+    let series_value = |name: &str| -> f64 {
+        *series
+            .get(name)
+            .unwrap_or_else(|| panic!("no {name} series in scrape:\n{scrape}"))
+    };
+    assert!(series_value("engine_functions_processed_total") >= lines.len() as f64);
+    assert!(series_value("engine_chunk_classify_nanos_count") >= 1.0);
+    assert!(series_value("store_journal_records_total") >= 1.0);
+    assert!(series_value("store_fsync_nanos_count") >= 1.0);
+    assert!(series_value("store_recovery_replay_nanos") >= 1.0);
+    assert!(series_value("serve_submit_batch_nanos_count") >= 1.0);
+    assert!(series_value("serve_connections") >= 1.0);
+    assert!(series_value("serve_bytes_read_total") >= 1.0);
+    assert!(series_value("serve_bytes_written_total") >= 1.0);
+    for h in [
+        "engine_chunk_classify_nanos",
+        "store_journal_append_nanos",
+        "serve_submit_batch_nanos",
+    ] {
+        let p50 = series_value(&format!("{h}_p50"));
+        let p90 = series_value(&format!("{h}_p90"));
+        let p99 = series_value(&format!("{h}_p99"));
+        let max = series_value(&format!("{h}_max"));
+        assert!(
+            p50 <= p90 && p90 <= p99 && p99 <= max,
+            "{h} percentile ladder not monotone: {p50} {p90} {p99} {max}"
+        );
+    }
     client.quit().unwrap();
 
     // --- Phase 4: SIGTERM = graceful: final checkpoint, exit 0, and a

@@ -1,0 +1,304 @@
+//! The log₂-bucketed [`LatencyHistogram`] and its mergeable
+//! [`HistogramSnapshot`].
+//!
+//! Values (nanoseconds, by repo convention) land in power-of-two
+//! buckets: bucket `i` covers `[2^i, 2^(i+1) - 1]` (bucket 0 also
+//! takes zero, bucket 63 runs to `u64::MAX`). Recording is three
+//! relaxed atomic operations on fixed arrays — no locks, no
+//! allocation — so a histogram can sit inside the engine's
+//! per-chunk classification path. Quantiles are read from a
+//! snapshot: the reported `pNN` is the upper bound of the bucket
+//! holding the NNth percentile, clamped to the exact observed
+//! maximum, which makes `p50 ≤ p90 ≤ p99 ≤ max` an invariant rather
+//! than a hope (`tests/histogram_props.rs` proves it).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ buckets: one per possible `floor(log2(v))` of a
+/// non-zero `u64`, with zero folded into bucket 0.
+pub const BUCKETS: usize = 64;
+
+/// The bucket a value lands in: `floor(log2(v))`, with 0 → bucket 0.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (63 - v.leading_zeros()) as usize
+    }
+}
+
+/// Smallest value of bucket `i` (0 for bucket 0).
+///
+/// # Panics
+///
+/// Panics if `i >= BUCKETS`.
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    assert!(i < BUCKETS);
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
+
+/// Largest value of bucket `i` (`u64::MAX` for the last bucket).
+///
+/// # Panics
+///
+/// Panics if `i >= BUCKETS`.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    assert!(i < BUCKETS);
+    if i == BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// A concurrent latency histogram: 64 log₂ buckets plus an exact sum
+/// and an exact maximum.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one value. Allocation-free, lock-free: one `fetch_add`
+    /// on the bucket, one on the sum, one `fetch_max`.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration as nanoseconds (saturating at `u64::MAX`,
+    /// which a latency never reaches).
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Reads the current state. Not a linearizable cut under
+    /// concurrent recording (a racing `record` may be half-applied),
+    /// which is fine for a scrape; once writers are quiescent the
+    /// snapshot is exact.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("LatencyHistogram")
+            .field("count", &snap.count())
+            .field("max", &snap.max)
+            .finish()
+    }
+}
+
+/// A point-in-time copy of a histogram: plain integers, mergeable and
+/// queryable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (`buckets[i]` counts values in
+    /// `[bucket_lower_bound(i), bucket_upper_bound(i)]`).
+    pub buckets: [u64; BUCKETS],
+    /// Exact sum of all recorded values.
+    pub sum: u64,
+    /// Exact maximum recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot — the identity element of [`merge`](Self::merge).
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot::default()
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().fold(0u64, |a, &b| a.wrapping_add(b))
+    }
+
+    /// Combines two snapshots (e.g. per-worker histograms into one):
+    /// bucket-wise and sum addition (wrapping, matching the wrapping
+    /// `fetch_add` of [`LatencyHistogram::record`]), maximum of
+    /// maxima. Associative and commutative with
+    /// [`empty`](Self::empty) as identity, so any merge tree over the
+    /// same snapshots agrees — and merging two snapshots equals one
+    /// snapshot of the concatenated recordings.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = *self;
+        for (b, o) in out.buckets.iter_mut().zip(&other.buckets) {
+            *b = b.wrapping_add(*o);
+        }
+        out.sum = out.sum.wrapping_add(other.sum);
+        out.max = out.max.max(other.max);
+        out
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the
+    /// bucket holding it, clamped to the exact observed maximum; 0
+    /// when the histogram is empty. Because the clamp and the
+    /// cumulative walk are both monotone in `q`, quantiles never
+    /// invert: `quantile(a) <= quantile(b)` whenever `a <= b`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based, at least 1.
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cumulative = cumulative.saturating_add(b);
+            if cumulative >= target {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The median bucket bound.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// The 90th-percentile bucket bound.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// The 99th-percentile bucket bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of recorded values (0 when empty) — exact, from the sum.
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_partition_u64() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        for i in 0..BUCKETS {
+            assert!(bucket_lower_bound(i) <= bucket_upper_bound(i));
+            assert_eq!(bucket_index(bucket_lower_bound(i)), i);
+            assert_eq!(bucket_index(bucket_upper_bound(i)), i);
+            if i > 0 {
+                assert_eq!(bucket_lower_bound(i), bucket_upper_bound(i - 1) + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_known_distribution() {
+        let h = LatencyHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.sum, 5050);
+        assert_eq!(s.max, 100);
+        // The 50th observation is 50 (bucket [32,63] → bound 63).
+        assert_eq!(s.p50(), 63);
+        // The 90th observation is 90 (bucket [64,127] → clamped to 100).
+        assert_eq!(s.p90(), 100);
+        assert_eq!(s.p99(), 100);
+        assert!(s.p50() <= s.p90() && s.p90() <= s.p99() && s.p99() <= s.max);
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_the_sum_of_parts() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let all = LatencyHistogram::new();
+        for v in [0u64, 1, 7, 1000, u64::MAX] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [3u64, 3, 1 << 40] {
+            b.record(v);
+            all.record(v);
+        }
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+        assert_eq!(
+            merged.merge(&HistogramSnapshot::empty()),
+            merged,
+            "empty is the merge identity"
+        );
+    }
+
+    #[test]
+    fn record_duration_uses_nanos() {
+        let h = LatencyHistogram::new();
+        h.record_duration(std::time::Duration::from_micros(3));
+        let s = h.snapshot();
+        assert_eq!(s.sum, 3000);
+        assert_eq!(s.max, 3000);
+    }
+}

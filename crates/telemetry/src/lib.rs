@@ -1,0 +1,57 @@
+//! # facepoint-telemetry
+//!
+//! The metrics substrate for the facepoint service stack: lock-free
+//! [`Counter`] / [`Gauge`] cells striped across cache lines, a
+//! log₂-bucketed [`LatencyHistogram`] with mergeable snapshots and
+//! p50/p90/p99/max readout, and a [`Registry`] that names every
+//! instrument and renders a stable snapshot — as a Prometheus-style
+//! `name value` text exposition (the `METRICS` opcode of
+//! `docs/PROTOCOL.md`) or as one flat JSON object (the
+//! `--metrics-interval` emitter of `facepoint serve`).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Recording is allocation-free and lock-free.** `Counter::add`,
+//!    `Gauge::add` and `LatencyHistogram::record` are a handful of
+//!    relaxed atomic RMWs on fixed-size arrays — they can sit on the
+//!    engine's classification hot path without disturbing the
+//!    CI-enforced flat-memory guarantee (`crates/engine/tests/memory.rs`
+//!    and this crate's own `tests/zero_alloc.rs`).
+//! 2. **Writers never share a cache line by default.** Counters and
+//!    gauges stripe their cells per thread (first-touch stripe
+//!    assignment, cache-line-aligned cells), so worker threads
+//!    incrementing the same counter do not bounce one line around.
+//! 3. **std only.** The offline build vendors no metrics crates; this
+//!    is the subset the repo needs, not a general library.
+//!
+//! Reading (snapshot, quantiles, rendering) may allocate — scrapes are
+//! rare and cold compared to recording.
+//!
+//! ```
+//! use facepoint_telemetry::Registry;
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(Registry::new());
+//! let requests = registry.counter("requests_total");
+//! let latency = registry.histogram("request_nanos");
+//! requests.inc();
+//! latency.record(1_500);
+//! let text = registry.render_text();
+//! assert!(text.contains("requests_total 1\n"));
+//! assert!(text.contains("request_nanos_count 1\n"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+mod cells;
+mod hist;
+mod registry;
+
+pub use cells::{Counter, Gauge, STRIPES};
+pub use hist::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, HistogramSnapshot, LatencyHistogram,
+    BUCKETS,
+};
+pub use registry::{MetricValue, Registry};

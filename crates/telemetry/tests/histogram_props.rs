@@ -1,0 +1,103 @@
+//! Property tests for the log₂ latency histogram: bucket bounds
+//! partition `u64`, merge is a commutative monoid on snapshots, and
+//! quantiles are monotone in both the rank and the data.
+
+use facepoint_telemetry::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, HistogramSnapshot, LatencyHistogram,
+    BUCKETS,
+};
+use proptest::prelude::*;
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = LatencyHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every value lands in exactly the bucket whose bounds contain it.
+    #[test]
+    fn bucket_bounds_contain_their_values(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        prop_assert!(bucket_lower_bound(i) <= v);
+        prop_assert!(v <= bucket_upper_bound(i));
+        // The partition has no gaps or overlaps around v.
+        if v > 0 && bucket_lower_bound(i) == v && i > 0 {
+            prop_assert_eq!(bucket_upper_bound(i - 1), v - 1);
+        }
+    }
+
+    /// A snapshot is an exact accounting: count, sum and max match the
+    /// recorded values.
+    #[test]
+    fn snapshot_is_exact(values in proptest::collection::vec(0u64..(1u64 << 40), 0..200)) {
+        let s = snapshot_of(&values);
+        prop_assert_eq!(s.count(), values.len() as u64);
+        prop_assert_eq!(s.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(s.max, values.iter().copied().max().unwrap_or(0));
+    }
+
+    /// Merge is commutative, associative, has `empty()` as identity,
+    /// and equals recording the concatenation.
+    #[test]
+    fn merge_is_a_commutative_monoid(
+        a in proptest::collection::vec(any::<u64>(), 0..100),
+        b in proptest::collection::vec(any::<u64>(), 0..100),
+        c in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+        prop_assert_eq!(sa.merge(&HistogramSnapshot::empty()), sa);
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(sa.merge(&sb), snapshot_of(&all));
+    }
+
+    /// Quantiles never invert: monotone in the rank, bounded by the
+    /// exact max, and at least the true value's bucket lower bound.
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        values in proptest::collection::vec(any::<u64>(), 1..200),
+        q1_ppm in 0u64..=1_000_000,
+        q2_ppm in 0u64..=1_000_000,
+    ) {
+        let (q1, q2) = (q1_ppm as f64 / 1e6, q2_ppm as f64 / 1e6);
+        let s = snapshot_of(&values);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(s.quantile(lo) <= s.quantile(hi), "q{lo} > q{hi}");
+        prop_assert!(s.p50() <= s.p90());
+        prop_assert!(s.p90() <= s.p99());
+        prop_assert!(s.p99() <= s.max);
+        prop_assert_eq!(s.quantile(1.0), s.max);
+        // The bucket bound over-reports by at most 2x (next power of
+        // two), modulo the clamp to max: check against the true
+        // quantile's bucket.
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let true_p50 = sorted[(values.len() - 1) / 2];
+        prop_assert!(s.p50() >= bucket_lower_bound(bucket_index(true_p50)));
+    }
+
+    /// Merging never lowers a quantile below either input's and never
+    /// raises it above both inputs' p-bounds' max.
+    #[test]
+    fn merged_quantiles_stay_within_inputs(
+        a in proptest::collection::vec(any::<u64>(), 1..100),
+        b in proptest::collection::vec(any::<u64>(), 1..100),
+    ) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        let m = sa.merge(&sb);
+        prop_assert!(m.max >= sa.max.max(sb.max));
+        for q in [0.5, 0.9, 0.99] {
+            let merged = m.quantile(q);
+            prop_assert!(merged <= m.max);
+            prop_assert!(merged >= sa.quantile(q).min(sb.quantile(q)));
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Recording into telemetry instruments must be **allocation-free in
+//! steady state** — the engine's flat-memory guarantee
+//! (`crates/engine/tests/memory.rs`, CI-enforced at 10⁶ functions)
+//! survives instrumentation only if `Counter::add`, `Gauge::add` and
+//! `LatencyHistogram::record` never touch the heap.
+//!
+//! Same counting-allocator harness as the engine's memory test; the
+//! `unsafe` blocks only delegate to `System` and keep a byte counter
+//! (the library crates themselves all `#![forbid(unsafe_code)]`).
+
+use facepoint_telemetry::Registry;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// Heap bytes currently live (allocated minus deallocated).
+static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            LIVE_BYTES.fetch_add(layout.size() as i64, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size() as i64, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            LIVE_BYTES.fetch_add(new_size as i64 - layout.size() as i64, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            LIVE_BYTES.fetch_add(layout.size() as i64, Ordering::Relaxed);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn live_bytes() -> i64 {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+// One #[test] on purpose: the byte counter is process-global, so a
+// second test on a parallel harness thread would bleed its allocations
+// into this one's measured window (the engine memory test documents
+// the same constraint).
+#[test]
+fn recording_never_allocates() {
+    // Setup allocates: registry map, instrument arcs, name strings.
+    let registry = Registry::new();
+    let counter = registry.counter("zero_alloc_total");
+    let gauge = registry.gauge("zero_alloc_level");
+    let hist = registry.histogram("zero_alloc_nanos");
+
+    // Warm-up: claim this thread's stripe and fault everything in.
+    counter.inc();
+    gauge.add(1);
+    gauge.sub(1);
+    hist.record(1);
+    hist.record_duration(std::time::Duration::from_nanos(1));
+
+    // The measured window: a million records per instrument on the
+    // main thread, with byte-exact flatness required — not "small
+    // growth", zero.
+    let baseline = live_bytes();
+    for i in 0..1_000_000u64 {
+        counter.add(i & 7);
+        gauge.add(1);
+        gauge.sub(1);
+        hist.record(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+    let growth = live_bytes() - baseline;
+    assert_eq!(
+        growth, 0,
+        "recording allocated {growth} B over the measured window — \
+         the hot path must stay off the heap"
+    );
+
+    // Fresh threads recording through the same instruments must also
+    // stay flat once each has warmed its stripe. Two barriers bracket
+    // the measured windows so every allocation (thread spawn, stack,
+    // join bookkeeping) happens strictly outside them — inside the
+    // bracket the only running code is recording, on every thread.
+    let start = std::sync::Arc::new(std::sync::Barrier::new(5));
+    let stop = std::sync::Arc::new(std::sync::Barrier::new(5));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let counter = registry.counter("zero_alloc_total");
+            let hist = registry.histogram("zero_alloc_nanos");
+            let (start, stop) = (std::sync::Arc::clone(&start), std::sync::Arc::clone(&stop));
+            std::thread::spawn(move || {
+                counter.inc(); // stripe warm-up
+                hist.record(1);
+                start.wait();
+                let baseline = live_bytes();
+                for i in 0..100_000u64 {
+                    counter.inc();
+                    hist.record(i << 3);
+                }
+                let growth = live_bytes() - baseline;
+                stop.wait();
+                growth
+            })
+        })
+        .collect();
+    start.wait();
+    stop.wait();
+    for h in handles {
+        let growth = h.join().unwrap();
+        assert_eq!(growth, 0, "a worker thread's recording window grew");
+    }
+
+    // Sanity: the data actually landed.
+    let text = registry.render_text();
+    assert!(
+        text.contains("zero_alloc_nanos_count 1400006\n"),
+        "unexpected exposition:\n{text}"
+    );
+}
