@@ -5,11 +5,17 @@
 //! cargo run --release -p facepoint-bench --bin check_bench -- \
 //!     --dir CANDIDATE_DIR [--baseline BASELINE_DIR] \
 //!     [--max-regress 0.25] [--min-journal-ratio 0.6] \
-//!     [--min-queue-speedup 1.0]
+//!     [--min-queue-speedup 1.0] [--min-sig-speedup 2.3]
 //! ```
 //!
 //! * schema: both files must parse, carry the expected fields, and
 //!   every throughput must be a positive number;
+//! * batch lanes: `BENCH_signatures.json` must record the bit-sliced
+//!   lane width (`lane_width`, currently 64) and per-row
+//!   `batch_fns_per_sec` / `batch_speedup`; every row at n ≥ 9 must
+//!   meet `--min-sig-speedup` (default 2.3 — the tentpole acceptance
+//!   floor for `key_batch` over the two-pass reference; pass `0` to
+//!   validate schema only, as the quick CI sweep stops at n = 8);
 //! * durability tax: every engine row must record `journal_ratio`
 //!   (journaled / in-memory ingest throughput), and the n = 8 row must
 //!   meet `--min-journal-ratio` (default 0.6 — the repo's acceptance
@@ -65,8 +71,10 @@ const SCHEMAS: [Schema; 2] = [
             "n",
             "functions",
             "kernel_fns_per_sec",
+            "batch_fns_per_sec",
             "reference_fns_per_sec",
             "speedup",
+            "batch_speedup",
         ],
         nonneg_row_fields: &[],
         throughput_field: "kernel_fns_per_sec",
@@ -248,6 +256,7 @@ fn main() {
     let max_regress: f64 = arg_num(&args, "--max-regress", 0.25);
     let min_journal_ratio: f64 = arg_num(&args, "--min-journal-ratio", 0.6);
     let min_queue_speedup: f64 = arg_num(&args, "--min-queue-speedup", 1.0);
+    let min_sig_speedup: f64 = arg_num(&args, "--min-sig-speedup", 2.3);
     let dir = Path::new(&dir);
     let mut check = Checker {
         failures: Vec::new(),
@@ -282,6 +291,46 @@ fn main() {
                     println!(
                         "{} n={n}: {cand_fps:.0} fn/s vs baseline {base_fps:.0} fn/s ok",
                         schema.file
+                    );
+                }
+            }
+        }
+    }
+
+    // The batch-lane floor: the signatures file must pin the lane
+    // width, and key_batch must clear min_sig_speedup over the
+    // two-pass reference on every large-arity row present (the quick
+    // sweep stops at n = 8 and is exempt by construction).
+    let sig_path = dir.join("BENCH_signatures.json");
+    if let Ok(text) = std::fs::read_to_string(&sig_path) {
+        if let Ok(doc) = parse(&text) {
+            match doc.get("lane_width").and_then(Json::as_f64) {
+                Some(64.0) => {}
+                Some(w) => check.fail(format!(
+                    "BENCH_signatures.json: \"lane_width\" = {w}, expected 64"
+                )),
+                None => {
+                    check.fail("BENCH_signatures.json: missing number \"lane_width\"".to_string())
+                }
+            }
+            let rows = doc.get("results").and_then(Json::as_arr).unwrap_or(&[]);
+            for row in rows {
+                let n = row.get("n").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+                let Some(batch_speedup) = row.get("batch_speedup").and_then(Json::as_f64) else {
+                    continue; // already reported as a schema failure
+                };
+                if n < 9 {
+                    continue;
+                }
+                if batch_speedup < min_sig_speedup {
+                    check.fail(format!(
+                        "BENCH_signatures.json n={n}: batch_speedup \
+                         {batch_speedup:.3} below the {min_sig_speedup} floor"
+                    ));
+                } else {
+                    println!(
+                        "BENCH_signatures.json n={n}: key_batch at \
+                         {batch_speedup:.2}x over the reference (floor {min_sig_speedup})"
                     );
                 }
             }

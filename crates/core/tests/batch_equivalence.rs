@@ -1,0 +1,95 @@
+//! The tentpole acceptance property of the bit-sliced lane batch:
+//! [`SignatureKernel::key_batch`] produces **bit-identical** digests to
+//! per-function [`SignatureKernel::key`] calls — over every one of the
+//! 128 `SignatureSet` subsets, every arity up to 8 (plus spot checks at
+//! n = 9 and 10), batch widths around the lane boundaries, and
+//! mixed-arity slices that force run splitting.
+
+use facepoint_core::SignatureKernel;
+use facepoint_sig::{SignatureSet, LANE_WIDTH};
+use facepoint_truth::TruthTable;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// All 128 subsets of the seven signature families.
+fn all_signature_subsets() -> Vec<SignatureSet> {
+    const FAMILIES: [SignatureSet; 7] = [
+        SignatureSet::OCV1,
+        SignatureSet::OCV2,
+        SignatureSet::OCV3,
+        SignatureSet::OIV,
+        SignatureSet::OSV,
+        SignatureSet::OSDV,
+        SignatureSet::WALSH,
+    ];
+    (0u32..128)
+        .map(|mask| {
+            FAMILIES
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .fold(SignatureSet::EMPTY, |acc, (_, &fam)| acc | fam)
+        })
+        .collect()
+}
+
+fn scalar_keys(set: SignatureSet, fns: &[TruthTable]) -> Vec<u128> {
+    let mut kernel = SignatureKernel::new(set);
+    fns.iter().map(|f| kernel.key(f)).collect()
+}
+
+fn batch_keys(set: SignatureSet, fns: &[TruthTable]) -> Vec<u128> {
+    let mut kernel = SignatureKernel::new(set);
+    let mut keys = Vec::new();
+    kernel.key_batch(fns, &mut keys);
+    keys
+}
+
+#[test]
+fn every_signature_subset_agrees_at_small_arity() {
+    let mut rng = StdRng::seed_from_u64(0x128_5B5);
+    for set in all_signature_subsets() {
+        // A fresh small batch per subset keeps the full sweep fast
+        // while still exercising run splitting (two arities).
+        let mut fns: Vec<TruthTable> = Vec::new();
+        for n in [6usize, 7] {
+            for _ in 0..3 {
+                fns.push(TruthTable::random(n, &mut rng).unwrap());
+            }
+        }
+        assert_eq!(batch_keys(set, &fns), scalar_keys(set, &fns), "set = {set}");
+    }
+}
+
+#[test]
+fn batch_widths_across_lane_boundaries_agree() {
+    let mut rng = StdRng::seed_from_u64(0x71D7);
+    let set = SignatureSet::all();
+    for n in 0..=8usize {
+        let pool: Vec<TruthTable> = (0..(LANE_WIDTH + 70))
+            .map(|_| TruthTable::random(n, &mut rng).unwrap())
+            .collect();
+        for width in [1usize, 2, 63, 64, 65, 128, 134] {
+            let fns = &pool[..width];
+            assert_eq!(
+                batch_keys(set, fns),
+                scalar_keys(set, fns),
+                "n = {n}, width = {width}"
+            );
+        }
+    }
+}
+
+#[test]
+fn large_arity_and_mixed_runs_agree() {
+    let mut rng = StdRng::seed_from_u64(0x9A10);
+    // Interleaved arities force the run splitter to flush constantly.
+    let mut fns: Vec<TruthTable> = Vec::new();
+    for i in 0..40usize {
+        let n = [9usize, 10, 9, 4][i % 4];
+        fns.push(TruthTable::random(n, &mut rng).unwrap());
+    }
+    for set in [SignatureSet::all(), SignatureSet::all_extended()] {
+        assert_eq!(batch_keys(set, &fns), scalar_keys(set, &fns), "set = {set}");
+    }
+}

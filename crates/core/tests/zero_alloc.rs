@@ -114,6 +114,25 @@ fn steady_state_digest_and_msv_into_allocate_nothing() {
         }
     }
 
+    // The bit-sliced lane batch: a whole n = 10 batch keyed through
+    // `key_batch` must be allocation-free once the lane buffers and the
+    // caller's key vector have warmed up.
+    {
+        let fns = workload(10);
+        let mut kernel = SignatureKernel::new(SignatureSet::all());
+        let mut keys = Vec::new();
+        kernel.key_batch(&fns, &mut keys); // warm-up growth
+        let expected = keys.clone();
+        assert_some_pass_allocates_nothing(
+            format_args!("steady-state batched digest keys (n = 10)"),
+            || {
+                keys.clear();
+                kernel.key_batch(&fns, &mut keys);
+                assert_eq!(keys, expected);
+            },
+        );
+    }
+
     // Materializing into a caller-reused buffer is also allocation-free.
     let fns = workload(7);
     let mut kernel = SignatureKernel::new(SignatureSet::all());

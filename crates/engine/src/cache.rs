@@ -93,31 +93,23 @@ impl MemoCache {
         }
     }
 
-    /// Returns the memoized key of `table`, or computes, records and
-    /// returns it.
-    pub fn key_or_compute(&self, table: &TruthTable, compute: impl FnOnce() -> u128) -> u128 {
+    /// Records a freshly computed `table → key` pair and counts the
+    /// miss. Workers probe with [`Self::peek`] (which counts hits),
+    /// collect the misses of a chunk into one bit-sliced lane pass, and
+    /// feed each computed key back through here, so `hits + misses`
+    /// still equals the number of keyed functions. Keys are pure, so
+    /// racing duplicate records of the same table are harmless (both
+    /// count as the misses they were).
+    pub fn record(&self, table: &TruthTable, key: u128) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
         if self.disabled {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            return compute();
+            return;
         }
         let idx = self.shard_of(table);
-        if let Some(&key) = self.shards[idx]
-            .lock()
-            .expect("cache shard poisoned")
-            .get(table)
-        {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return key;
-        }
-        // Compute outside the lock: duplicate concurrent computation of
-        // the same table is possible and harmless (keys are pure).
-        let key = compute();
         let mut shard = self.shards[idx].lock().expect("cache shard poisoned");
         if shard.len() < self.shard_capacity[idx] {
             shard.insert(table.clone(), key);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        key
     }
 
     pub fn hits(&self) -> u64 {
@@ -140,15 +132,10 @@ mod tests {
     #[test]
     fn caches_repeat_lookups() {
         let cache = MemoCache::new(1024);
-        let mut computed = 0;
-        for _ in 0..5 {
-            let k = cache.key_or_compute(&t(0xbeef), || {
-                computed += 1;
-                42
-            });
-            assert_eq!(k, 42);
+        cache.record(&t(0xbeef), 42);
+        for _ in 0..4 {
+            assert_eq!(cache.peek(&t(0xbeef)), Some(42));
         }
-        assert_eq!(computed, 1);
         assert_eq!(cache.hits(), 4);
         assert_eq!(cache.misses(), 1);
     }
@@ -158,7 +145,7 @@ mod tests {
         let cache = MemoCache::new(64);
         assert_eq!(cache.peek(&t(5)), None);
         assert_eq!(cache.misses(), 0, "failed probes are not misses");
-        cache.key_or_compute(&t(5), || 99);
+        cache.record(&t(5), 99);
         assert_eq!(cache.peek(&t(5)), Some(99));
         assert_eq!(cache.hits(), 1);
         let disabled = MemoCache::new(0);
@@ -167,17 +154,29 @@ mod tests {
     }
 
     #[test]
+    fn record_counts_misses_and_feeds_later_peeks() {
+        let cache = MemoCache::new(64);
+        assert_eq!(cache.peek(&t(7)), None);
+        cache.record(&t(7), 123);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.peek(&t(7)), Some(123));
+        assert_eq!(cache.hits(), 1);
+        // Disabled cache: the miss is still accounted, nothing stored.
+        let disabled = MemoCache::new(0);
+        disabled.record(&t(7), 123);
+        assert_eq!(disabled.misses(), 1);
+        assert_eq!(disabled.peek(&t(7)), None);
+    }
+
+    #[test]
     fn zero_capacity_disables() {
         let cache = MemoCache::new(0);
-        let mut computed = 0;
         for _ in 0..3 {
-            cache.key_or_compute(&t(1), || {
-                computed += 1;
-                7
-            });
+            assert_eq!(cache.peek(&t(1)), None);
+            cache.record(&t(1), 7);
         }
-        assert_eq!(computed, 3);
         assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 3);
     }
 
     #[test]
@@ -187,16 +186,16 @@ mod tests {
         for capacity in [1usize, 5, 16, 40] {
             let cache = MemoCache::new(capacity);
             for i in 0..1000u64 {
-                cache.key_or_compute(&t(i), || i as u128);
+                cache.record(&t(i), i as u128);
             }
             let total: usize = cache.shards.iter().map(|s| s.lock().unwrap().len()).sum();
             assert!(total <= capacity, "capacity {capacity} grew to {total}");
         }
         // Entries that made it in still hit.
         let cache = MemoCache::new(16);
-        cache.key_or_compute(&t(0), || 0);
+        cache.record(&t(0), 0);
         let hits_before = cache.hits();
-        cache.key_or_compute(&t(0), || 0);
+        assert_eq!(cache.peek(&t(0)), Some(0));
         assert_eq!(cache.hits(), hits_before + 1);
     }
 }

@@ -261,6 +261,7 @@ pub struct SubmitHandle {
     /// Kernel for the close-race inline path; built on first use.
     fallback: Option<Box<SignatureKernel>>,
     log_scratch: Vec<(u64, u128)>,
+    miss_scratch: Vec<usize>,
     chunk_latency: Arc<LatencyHistogram>,
 }
 
@@ -401,6 +402,7 @@ impl SubmitHandle {
                 &self.processed,
                 &self.order,
                 &mut self.log_scratch,
+                &mut self.miss_scratch,
                 &self.chunk_latency,
             );
         }
@@ -710,6 +712,7 @@ impl Engine {
             set: self.cfg.set,
             fallback: None,
             log_scratch: Vec::new(),
+            miss_scratch: Vec::new(),
             chunk_latency: Arc::clone(&self.chunk_latency),
         }
     }
@@ -923,6 +926,7 @@ impl Engine {
         if !leftovers.is_empty() {
             let mut kernel = SignatureKernel::new(self.cfg.set);
             let mut log = Vec::new();
+            let mut misses = Vec::new();
             for job in leftovers {
                 classify_job(
                     job,
@@ -932,6 +936,7 @@ impl Engine {
                     &self.processed,
                     &self.order,
                     &mut log,
+                    &mut misses,
                     &self.chunk_latency,
                 );
             }
@@ -1039,14 +1044,28 @@ impl Drop for Engine {
     }
 }
 
-/// Classifies one chunk: key each entry (through the memo cache), land
-/// it in the store, count progress **per function** — so `pending()`
-/// and [`Engine::drain`] observe smooth, never-overshooting progress
-/// even mid-chunk — then stream the chunk's `(seq, key)` pairs into the
-/// order sink in one short lock and record the chunk's
-/// submit→classified latency. Allocation-free in steady state (the
-/// reused `log` stops growing once it has seen the largest chunk), so
-/// the flat-memory guarantee survives the instrumentation.
+/// Classifies one chunk in two phases. Phase one probes the memo cache
+/// per entry: hits land in the store immediately, misses queue their
+/// entry index. Phase two keys **all misses of the chunk through one
+/// bit-sliced lane pass** ([`SignatureKernel::key_batch_with`]), so up
+/// to [`facepoint_sig::LANE_WIDTH`] same-arity functions share each
+/// Walsh–Hadamard butterfly. Progress is still counted **per
+/// function** — the kernel emits keys one at a time as it serializes
+/// each lane slot — so `pending()` and [`Engine::drain`] observe
+/// smooth, never-overshooting progress even mid-chunk. The chunk's
+/// `(seq, key)` pairs then stream into the order sink in one short
+/// lock and the submit→classified latency is recorded.
+///
+/// Allocation-free in steady state: the reused `log` and `misses`
+/// scratch stop growing once they have seen the largest chunk, and the
+/// kernel's lane buffers are warmed the same way.
+///
+/// Accounting note: entries of one chunk that duplicate an *uncached*
+/// table are all keyed by the lane pass and all count as cache misses
+/// (the retired per-entry compute-or-insert path resolved intra-chunk
+/// repeats against the entry inserted moments earlier). `hits +
+/// misses` still equals the number of keyed functions, and cross-chunk
+/// repeats hit as before.
 #[allow(clippy::too_many_arguments)]
 fn classify_job(
     job: Job,
@@ -1056,15 +1075,36 @@ fn classify_job(
     processed: &AtomicU64,
     order: &OrderSink,
     log: &mut Vec<(u64, u128)>,
+    misses: &mut Vec<usize>,
     chunk_latency: &LatencyHistogram,
 ) {
     let submitted_at = job.submitted_at;
-    for (seq, table) in job.entries {
-        let key = cache.key_or_compute(&table, || kernel.key(&table));
-        store.insert(key, &table, seq);
-        log.push((seq, key));
-        processed.fetch_add(1, Ordering::AcqRel);
+    let entries = job.entries;
+    for (i, (seq, table)) in entries.iter().enumerate() {
+        if let Some(key) = cache.peek(table) {
+            store.insert(key, table, *seq);
+            log.push((*seq, key));
+            processed.fetch_add(1, Ordering::AcqRel);
+        } else {
+            // Placeholder; patched by the lane pass below.
+            log.push((*seq, 0));
+            misses.push(i);
+        }
     }
+    let miss_idx: &[usize] = misses;
+    kernel.key_batch_with(
+        miss_idx.len(),
+        |j| &entries[miss_idx[j]].1,
+        |j, key| {
+            let i = miss_idx[j];
+            let (seq, table) = &entries[i];
+            cache.record(table, key);
+            store.insert(key, table, *seq);
+            log[i].1 = key;
+            processed.fetch_add(1, Ordering::AcqRel);
+        },
+    );
+    misses.clear();
     order.apply(log);
     log.clear();
     chunk_latency.record_duration(submitted_at.elapsed());
@@ -1087,6 +1127,7 @@ fn worker_loop(
     // steady-state worker allocates nothing per chunk.
     let mut kernel = SignatureKernel::new(set);
     let mut log: Vec<(u64, u128)> = Vec::new();
+    let mut misses: Vec<usize> = Vec::new();
     while let Some(job) = pool.next_item(me) {
         classify_job(
             job,
@@ -1096,6 +1137,7 @@ fn worker_loop(
             processed,
             order,
             &mut log,
+            &mut misses,
             chunk_latency,
         );
     }

@@ -12,18 +12,57 @@
 //! * [`OsdvEngine::Pairwise`] — group minterms by sensitivity, histogram
 //!   `popcount(X ⊕ Y)` over every in-group pair: `O(Σ|G|²)`, excellent for
 //!   sparse groups;
-//! * [`OsdvEngine::Wht`] — per group, a Walsh–Hadamard XOR
-//!   autocorrelation gives the count of pairs at every XOR difference in
-//!   `O(n·2^n)` regardless of group size.
+//! * [`OsdvEngine::Wht`] — per group, a Walsh–Hadamard spectral pass
+//!   gives the count of pairs at every distance in `O(n·2^n)` regardless
+//!   of group size.
 //!
 //! [`OsdvEngine::Auto`] (the default) picks per group based on the group
 //! population.
+//!
+//! The spectral engine itself comes in two forms. [`osdv_rows_into`]
+//! keeps the classic two-transform XOR autocorrelation
+//! (`WHT(WHT(a)²)/2^n`, then bin the `2^n` differences by popcount) —
+//! it is the frozen reference tail that [`crate::msv_reference`]
+//! benchmarks against. The kernel's fused sweep
+//! ([`osdv_point_sections_into`]) and the bit-sliced batch path use a
+//! **single-transform, weight-binned** tail instead: with `W = WHT(a)`
+//! and the per-weight energies `E_w = Σ_{|s|=w} W[s]²`, the distance
+//! histogram is `δ_j = (Σ_w K_j(w)·E_w) / 2^{n+1}` where `K_j` are the
+//! binary Krawtchouk polynomials. That removes the inverse transform,
+//! the squaring pass, and the difference binning; and because the two
+//! polarity groups of a level partition its minterms, the level
+//! indicator's transform `S` is shared: `WHT(g0) = S − WHT(g1)`, one
+//! subtraction inside the energy pass instead of a second butterfly
+//! cascade over a freshly encoded group.
 
 use crate::sensitivity::SensitivityProfile;
-use crate::spectral::xor_autocorrelation_into;
+use crate::spectral::{wht_in_place, xor_autocorrelation_into};
 use facepoint_truth::words::WORD_VARS;
 use facepoint_truth::TruthTable;
 use std::fmt;
+
+/// Divisor applied to the classic `n·2^n` crossover to get the
+/// [`OsdvEngine::Auto`] threshold of the single-transform spectral tail
+/// ([`auto_crossover`]). The weight-binned tail runs one butterfly
+/// cascade where the autocorrelation runs two plus a squaring pass, so
+/// it breaks even against pairwise counting at roughly half the group
+/// population product; the value is pinned by a unit test and was
+/// re-tuned against the batched kernel on the `trajectory` workload.
+pub const AUTO_SPECTRAL_DIVISOR: u64 = 2;
+
+/// The [`OsdvEngine::Auto`] crossover of the single-transform spectral
+/// tail: a group of population `p` is counted spectrally when
+/// `p² ≥ auto_crossover(n)`, pairwise otherwise.
+pub const fn auto_crossover(num_vars: usize) -> u64 {
+    classic_crossover(num_vars) / AUTO_SPECTRAL_DIVISOR
+}
+
+/// The [`OsdvEngine::Auto`] crossover of the classic two-transform
+/// autocorrelation tail used by [`osdv_rows_into`]: pairwise while
+/// `p² < n·2^n`, the autocorrelation's operation count.
+pub const fn classic_crossover(num_vars: usize) -> u64 {
+    (num_vars as u64) << num_vars
+}
 
 /// Reusable scratch buffers for [`osdv_rows_into`] — owning these lets
 /// the signature kernel compute OSDVs with zero steady-state heap
@@ -32,13 +71,37 @@ use std::fmt;
 pub struct OsdvScratch {
     /// Bit-packed indicator of the current sensitivity group.
     group: Vec<u64>,
+    /// Bit-packed indicator of the 1-polarity group in the fused sweep
+    /// (`group` then holds the 0-polarity half).
+    group1: Vec<u64>,
     /// Unfiltered indicator, shared by both polarity groups in the
     /// fused sweep.
     ind: Vec<u64>,
     /// Expanded member list for the pairwise engine.
-    members: Vec<u64>,
-    /// Walsh–Hadamard workspace for the WHT engine.
+    pub(crate) members: Vec<u64>,
+    /// Walsh–Hadamard workspace for the classic autocorrelation engine.
     wht: Vec<i64>,
+    /// Workspace of the single-transform weight-binned spectral tail.
+    pub(crate) tail: SpectralTail,
+}
+
+/// Scratch of the weight-binned spectral pair counter: transform
+/// buffers, per-weight energies, and the cached Krawtchouk table.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct SpectralTail {
+    /// Transform buffer for a single group (holds `WHT(g1)` on the
+    /// shared path).
+    buf: Vec<i64>,
+    /// Transform buffer of the level indicator on the shared path.
+    buf_level: Vec<i64>,
+    /// Per-weight spectral energies of the 0-polarity group.
+    e0: Vec<i64>,
+    /// Per-weight spectral energies of the 1-polarity group.
+    e1: Vec<i64>,
+    /// Row-major `(n+1) × (n+1)` Krawtchouk table `K_j(w)`.
+    kraw: Vec<i64>,
+    /// Arity the cached table was built for.
+    kraw_n: Option<usize>,
 }
 
 /// Strategy for counting equal-sensitivity minterm pairs by distance.
@@ -46,9 +109,12 @@ pub struct OsdvScratch {
 pub enum OsdvEngine {
     /// Always enumerate pairs inside each sensitivity group.
     Pairwise,
-    /// Always use the Walsh–Hadamard autocorrelation.
+    /// Always use the Walsh–Hadamard spectral counter.
     Wht,
-    /// Choose per group: pairwise when `|G|² < n·2^n`, WHT otherwise.
+    /// Choose per group by population: pairwise below the tail's
+    /// crossover ([`classic_crossover`] for [`osdv_rows_into`],
+    /// [`auto_crossover`] for the fused/batched weight-binned tail),
+    /// spectral otherwise.
     #[default]
     Auto,
 }
@@ -204,7 +270,7 @@ pub fn osdv_rows_into(
         let use_pairwise = match engine {
             OsdvEngine::Pairwise => true,
             OsdvEngine::Wht => false,
-            OsdvEngine::Auto => pop * pop < (n as u64) << n,
+            OsdvEngine::Auto => pop * pop < classic_crossover(n),
         };
         let row = &mut rows[s as usize * n..(s as usize + 1) * n];
         if use_pairwise {
@@ -223,8 +289,10 @@ pub fn osdv_rows_into(
 /// its 0-/1-minterm halves, whose popcounts are the histogram entries
 /// and whose pair counts fill the rows — versus three independent
 /// indicator sweeps when the histograms and the two filtered OSDVs are
-/// computed separately. All outputs and scratch reuse their
-/// allocations.
+/// computed separately. Pair counting goes through the weight-binned
+/// spectral tail ([`count_level_pairs`]), which shares the level
+/// indicator's transform across the two polarity groups. All outputs
+/// and scratch reuse their allocations.
 // Four output buffers plus scratch is the point of the API: every
 // consumer owns them all and reuses them across a stream.
 #[allow(clippy::too_many_arguments)]
@@ -247,38 +315,193 @@ pub fn osdv_point_sections_into(
     rows1.resize((n + 1) * n, 0);
     for s in 0..=n as u32 {
         profile.indicator_into(s, &mut scratch.ind);
-        for (value, rows, hist) in [
-            (false, &mut *rows0, &mut *h0),
-            (true, &mut *rows1, &mut *h1),
-        ] {
-            scratch.group.clear();
-            scratch
-                .group
-                .extend(scratch.ind.iter().zip(f.words()).map(|(&iw, &fw)| {
-                    if value {
-                        iw & fw
-                    } else {
-                        iw & !fw
-                    }
-                }));
-            let pop: u64 = scratch.group.iter().map(|w| w.count_ones() as u64).sum();
-            hist.push(pop);
-            if n == 0 || pop < 2 {
-                continue;
-            }
-            let use_pairwise = match engine {
-                OsdvEngine::Pairwise => true,
-                OsdvEngine::Wht => false,
-                OsdvEngine::Auto => pop * pop < (n as u64) << n,
-            };
-            let row = &mut rows[s as usize * n..(s as usize + 1) * n];
-            if use_pairwise {
-                count_pairs_naive(&scratch.group, row, &mut scratch.members);
-            } else {
-                count_pairs_wht(&scratch.group, n, row, &mut scratch.wht);
-            }
+        scratch.group.clear();
+        scratch.group1.clear();
+        for (&iw, &fw) in scratch.ind.iter().zip(f.words()) {
+            scratch.group.push(iw & !fw);
+            scratch.group1.push(iw & fw);
+        }
+        let pop0: u64 = scratch.group.iter().map(|w| w.count_ones() as u64).sum();
+        let pop1: u64 = scratch.group1.iter().map(|w| w.count_ones() as u64).sum();
+        h0.push(pop0);
+        h1.push(pop1);
+        if n == 0 {
+            continue;
+        }
+        count_level_pairs(
+            n,
+            engine,
+            &scratch.group,
+            pop0,
+            &scratch.group1,
+            pop1,
+            &mut scratch.members,
+            &mut scratch.tail,
+            &mut rows0[s as usize * n..(s as usize + 1) * n],
+            &mut rows1[s as usize * n..(s as usize + 1) * n],
+        );
+    }
+}
+
+/// Distance-histograms the two polarity groups of one sensitivity level
+/// into `row0`/`row1` — the level-granular engine dispatcher shared by
+/// the fused scalar sweep and the bit-sliced batch path.
+///
+/// When both groups clear the spectral crossover they share one
+/// transform: `S = WHT(g0 ∪ g1)` and `B = WHT(g1)` are computed, and
+/// `WHT(g0) = S − B` falls out as a subtraction fused into the energy
+/// pass, so the level costs two butterfly cascades where independent
+/// autocorrelations cost four.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn count_level_pairs(
+    num_vars: usize,
+    engine: OsdvEngine,
+    g0: &[u64],
+    pop0: u64,
+    g1: &[u64],
+    pop1: u64,
+    members: &mut Vec<u64>,
+    tail: &mut SpectralTail,
+    row0: &mut [u64],
+    row1: &mut [u64],
+) {
+    let spectral = |pop: u64| match engine {
+        OsdvEngine::Pairwise => false,
+        OsdvEngine::Wht => true,
+        OsdvEngine::Auto => pop * pop >= auto_crossover(num_vars),
+    };
+    let s0 = pop0 >= 2 && spectral(pop0);
+    let s1 = pop1 >= 2 && spectral(pop1);
+    if s0 && s1 {
+        level_pairs_spectral(g0, g1, num_vars, tail, row0, row1);
+        return;
+    }
+    if pop0 >= 2 {
+        if s0 {
+            count_pairs_spectral(g0, num_vars, tail, row0);
+        } else {
+            count_pairs_naive(g0, row0, members);
         }
     }
+    if pop1 >= 2 {
+        if s1 {
+            count_pairs_spectral(g1, num_vars, tail, row1);
+        } else {
+            count_pairs_naive(g1, row1, members);
+        }
+    }
+}
+
+/// ±0/1-encodes the first `len` bits of a packed indicator into `out`.
+fn encode_bits_into(words: &[u64], len: usize, out: &mut Vec<i64>) {
+    out.clear();
+    out.resize(len, 0);
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = ((words[i >> 6] >> (i & 63)) & 1) as i64;
+    }
+}
+
+/// Encodes the union of two disjoint packed indicators into `out`.
+fn encode_union_into(a: &[u64], b: &[u64], len: usize, out: &mut Vec<i64>) {
+    out.clear();
+    out.resize(len, 0);
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = (((a[i >> 6] | b[i >> 6]) >> (i & 63)) & 1) as i64;
+    }
+}
+
+/// Rebuilds the cached Krawtchouk table for arity `n` if needed:
+/// `K_j(w)` row-major over `j, w ∈ 0..=n`, via the three-term recurrence
+/// `(j+1)·K_{j+1}(w) = (n−2w)·K_j(w) − (n−j+1)·K_{j−1}(w)` (exact
+/// integer division).
+fn ensure_krawtchouk(tail: &mut SpectralTail, n: usize) {
+    if tail.kraw_n == Some(n) {
+        return;
+    }
+    let w1 = n + 1;
+    tail.kraw.clear();
+    tail.kraw.resize(w1 * w1, 0);
+    for w in 0..=n {
+        tail.kraw[w] = 1;
+        if n >= 1 {
+            tail.kraw[w1 + w] = n as i64 - 2 * w as i64;
+        }
+        for j in 1..n {
+            let num = (n as i64 - 2 * w as i64) * tail.kraw[j * w1 + w]
+                - (n as i64 - j as i64 + 1) * tail.kraw[(j - 1) * w1 + w];
+            debug_assert_eq!(num % (j as i64 + 1), 0, "Krawtchouk recurrence is exact");
+            tail.kraw[(j + 1) * w1 + w] = num / (j as i64 + 1);
+        }
+    }
+    tail.kraw_n = Some(n);
+}
+
+/// Converts per-weight spectral energies into unordered pair counts per
+/// distance: `row[j−1] += (Σ_w K_j(w)·E_w) / 2^{n+1}`.
+///
+/// The `1/2^n` is the inverse transform's normalization folded into the
+/// weight sum (Σ over a distance shell of the autocorrelation equals
+/// the Krawtchouk-weighted energy sum), the extra `1/2` turns ordered
+/// pairs into unordered ones.
+fn krawtchouk_rows(kraw: &[i64], num_vars: usize, energy: &[i64], row: &mut [u64]) {
+    let denom = 2i64 << num_vars;
+    for j in 1..=num_vars {
+        let mut t = 0i64;
+        for (w, &e) in energy.iter().enumerate() {
+            t += kraw[j * (num_vars + 1) + w] * e;
+        }
+        debug_assert!(
+            t >= 0 && t % denom == 0,
+            "weight-binned pair sums are even multiples of 2^n"
+        );
+        row[j - 1] += (t / denom) as u64;
+    }
+}
+
+/// Single-group weight-binned spectral pair count: one forward WHT, an
+/// energy-per-weight pass, and the Krawtchouk combine.
+fn count_pairs_spectral(group: &[u64], num_vars: usize, tail: &mut SpectralTail, row: &mut [u64]) {
+    let len = 1usize << num_vars;
+    ensure_krawtchouk(tail, num_vars);
+    encode_bits_into(group, len, &mut tail.buf);
+    wht_in_place(&mut tail.buf);
+    tail.e0.clear();
+    tail.e0.resize(num_vars + 1, 0);
+    for (s, &w) in tail.buf.iter().enumerate() {
+        tail.e0[(s as u32).count_ones() as usize] += w * w;
+    }
+    krawtchouk_rows(&tail.kraw, num_vars, &tail.e0, row);
+}
+
+/// Two-group spectral pair count sharing the level-indicator transform:
+/// `S = WHT(g0 ∪ g1)`, `B = WHT(g1)`, `A = S − B` inside the fused
+/// energy pass (one popcount per spectral position serves both groups).
+fn level_pairs_spectral(
+    g0: &[u64],
+    g1: &[u64],
+    num_vars: usize,
+    tail: &mut SpectralTail,
+    row0: &mut [u64],
+    row1: &mut [u64],
+) {
+    let len = 1usize << num_vars;
+    ensure_krawtchouk(tail, num_vars);
+    encode_union_into(g0, g1, len, &mut tail.buf_level);
+    wht_in_place(&mut tail.buf_level);
+    encode_bits_into(g1, len, &mut tail.buf);
+    wht_in_place(&mut tail.buf);
+    tail.e0.clear();
+    tail.e0.resize(num_vars + 1, 0);
+    tail.e1.clear();
+    tail.e1.resize(num_vars + 1, 0);
+    for (s, (&sv, &b)) in tail.buf_level.iter().zip(&tail.buf).enumerate() {
+        let w = (s as u32).count_ones() as usize;
+        let a = sv - b;
+        tail.e0[w] += a * a;
+        tail.e1[w] += b * b;
+    }
+    krawtchouk_rows(&tail.kraw, num_vars, &tail.e0, row0);
+    krawtchouk_rows(&tail.kraw, num_vars, &tail.e1, row1);
 }
 
 /// `OSDV(f)`: pair counts over all minterms (default engine).
@@ -296,7 +519,7 @@ pub fn osdv1(f: &TruthTable) -> Osdv {
     osdv_with(f, MintermFilter::Ones, OsdvEngine::Auto)
 }
 
-fn count_pairs_naive(group: &[u64], row: &mut [u64], members: &mut Vec<u64>) {
+pub(crate) fn count_pairs_naive(group: &[u64], row: &mut [u64], members: &mut Vec<u64>) {
     members.clear();
     for (w, &word) in group.iter().enumerate() {
         let mut bits = word;
@@ -327,6 +550,88 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    /// The Auto crossover is a recorded, tested constant: the spectral
+    /// tail's threshold sits at half the classic `n·2^n` cost model.
+    #[test]
+    fn crossover_constants_are_pinned() {
+        assert_eq!(AUTO_SPECTRAL_DIVISOR, 2);
+        for (n, classic) in [
+            (1usize, 2u64),
+            (4, 64),
+            (8, 2048),
+            (10, 10240),
+            (16, 1 << 20),
+        ] {
+            assert_eq!(classic_crossover(n), classic, "classic, n = {n}");
+            assert_eq!(auto_crossover(n), classic / 2, "spectral, n = {n}");
+        }
+    }
+
+    /// Binomial-coefficient direct sum `K_j(w) = Σ_i (−1)^i C(w,i)C(n−w,j−i)`.
+    fn krawtchouk_direct(n: i64, j: i64, w: i64) -> i64 {
+        fn binom(n: i64, k: i64) -> i64 {
+            if k < 0 || k > n {
+                return 0;
+            }
+            let mut acc = 1i64;
+            for i in 0..k {
+                acc = acc * (n - i) / (i + 1);
+            }
+            acc
+        }
+        (0..=j)
+            .map(|i| {
+                let sign = if i % 2 == 0 { 1 } else { -1 };
+                sign * binom(w, i) * binom(n - w, j - i)
+            })
+            .sum()
+    }
+
+    #[test]
+    fn krawtchouk_recurrence_matches_direct_sum() {
+        let mut tail = SpectralTail::default();
+        for n in 0..=10usize {
+            ensure_krawtchouk(&mut tail, n);
+            for j in 0..=n {
+                for w in 0..=n {
+                    assert_eq!(
+                        tail.kraw[j * (n + 1) + w],
+                        krawtchouk_direct(n as i64, j as i64, w as i64),
+                        "K_{j}({w}) at n = {n}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The weight-binned tail must agree with both the pairwise counter
+    /// and the classic autocorrelation on single groups.
+    #[test]
+    fn spectral_tail_matches_classic_counters() {
+        let mut rng = StdRng::seed_from_u64(0x5bec);
+        let mut tail = SpectralTail::default();
+        let mut members = Vec::new();
+        let mut wht = Vec::new();
+        for n in 1..=9usize {
+            for _ in 0..4 {
+                let f = TruthTable::random(n, &mut rng).unwrap();
+                let group = f.words().to_vec();
+                let pop: u64 = group.iter().map(|w| w.count_ones() as u64).sum();
+                if pop < 2 {
+                    continue;
+                }
+                let mut by_spectral = vec![0u64; n];
+                let mut by_naive = vec![0u64; n];
+                let mut by_classic = vec![0u64; n];
+                count_pairs_spectral(&group, n, &mut tail, &mut by_spectral);
+                count_pairs_naive(&group, &mut by_naive, &mut members);
+                count_pairs_wht(&group, n, &mut by_classic, &mut wht);
+                assert_eq!(by_spectral, by_naive, "n = {n}, f = {f}");
+                assert_eq!(by_spectral, by_classic, "n = {n}, f = {f}");
+            }
+        }
+    }
 
     #[test]
     fn table1_majority_osdv1() {

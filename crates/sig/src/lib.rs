@@ -48,14 +48,15 @@ mod influence;
 mod kernel;
 mod msv;
 mod sensitivity;
+pub mod slices;
 pub mod spectral;
 pub mod symmetry;
 pub mod theorems;
 
 pub use cofactor::{ocv, ocv1, ocv2};
 pub use distance::{
-    osdv, osdv0, osdv1, osdv_from_profile, osdv_rows_into, osdv_with, MintermFilter, Osdv,
-    OsdvEngine, OsdvScratch,
+    auto_crossover, classic_crossover, osdv, osdv0, osdv1, osdv_from_profile, osdv_rows_into,
+    osdv_with, MintermFilter, Osdv, OsdvEngine, OsdvScratch, AUTO_SPECTRAL_DIVISOR,
 };
 pub use influence::{influence, influences, oiv, total_influence};
 pub use kernel::{MsvSink, SigKernel};
@@ -63,3 +64,4 @@ pub use msv::{msv, msv_reference, push_stage_sections, raw_msv, Msv, SignatureSe
 pub use sensitivity::{
     osv, osv0, osv1, osv_histogram, osv_histograms_by_value, sen, sen0, sen1, SensitivityProfile,
 };
+pub use slices::{transpose64, LANE_WIDTH};

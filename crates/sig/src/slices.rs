@@ -1,0 +1,390 @@
+//! Bit-sliced batch lanes: up to 64 truth tables processed word-parallel.
+//!
+//! The kernel's per-function sweep packs one function's `2^n` minterms
+//! into `u64` words. This module flips that layout: a **lane batch**
+//! transposes up to [`LANE_WIDTH`] same-arity tables into `2^n` words
+//! where *bit `k` of word `m` is function `k`'s value at minterm `m`*.
+//! In transposed space the whole batch moves in lockstep:
+//!
+//! * the sensitivity derivative at minterm `m` along variable `v` is one
+//!   XOR, `lanes[m] ^ lanes[m ^ (1 << v)]`, uniform across all 64
+//!   functions and all variables (no in-word shuffling for the low
+//!   `log₂ 64` variables);
+//! * per-minterm sensitivity counts accumulate in five carry-save bit
+//!   planes, 64 counters per plane word;
+//! * a sensitivity level's membership mask and its two polarity groups
+//!   (`eq & lanes`, `eq & !lanes`) are three bitwise ops per word for
+//!   the whole batch.
+//!
+//! The per-level group indicators are then transposed back
+//! ([`transpose64`] again) into per-function packed form and fed to the
+//! weight-binned spectral tail of [`crate::osdv_rows_into`]'s module —
+//! see `ARCHITECTURE.md` for the cost model. All buffers live in the
+//! [`crate::SigKernel`] and are reused across batches, so the steady
+//! state allocates nothing.
+
+use crate::distance::{count_level_pairs, OsdvEngine, OsdvScratch};
+use facepoint_truth::words::word_count;
+use facepoint_truth::TruthTable;
+
+/// Maximum number of functions per lane batch: one bit lane per `u64`
+/// position.
+pub const LANE_WIDTH: usize = 64;
+
+/// Carry-save bit planes per minterm counter; sensitivities reach at
+/// most `MAX_VARS = 16 < 2^5`.
+const PLANES: usize = 5;
+
+/// In-place 64×64 bit-matrix transpose (recursive delta-swap scheme,
+/// Hacker's Delight §7-3): afterwards bit `j` of word `i` is the former
+/// bit `i` of word `j`.
+pub fn transpose64(a: &mut [u64; 64]) {
+    // Per level `j`, swap index bit `j` between row and column: rows
+    // with bit `j` clear exchange their high-half columns (mask `m`,
+    // the columns with bit `j` set) with the partner row's low half.
+    // LSB-first column order, hence the up-shift variant of the scheme.
+    let mut j = 32usize;
+    let mut m = 0xFFFF_FFFF_0000_0000u64;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            let t = (a[k] ^ (a[k + j] << j)) & m;
+            a[k] ^= t;
+            a[k + j] ^= t >> j;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m >> j;
+    }
+}
+
+/// A loaded batch of up to 64 same-arity truth tables in transposed
+/// (bit-sliced) form, plus the per-function point sections computed
+/// from it.
+///
+/// Lifecycle: [`LaneBatch::load_with`] transposes the tables and builds
+/// the batch sensitivity planes; [`LaneBatch::point_sections`] walks the
+/// sensitivity levels once for the whole batch and fills per-function
+/// `OSV0/1` histograms and `OSDV0/1` row matrices, which
+/// `SigKernel::msv_to_batched` then serializes per slot.
+#[derive(Debug, Clone)]
+pub(crate) struct LaneBatch {
+    /// Number of live functions (1..=64).
+    width: usize,
+    /// Common arity of the batch.
+    num_vars: usize,
+    /// Copies of the loaded tables' words (`width × word_count`), kept
+    /// to validate slot lookups in debug builds.
+    tables: Vec<u64>,
+    /// Transposed truth lanes: bit `k` of `lanes[m]` is `f_k(m)`.
+    lanes: Vec<u64>,
+    /// Carry-save sensitivity counters, plane-major (`PLANES × 2^n`).
+    planes: Vec<u64>,
+    /// Transposed 0-/1-polarity group indicators of the current level.
+    g0t: Vec<u64>,
+    g1t: Vec<u64>,
+    /// Per-function packed group indicators (`width × word_count`).
+    g0f: Vec<u64>,
+    g1f: Vec<u64>,
+    /// Per-function `OSV0`/`OSV1` histograms (`width × (n+1)`).
+    hist0: Vec<u64>,
+    hist1: Vec<u64>,
+    /// Per-function `OSDV0`/`OSDV1` row matrices (`width × (n+1)·n`).
+    rows0: Vec<u64>,
+    rows1: Vec<u64>,
+    /// 64-word transpose staging block.
+    block: Box<[u64; 64]>,
+}
+
+impl Default for LaneBatch {
+    fn default() -> Self {
+        Self {
+            width: 0,
+            num_vars: 0,
+            tables: Vec::new(),
+            lanes: Vec::new(),
+            planes: Vec::new(),
+            g0t: Vec::new(),
+            g1t: Vec::new(),
+            g0f: Vec::new(),
+            g1f: Vec::new(),
+            hist0: Vec::new(),
+            hist1: Vec::new(),
+            rows0: Vec::new(),
+            rows1: Vec::new(),
+            block: Box::new([0; 64]),
+        }
+    }
+}
+
+impl LaneBatch {
+    /// Loads `width` tables (resolved through `at`) into transposed
+    /// lane form and rebuilds the batch sensitivity planes.
+    ///
+    /// The accessor indirection lets callers batch non-contiguous
+    /// tables (the engine batches the cache misses of a chunk) without
+    /// collecting them into a temporary slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not in `1..=LANE_WIDTH` or the tables do
+    /// not all share one arity.
+    pub(crate) fn load_with<'a>(&mut self, width: usize, at: impl Fn(usize) -> &'a TruthTable) {
+        assert!(
+            (1..=LANE_WIDTH).contains(&width),
+            "lane batch width {width} not in 1..={LANE_WIDTH}"
+        );
+        let n = at(0).num_vars();
+        let wc = word_count(n);
+        let len = 1usize << n;
+        self.width = width;
+        self.num_vars = n;
+        self.tables.clear();
+        for k in 0..width {
+            let f = at(k);
+            assert_eq!(f.num_vars(), n, "mixed arities in one lane batch");
+            self.tables.extend_from_slice(f.words());
+        }
+        self.lanes.clear();
+        self.lanes.resize(len, 0);
+        let blocks = len.div_ceil(64);
+        for b in 0..blocks {
+            for k in 0..LANE_WIDTH {
+                self.block[k] = if k < width {
+                    self.tables[k * wc + b]
+                } else {
+                    0
+                };
+            }
+            transpose64(&mut self.block);
+            let take = (len - b * 64).min(64);
+            self.lanes[b * 64..b * 64 + take].copy_from_slice(&self.block[..take]);
+        }
+        self.compute_planes();
+    }
+
+    /// Word-parallel batch sensitivity: for every variable, one XOR per
+    /// minterm pair yields the derivative of all 64 functions at once;
+    /// the per-minterm counts accumulate in carry-save planes.
+    fn compute_planes(&mut self) {
+        let n = self.num_vars;
+        let len = 1usize << n;
+        self.planes.clear();
+        self.planes.resize(PLANES * len, 0);
+        for var in 0..n {
+            let bit = 1usize << var;
+            for m in 0..len {
+                if m & bit != 0 {
+                    continue;
+                }
+                // The derivative is symmetric: both endpoints of the
+                // edge gain the same 64-lane increment.
+                let d = self.lanes[m] ^ self.lanes[m | bit];
+                if d == 0 {
+                    continue;
+                }
+                for idx in [m, m | bit] {
+                    let mut carry = d;
+                    let mut p = 0;
+                    while carry != 0 {
+                        debug_assert!(p < PLANES, "sensitivity overflowed {PLANES} planes");
+                        let slot = &mut self.planes[p * len + idx];
+                        let t = *slot & carry;
+                        *slot ^= carry;
+                        carry = t;
+                        p += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Computes `OSV0/1` histograms and `OSDV0/1` rows for every loaded
+    /// function in one sweep over the sensitivity levels.
+    ///
+    /// Per level: the membership mask of all 64 functions is an AND
+    /// chain over the five planes, the polarity split is two more ANDs,
+    /// and one transpose-back yields each function's packed group
+    /// indicators for [`count_level_pairs`].
+    pub(crate) fn point_sections(&mut self, engine: OsdvEngine, scratch: &mut OsdvScratch) {
+        let Self {
+            width,
+            num_vars,
+            lanes,
+            planes,
+            g0t,
+            g1t,
+            g0f,
+            g1f,
+            hist0,
+            hist1,
+            rows0,
+            rows1,
+            block,
+            ..
+        } = self;
+        let (width, n) = (*width, *num_vars);
+        let len = 1usize << n;
+        let wc = word_count(n);
+        let wmask = if width == LANE_WIDTH {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        let h_stride = n + 1;
+        let r_stride = (n + 1) * n;
+        hist0.clear();
+        hist0.resize(width * h_stride, 0);
+        hist1.clear();
+        hist1.resize(width * h_stride, 0);
+        rows0.clear();
+        rows0.resize(width * r_stride, 0);
+        rows1.clear();
+        rows1.resize(width * r_stride, 0);
+        g0t.clear();
+        g0t.resize(len, 0);
+        g1t.clear();
+        g1t.resize(len, 0);
+        g0f.clear();
+        g0f.resize(width * wc, 0);
+        g1f.clear();
+        g1f.resize(width * wc, 0);
+        let blocks = len.div_ceil(64);
+        for s in 0..=n {
+            for m in 0..len {
+                let mut e = wmask;
+                for (p, plane) in planes.chunks_exact(len).enumerate() {
+                    let pw = plane[m];
+                    e &= if (s >> p) & 1 == 1 { pw } else { !pw };
+                }
+                g1t[m] = e & lanes[m];
+                g0t[m] = e & !lanes[m];
+            }
+            for (src, dst) in [(&*g0t, &mut *g0f), (&*g1t, &mut *g1f)] {
+                for b in 0..blocks {
+                    let take = (len - b * 64).min(64);
+                    block[..take].copy_from_slice(&src[b * 64..b * 64 + take]);
+                    block[take..].fill(0);
+                    transpose64(block);
+                    for k in 0..width {
+                        dst[k * wc + b] = block[k];
+                    }
+                }
+            }
+            for k in 0..width {
+                let g0 = &g0f[k * wc..(k + 1) * wc];
+                let g1 = &g1f[k * wc..(k + 1) * wc];
+                let pop0: u64 = g0.iter().map(|w| w.count_ones() as u64).sum();
+                let pop1: u64 = g1.iter().map(|w| w.count_ones() as u64).sum();
+                hist0[k * h_stride + s] = pop0;
+                hist1[k * h_stride + s] = pop1;
+                if n == 0 {
+                    continue;
+                }
+                count_level_pairs(
+                    n,
+                    engine,
+                    g0,
+                    pop0,
+                    g1,
+                    pop1,
+                    &mut scratch.members,
+                    &mut scratch.tail,
+                    &mut rows0[k * r_stride + s * n..k * r_stride + (s + 1) * n],
+                    &mut rows1[k * r_stride + s * n..k * r_stride + (s + 1) * n],
+                );
+            }
+        }
+    }
+
+    /// The `OSV0`/`OSV1` histograms of slot `slot`.
+    pub(crate) fn hists(&self, slot: usize) -> (&[u64], &[u64]) {
+        let h = self.num_vars + 1;
+        (
+            &self.hist0[slot * h..(slot + 1) * h],
+            &self.hist1[slot * h..(slot + 1) * h],
+        )
+    }
+
+    /// The `OSDV0`/`OSDV1` row matrices of slot `slot`.
+    pub(crate) fn rows(&self, slot: usize) -> (&[u64], &[u64]) {
+        let r = (self.num_vars + 1) * self.num_vars;
+        (
+            &self.rows0[slot * r..(slot + 1) * r],
+            &self.rows1[slot * r..(slot + 1) * r],
+        )
+    }
+
+    /// Whether `slot` holds exactly this table (debug-build guard for
+    /// the slot-addressed serialization API).
+    pub(crate) fn slot_matches(&self, slot: usize, f: &TruthTable) -> bool {
+        let wc = word_count(self.num_vars);
+        slot < self.width
+            && f.num_vars() == self.num_vars
+            && self.tables[slot * wc..(slot + 1) * wc] == *f.words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::osdv_point_sections_into;
+    use crate::sensitivity::SensitivityProfile;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn transpose_is_an_involution() {
+        let mut rng = StdRng::seed_from_u64(0x7a05);
+        let mut a = [0u64; 64];
+        for w in a.iter_mut() {
+            *w = rng.random();
+        }
+        let orig = a;
+        transpose64(&mut a);
+        // Spot-check the defining property on a few coordinates.
+        for (i, j) in [(0, 0), (1, 7), (63, 2), (31, 63), (40, 40)] {
+            assert_eq!((a[j] >> i) & 1, (orig[i] >> j) & 1, "bit ({i}, {j})");
+        }
+        transpose64(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn batch_sections_match_scalar_fused_sweep() {
+        let mut rng = StdRng::seed_from_u64(0xba7c);
+        let mut batch = LaneBatch::default();
+        let mut scratch = OsdvScratch::default();
+        let mut sc2 = OsdvScratch::default();
+        let (mut r0, mut r1, mut h0, mut h1) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        for n in 0..=7usize {
+            for width in [1usize, 2, 63, 64] {
+                let fns: Vec<TruthTable> = (0..width)
+                    .map(|_| TruthTable::random(n, &mut rng).unwrap())
+                    .collect();
+                batch.load_with(fns.len(), |i| &fns[i]);
+                batch.point_sections(OsdvEngine::Auto, &mut scratch);
+                for (k, f) in fns.iter().enumerate() {
+                    assert!(batch.slot_matches(k, f));
+                    let prof = SensitivityProfile::compute(f);
+                    osdv_point_sections_into(
+                        f,
+                        &prof,
+                        OsdvEngine::Auto,
+                        &mut sc2,
+                        &mut r0,
+                        &mut r1,
+                        &mut h0,
+                        &mut h1,
+                    );
+                    let (bh0, bh1) = batch.hists(k);
+                    let (br0, br1) = batch.rows(k);
+                    assert_eq!(bh0, &h0[..], "h0, n = {n}, width = {width}, slot {k}");
+                    assert_eq!(bh1, &h1[..], "h1, n = {n}, width = {width}, slot {k}");
+                    assert_eq!(br0, &r0[..], "rows0, n = {n}, width = {width}, slot {k}");
+                    assert_eq!(br1, &r1[..], "rows1, n = {n}, width = {width}, slot {k}");
+                }
+            }
+        }
+    }
+}

@@ -287,4 +287,116 @@ proptest! {
             facepoint_sig::spectral::walsh_spectrum_sorted_abs(&t.apply(&f))
         );
     }
+
+    // The in-place butterfly (scalar or four-lane, whichever the build
+    // enables) against the naive O(4ⁿ) transform definition
+    // W[s] = Σ_m (−1)^{popcount(s∧m)}·data[m].
+    #[test]
+    fn wht_in_place_matches_naive_transform(
+        (n, seed) in (0usize..=8, any::<u64>())
+    ) {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let len = 1usize << n;
+        let data: Vec<i64> = (0..len)
+            .map(|_| rng.random_range(0u64..=2000) as i64 - 1000)
+            .collect();
+        let naive: Vec<i64> = (0..len)
+            .map(|s| {
+                (0..len)
+                    .map(|m| {
+                        let sign = if (s & m).count_ones() % 2 == 0 { 1 } else { -1 };
+                        sign * data[m]
+                    })
+                    .sum()
+            })
+            .collect();
+        let mut fast = data;
+        facepoint_sig::spectral::wht_in_place(&mut fast);
+        prop_assert_eq!(fast, naive, "n = {}", n);
+    }
+
+    // ---- Bit-sliced batch lanes ----
+
+    // The lane batch against per-function serialization: every subset
+    // at small arity, the two full sets up to the acceptance bound of
+    // 8. Random widths cross the single-function fallback (width 1)
+    // and genuine multi-lane batches.
+    #[test]
+    fn batch_lanes_equal_scalar_for_every_subset(
+        (n, width, seed) in (0usize..=6, 1usize..=8, any::<u64>())
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let fns: Vec<TruthTable> = (0..width)
+            .map(|_| TruthTable::random(n, &mut rng).unwrap())
+            .collect();
+        let mut kernel = SigKernel::new();
+        for set in all_signature_subsets() {
+            let batched = kernel.msv_batch(&fns, set);
+            for (f, b) in fns.iter().zip(&batched) {
+                prop_assert_eq!(b, &kernel.msv(f, set), "n = {}, set = {}, f = {}", n, set, f);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_lanes_equal_scalar_at_large_arity(
+        (n, width, seed) in (7usize..=8, 2usize..=5, any::<u64>())
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let fns: Vec<TruthTable> = (0..width)
+            .map(|_| TruthTable::random(n, &mut rng).unwrap())
+            .collect();
+        let mut kernel = SigKernel::new();
+        for set in [SignatureSet::all(), SignatureSet::all_extended()] {
+            let batched = kernel.msv_batch(&fns, set);
+            for (f, b) in fns.iter().zip(&batched) {
+                prop_assert_eq!(b, &kernel.msv(f, set), "n = {}, set = {}, f = {}", n, set, f);
+            }
+        }
+    }
+
+    // ---- Auto engine on skewed sensitivity groups ----
+
+    // Threshold and Hamming-ball functions (plus sparse noise) make
+    // one polarity group of a sensitivity level huge and the other
+    // tiny, so `OsdvEngine::Auto` picks *different* tails for the two
+    // groups of the same level. Whatever it picks must agree with both
+    // forced engines under every minterm filter.
+    #[test]
+    fn auto_engine_agrees_on_skewed_groups(
+        (n, ball, cut, noise) in (1usize..=8, any::<bool>(), any::<u64>(), any::<u64>())
+    ) {
+        let bits = 1u64 << n;
+        let f = if ball {
+            // Hamming ball: true inside radius `t` around minterm 0.
+            let t = (cut % (n as u64 + 1)) as u32;
+            TruthTable::from_fn(n, |m| m.count_ones() <= t).unwrap()
+        } else {
+            // Threshold: true below a cutoff skewed toward the edges.
+            let c = cut % (bits + 1);
+            TruthTable::from_fn(n, |m| m < c).unwrap()
+        };
+        // Sparse noise: flip up to three minterms.
+        let mut f = f;
+        for k in 0..(noise % 4) {
+            let m = (noise.rotate_right(16 * k as u32 + 7)) % bits;
+            f.set_bit(m, !f.bit(m));
+        }
+        for filter in [MintermFilter::All, MintermFilter::Zeros, MintermFilter::Ones] {
+            let auto = osdv_with(&f, filter, OsdvEngine::Auto);
+            prop_assert_eq!(
+                &auto,
+                &osdv_with(&f, filter, OsdvEngine::Pairwise),
+                "pairwise, filter = {:?}, f = {}", filter, &f
+            );
+            prop_assert_eq!(
+                &auto,
+                &osdv_with(&f, filter, OsdvEngine::Wht),
+                "wht, filter = {:?}, f = {}", filter, &f
+            );
+        }
+    }
 }
