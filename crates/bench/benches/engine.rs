@@ -15,11 +15,14 @@ use facepoint_truth::TruthTable;
 use std::hint::black_box;
 
 fn engine_classes(fns: &[TruthTable], workers: usize, cache_capacity: usize) -> usize {
-    let mut engine = Engine::with_config(EngineConfig {
-        workers,
-        cache_capacity,
-        ..EngineConfig::default()
-    });
+    let mut engine = Engine::builder()
+        .config(EngineConfig {
+            workers,
+            cache_capacity,
+            ..EngineConfig::default()
+        })
+        .build()
+        .unwrap();
     engine.submit_batch(fns.iter().cloned());
     engine.finish().classification.num_classes()
 }
@@ -87,11 +90,14 @@ fn bench_journaled_ingest(c: &mut Criterion) {
                     }
                 });
                 let dir = persist.as_ref().map(|p| p.dir.clone());
-                let mut engine = Engine::with_config(EngineConfig {
-                    workers: 4,
-                    persist,
-                    ..EngineConfig::default()
-                });
+                let mut engine = Engine::builder()
+                    .config(EngineConfig {
+                        workers: 4,
+                        persist,
+                        ..EngineConfig::default()
+                    })
+                    .build()
+                    .unwrap();
                 engine.submit_batch(fns.iter().cloned());
                 let classes = black_box(engine.finish().classification.num_classes());
                 if let Some(dir) = dir {
@@ -117,12 +123,15 @@ fn bench_ingest_contention(c: &mut Criterion) {
     for workers in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::new("steal-pool", workers), &fns, |b, fns| {
             b.iter(|| {
-                let mut engine = Engine::with_config(EngineConfig {
-                    workers,
-                    chunk_size: 1,
-                    deque_capacity: 64,
-                    ..EngineConfig::default()
-                });
+                let mut engine = Engine::builder()
+                    .config(EngineConfig {
+                        workers,
+                        chunk_size: 1,
+                        deque_capacity: 64,
+                        ..EngineConfig::default()
+                    })
+                    .build()
+                    .unwrap();
                 engine.submit_batch(fns.iter().cloned());
                 black_box(engine.finish().classification.num_classes())
             })

@@ -5,7 +5,8 @@
 //! cargo run --release -p facepoint-bench --bin check_bench -- \
 //!     --dir CANDIDATE_DIR [--baseline BASELINE_DIR] \
 //!     [--max-regress 0.25] [--min-journal-ratio 0.6] \
-//!     [--min-queue-speedup 1.0] [--min-sig-speedup 2.3]
+//!     [--min-queue-speedup 1.0] [--min-sig-speedup 2.3] \
+//!     [--min-certified-ratio 0.25]
 //! ```
 //!
 //! * schema: both files must parse, carry the expected fields, and
@@ -20,6 +21,12 @@
 //!   (journaled / in-memory ingest throughput), and the n = 8 row must
 //!   meet `--min-journal-ratio` (default 0.6 — the repo's acceptance
 //!   floor);
+//! * certified tax: the n = 8 engine row must record
+//!   `certified_fns_per_sec`, `certified_classes` and
+//!   `certified_ratio` (certified / digest ingest throughput over the
+//!   same workload), and the ratio must meet `--min-certified-ratio`
+//!   (default 0.25 — the exact-resolution acceptance floor; pass `0`
+//!   to validate schema only);
 //! * contention sweep: `BENCH_engine.json` must carry the `contention`
 //!   object (work-stealing pool vs the retired mutex-queue baseline)
 //!   with rows for 1, 2, 4 and 8 workers, each recording positive
@@ -257,6 +264,7 @@ fn main() {
     let min_journal_ratio: f64 = arg_num(&args, "--min-journal-ratio", 0.6);
     let min_queue_speedup: f64 = arg_num(&args, "--min-queue-speedup", 1.0);
     let min_sig_speedup: f64 = arg_num(&args, "--min-sig-speedup", 2.3);
+    let min_certified_ratio: f64 = arg_num(&args, "--min-certified-ratio", 0.25);
     let dir = Path::new(&dir);
     let mut check = Checker {
         failures: Vec::new(),
@@ -362,6 +370,39 @@ fn main() {
                              percentiles not monotone: p50 {p50} p90 {p90} \
                              p99 {p99} max {max}"
                         ));
+                    }
+                }
+                // The certified column only exists on the n = 8 row
+                // (the acceptance arity); require it there and gate
+                // the ratio.
+                if n == 8 {
+                    for field in ["certified_fns_per_sec", "certified_classes"] {
+                        match row.get(field).and_then(Json::as_f64) {
+                            Some(v) if v > 0.0 => {}
+                            Some(v) => check.fail(format!(
+                                "BENCH_engine.json results[{i}]: \"{field}\" = {v} \
+                                 is not positive"
+                            )),
+                            None => check.fail(format!(
+                                "BENCH_engine.json results[{i}]: n=8 row missing \
+                                 number \"{field}\""
+                            )),
+                        }
+                    }
+                    match row.get("certified_ratio").and_then(Json::as_f64) {
+                        Some(ratio) if ratio >= min_certified_ratio => println!(
+                            "BENCH_engine.json n=8: certified_ratio {ratio:.3} \
+                             (floor {min_certified_ratio})"
+                        ),
+                        Some(ratio) => check.fail(format!(
+                            "BENCH_engine.json n=8: certified_ratio {ratio:.3} \
+                             below the {min_certified_ratio} floor"
+                        )),
+                        None => check.fail(
+                            "BENCH_engine.json: n=8 row missing number \
+                             \"certified_ratio\""
+                                .to_string(),
+                        ),
                     }
                 }
                 let Some(ratio) = row.get("journal_ratio").and_then(Json::as_f64) else {

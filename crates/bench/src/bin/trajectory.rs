@@ -20,7 +20,7 @@
 
 use facepoint_bench::{arg_value, balanced_workload, random_workload};
 use facepoint_core::{fnv128, SignatureKernel};
-use facepoint_engine::{Engine, EngineConfig, PersistConfig};
+use facepoint_engine::{Engine, EngineConfig, PersistConfig, Resolution};
 use facepoint_sig::{msv_reference, SignatureSet};
 use facepoint_truth::TruthTable;
 use std::collections::HashMap;
@@ -69,19 +69,26 @@ fn unix_time() -> u64 {
         .unwrap_or(0)
 }
 
-/// One engine pass over `fns`, optionally journaling into `persist`;
-/// returns (functions/second, classes, chunk-latency [p50, p90, p99,
-/// max] in nanoseconds from the engine's own telemetry).
+/// One engine pass over `fns`, optionally journaling into `persist`,
+/// at the requested resolution tier; returns (functions/second,
+/// classes, chunk-latency [p50, p90, p99, max] in nanoseconds from
+/// the engine's own telemetry).
 fn engine_pass(
     fns: &[TruthTable],
     set: SignatureSet,
     persist: Option<PersistConfig>,
+    resolution: Resolution,
 ) -> (f64, usize, [u64; 4]) {
-    let mut engine = Engine::with_config(EngineConfig {
-        set,
-        persist,
-        ..EngineConfig::default()
-    });
+    let mut engine = Engine::builder()
+        .config(
+            EngineConfig::builder()
+                .set(set)
+                .persist(persist)
+                .resolution(resolution)
+                .build(),
+        )
+        .build()
+        .unwrap();
     // The registry (and this histogram handle) outlive `finish`, so
     // the latency distribution survives the engine teardown.
     let chunk_latency = engine.telemetry().histogram("engine_chunk_classify_nanos");
@@ -107,23 +114,26 @@ const CONTENTION_CHUNK: usize = 1;
 /// mutex baseline below); returns (functions/second, classes).
 fn steal_pass(fns: &[TruthTable], set: SignatureSet, workers: usize) -> (f64, usize) {
     let start = Instant::now();
-    let mut engine = Engine::with_config(EngineConfig {
-        set,
-        workers,
-        chunk_size: CONTENTION_CHUNK,
-        // Deep deques and big steal batches: at one-function chunks the
-        // per-chunk bounds are per-item, so the defaults (sized for
-        // 256-function chunks) would throttle the producer and migrate
-        // single functions; scaling both by the chunk shrinkage keeps
-        // the pool in its intended operating regime. Census-only
-        // streaming is how a production-scale census runs (and what
-        // the retired architecture could not do at all — its WorkerLog
-        // grew without bound).
-        deque_capacity: 128,
-        steal_batch: 16,
-        track_labels: false,
-        ..EngineConfig::default()
-    });
+    let mut engine = Engine::builder()
+        .config(EngineConfig {
+            set,
+            workers,
+            chunk_size: CONTENTION_CHUNK,
+            // Deep deques and big steal batches: at one-function chunks the
+            // per-chunk bounds are per-item, so the defaults (sized for
+            // 256-function chunks) would throttle the producer and migrate
+            // single functions; scaling both by the chunk shrinkage keeps
+            // the pool in its intended operating regime. Census-only
+            // streaming is how a production-scale census runs (and what
+            // the retired architecture could not do at all — its WorkerLog
+            // grew without bound).
+            deque_capacity: 128,
+            steal_batch: 16,
+            track_labels: false,
+            ..EngineConfig::default()
+        })
+        .build()
+        .unwrap();
     engine.submit_batch(fns.iter().cloned());
     let report = engine.finish();
     (
@@ -285,12 +295,17 @@ fn main() {
         // its time by dropping n = 9..10 instead.
         let count = (16384 >> (n - 6)).max(512);
         let fns = random_workload(n, count, 0xE61E ^ n as u64);
-        let (mem_fps, classes, [p50, p90, p99, max]) = engine_pass(&fns, set, None);
+        let (mem_fps, classes, [p50, p90, p99, max]) =
+            engine_pass(&fns, set, None, Resolution::Digest);
         let journal_dir =
             std::env::temp_dir().join(format!("facepoint-trajectory-{}-{n}", std::process::id()));
         let _ = std::fs::remove_dir_all(&journal_dir);
-        let (journal_fps, journal_classes, _) =
-            engine_pass(&fns, set, Some(PersistConfig::new(&journal_dir)));
+        let (journal_fps, journal_classes, _) = engine_pass(
+            &fns,
+            set,
+            Some(PersistConfig::new(&journal_dir)),
+            Resolution::Digest,
+        );
         let _ = std::fs::remove_dir_all(&journal_dir);
         assert_eq!(classes, journal_classes, "journaling changed the partition");
         let ratio = journal_fps / mem_fps;
@@ -300,6 +315,30 @@ fn main() {
              chunk latency p50 {p50} / p99 {p99} ns",
             ratio * 100.0
         );
+        // The certified-tier tax, measured once at the acceptance
+        // arity: same workload, same config, resolution certified —
+        // every signature bucket resolved to a proved class. Digest
+        // rows run every n; one certified column at n = 8 is the
+        // ratio check_bench floors.
+        let mut certified_cells = String::new();
+        if n == 8 {
+            let (cert_fps, cert_classes, _) = engine_pass(&fns, set, None, Resolution::Certified);
+            assert!(
+                cert_classes >= classes,
+                "certified resolution merged digest buckets"
+            );
+            let cert_ratio = cert_fps / mem_fps;
+            println!(
+                "engine n=8 certified: {cert_fps:.0} fn/s ({:.0}% of digest), \
+                 {cert_classes} proved classes",
+                cert_ratio * 100.0
+            );
+            certified_cells = format!(
+                ", \"certified_fns_per_sec\": {cert_fps:.1}, \
+                 \"certified_classes\": {cert_classes}, \
+                 \"certified_ratio\": {cert_ratio:.3}"
+            );
+        }
         if !eng_rows.is_empty() {
             eng_rows.push_str(",\n");
         }
@@ -309,7 +348,7 @@ fn main() {
              \"journaled_fns_per_sec\": {journal_fps:.1}, \
              \"journal_ratio\": {ratio:.3}, \
              \"chunk_p50_nanos\": {p50}, \"chunk_p90_nanos\": {p90}, \
-             \"chunk_p99_nanos\": {p99}, \"chunk_max_nanos\": {max}}}"
+             \"chunk_p99_nanos\": {p99}, \"chunk_max_nanos\": {max}{certified_cells}}}"
         ));
     }
     // --- contention sweep: the work-stealing pool vs the retired
@@ -358,7 +397,8 @@ fn main() {
         "{{\n  \"bench\": \"engine\",\n  \"set\": \"{set}\",\n  \
          \"workload\": \"distinct random tables, default engine config; \
          journaled = durable store on, default sync policy (fsync at \
-         epoch barriers)\",\n  \
+         epoch barriers); certified_* on the n = 8 row = the same \
+         workload at resolution certified (every bucket proved)\",\n  \
          \"unix_time\": {},\n  \"results\": [\n{}\n  ],\n  \
          \"contention\": {{\n    \"n\": 8,\n    \
          \"functions\": {contention_count},\n    \

@@ -4,7 +4,7 @@
 use crate::parse::parse_table;
 use facepoint_aig::{Aig, Extractor};
 use facepoint_core::{Classification, Classifier};
-use facepoint_engine::{Engine, EngineConfig};
+use facepoint_engine::{Engine, EngineConfig, Resolution};
 use facepoint_exact::baselines::{CanonicalClassifier, Huang13, Petkovska16, Zhou20};
 use facepoint_exact::{exact_npn_canonical, npn_match};
 use facepoint_serve::{Client, Server, ServerConfig};
@@ -37,10 +37,13 @@ impl fmt::Display for CliError {
 impl std::error::Error for CliError {}
 
 const USAGE: &str = "facepoint <classify|sig|canon|match|cuts|suite|recover|serve|client> [args]
-  classify [--set SET] [--exact] [--parallel N] [--persist DIR] [FILE]
+  classify [--set SET] [--exact] [--certified] [--parallel N] [--persist DIR] [FILE]
                                            classify hex tables (stdin or FILE);
                                            --parallel routes through the sharded
                                            engine with N workers (0 = all cores);
+                                           --certified resolves every signature
+                                           bucket to a proved NPN class (implies
+                                           the engine);
                                            --persist journals the class store to
                                            DIR (implies the engine) and resumes
                                            any census already stored there
@@ -48,7 +51,7 @@ const USAGE: &str = "facepoint <classify|sig|canon|match|cuts|suite|recover|serv
   canon <table> [--method M]               canonical form (exact default)
   match <a> <b>                            NPN equivalence + witness
   cuts <file.aag> [--support N] [--limit K]  cut functions of an AIGER file
-  suite [--support N] [--limit K] [--classify] [--parallel N] [--persist DIR]
+  suite [--support N] [--limit K] [--classify] [--certified] [--parallel N] [--persist DIR]
                                            synthetic benchmark workload; with
                                            --classify, stream it through the
                                            engine and report classes instead
@@ -56,8 +59,8 @@ const USAGE: &str = "facepoint <classify|sig|canon|match|cuts|suite|recover|serv
                                            writing; with FILE, diff the stored
                                            census against a one-shot
                                            classification of FILE's tables
-  serve <addr> [--set SET] [--parallel N] [--persist DIR] [--metrics-interval SECS]
-                                           serve the engine over TCP (wire
+  serve <addr> [--set SET] [--certified] [--parallel N] [--persist DIR]
+        [--metrics-interval SECS]          serve the engine over TCP (wire
                                            protocol: docs/PROTOCOL.md) until
                                            SIGTERM/SIGINT, which checkpoints
                                            and exits; --persist resumes and
@@ -72,7 +75,7 @@ const USAGE: &str = "facepoint <classify|sig|canon|match|cuts|suite|recover|serv
                                            snapshot and the top K classes;
                                            --metrics instead scrapes and prints
                                            the server's telemetry snapshot
-                                           (docs/PROTOCOL.md §4.11)";
+                                           (docs/PROTOCOL.md §4.12)";
 
 /// Dispatches a full argument vector (without the program name) and
 /// returns the textual report.
@@ -113,7 +116,10 @@ fn positional(args: &[String]) -> Vec<&String> {
         }
         if a.starts_with("--") {
             // Flags with values; boolean flags are known by name.
-            skip = !matches!(a.as_str(), "--exact" | "--verbose" | "--classify");
+            skip = !matches!(
+                a.as_str(),
+                "--exact" | "--verbose" | "--classify" | "--certified"
+            );
             let _ = i;
             continue;
         }
@@ -158,21 +164,24 @@ fn engine_classify(
     set: SignatureSet,
     workers: usize,
     persist: Option<&str>,
+    resolution: Resolution,
 ) -> Result<(Classification, String), CliError> {
-    let cfg = EngineConfig {
-        set,
-        workers,
+    let cfg = EngineConfig::builder()
+        .set(set)
+        .workers(workers)
         // Command-line streams routinely repeat functions (cut files,
         // concatenated dumps): a modest memo cache is nearly free and
         // pays off exactly there.
-        cache_capacity: 1 << 16,
-        ..EngineConfig::default()
-    };
+        .cache_capacity(1 << 16)
+        .resolution(resolution)
+        .build();
     let mut engine = match persist {
-        Some(dir) => {
-            Engine::open(dir, cfg).map_err(|e| CliError::BadInput(format!("{dir}: {e}")))?
-        }
-        None => Engine::with_config(cfg),
+        Some(dir) => Engine::builder()
+            .config(cfg)
+            .persist(dir)
+            .build()
+            .map_err(|e| CliError::BadInput(format!("{dir}: {e}")))?,
+        None => Engine::builder().config(cfg).build().unwrap(),
     };
     let mut lines = String::new();
     if let Some(recovered) = engine.recovery() {
@@ -214,18 +223,26 @@ fn classify(args: &[String]) -> Result<String, CliError> {
     // full-stream clone otherwise (streams can be huge).
     let fns_for_refine = if exact { fns.clone() } else { Vec::new() };
     let persist = flag_value(args, "--persist");
-    // --persist implies the engine (the serial classifier has no
-    // store); --parallel alone keeps the previous behavior.
-    let (classification, engine_line) = if parallel.is_some() || persist.is_some() {
-        let (c, line) = engine_classify(fns, set, parallel.unwrap_or(0), persist)?;
+    let certified = args.iter().any(|a| a == "--certified");
+    let resolution = if certified {
+        Resolution::Certified
+    } else {
+        Resolution::Digest
+    };
+    // --persist and --certified imply the engine (the serial classifier
+    // has neither store nor resolver); --parallel alone keeps the
+    // previous behavior.
+    let (classification, engine_line) = if parallel.is_some() || persist.is_some() || certified {
+        let (c, line) = engine_classify(fns, set, parallel.unwrap_or(0), persist, resolution)?;
         (c, Some(line))
     } else {
         (Classifier::new(set).classify(fns), None)
     };
     let mut out = format!(
-        "{} functions, {} candidate classes (signatures: {set})\n",
+        "{} functions, {} {} classes (signatures: {set})\n",
         classification.num_functions(),
-        classification.num_classes()
+        classification.num_classes(),
+        if certified { "certified" } else { "candidate" },
     );
     if let Some(line) = engine_line {
         out.push_str(&line);
@@ -365,8 +382,13 @@ fn suite(args: &[String]) -> Result<String, CliError> {
         // Route the workload through the streaming engine instead of
         // printing it — the end-to-end Section V flow as one command.
         let workers = parallel_flag(args)?.unwrap_or(0);
+        let resolution = if args.iter().any(|a| a == "--certified") {
+            Resolution::Certified
+        } else {
+            Resolution::Digest
+        };
         let (classification, engine_line) =
-            engine_classify(fns, SignatureSet::all(), workers, persist)?;
+            engine_classify(fns, SignatureSet::all(), workers, persist, resolution)?;
         let mut out = format!(
             "{} cut functions, {} candidate classes (signatures: {})\n",
             classification.num_functions(),
@@ -392,41 +414,81 @@ fn recover(args: &[String]) -> Result<String, CliError> {
     let snap = Engine::recover(dir).map_err(|e| CliError::BadInput(format!("{dir}: {e}")))?;
     let mut out = format!("{}\n", snap.report);
     out.push_str(&format!(
-        "signature set: {} | {} classes, {} members\n",
+        "signature set: {} | {} resolution | {} classes, {} members\n",
         snap.set,
+        snap.resolution,
         snap.classes.len(),
         snap.members()
     ));
-    for class in snap.classes.iter().take(5) {
-        out.push_str(&format!(
-            "  class {:032x}  size {:>8}  representative {}:{}\n",
-            class.key,
-            class.size,
-            class.representative.num_vars(),
-            class.representative.to_hex()
-        ));
-    }
-    if snap.classes.len() > 5 {
-        out.push_str(&format!("  ... and {} more\n", snap.classes.len() - 5));
-    }
+    out.push_str(&snap.census_view().render_top(5));
     let Some(path) = pos.get(1) else {
         return Ok(out);
     };
-    // Diff against the one-shot partition of FILE's tables.
+    // Diff against a one-shot partition of FILE's tables, matched the
+    // way the store partitions its classes: by signature digest for a
+    // digest store, by exact NPN orbit for a certified one.
     let text =
         std::fs::read_to_string(path).map_err(|e| CliError::BadInput(format!("{path}: {e}")))?;
-    let expected = Classifier::new(snap.set).classify(parse_table_lines(&text)?);
-    let expected_by_key: std::collections::HashMap<u128, usize> = expected
-        .classes()
-        .iter()
-        .map(|c| {
-            (
-                facepoint_core::signature_key(c.representative(), snap.set),
-                c.size(),
-            )
-        })
-        .collect();
-    let stored_keys: std::collections::HashSet<u128> = snap.classes.iter().map(|c| c.key).collect();
+    let tables = parse_table_lines(&text)?;
+    let num_functions = tables.len();
+    // `expected_by_key` maps *store* keys to the expected class size;
+    // `num_expected`/`missing` count the one-shot classes overall and
+    // the ones no stored class corresponds to.
+    let (num_expected, expected_by_key, missing): (
+        usize,
+        std::collections::HashMap<u128, usize>,
+        usize,
+    ) = match snap.resolution {
+        Resolution::Digest => {
+            let expected = Classifier::new(snap.set).classify(tables);
+            let by_key: std::collections::HashMap<u128, usize> = expected
+                .classes()
+                .iter()
+                .map(|c| {
+                    (
+                        facepoint_core::signature_key(c.representative(), snap.set),
+                        c.size(),
+                    )
+                })
+                .collect();
+            let stored_keys: std::collections::HashSet<u128> =
+                snap.classes.iter().map(|c| c.key).collect();
+            let missing = by_key.keys().filter(|k| !stored_keys.contains(k)).count();
+            (expected.num_classes(), by_key, missing)
+        }
+        Resolution::Certified => {
+            // One joint exact classification of stored representatives
+            // and the file's tables: a stored class and a file class
+            // are the same class iff their members share a label. This
+            // is robust to budget-fallback representatives, whose key
+            // cannot be recomputed from an arbitrary orbit member.
+            let mut joint: Vec<TruthTable> = snap
+                .classes
+                .iter()
+                .map(|c| c.representative.clone())
+                .collect();
+            joint.extend(tables);
+            let labels = facepoint_exact::exact_classify(&joint);
+            let n_stored = snap.classes.len();
+            let mut size_by_label = std::collections::HashMap::new();
+            for &l in &labels.labels()[n_stored..] {
+                *size_by_label.entry(l).or_insert(0usize) += 1;
+            }
+            let by_key: std::collections::HashMap<u128, usize> = snap
+                .classes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| size_by_label.get(&labels.label(i)).map(|&s| (c.key, s)))
+                .collect();
+            let stored_labels: std::collections::HashSet<usize> =
+                labels.labels()[..n_stored].iter().copied().collect();
+            let missing = size_by_label
+                .keys()
+                .filter(|l| !stored_labels.contains(l))
+                .count();
+            (size_by_label.len(), by_key, missing)
+        }
+    };
     let mut matching = 0usize;
     let mut behind = 0usize;
     let mut ahead = 0usize;
@@ -439,15 +501,9 @@ fn recover(args: &[String]) -> Result<String, CliError> {
             None => unknown += 1,
         }
     }
-    let missing = expected_by_key
-        .keys()
-        .filter(|k| !stored_keys.contains(k))
-        .count();
     out.push_str(&format!(
         "diff vs one-shot classification of {path} \
-         ({} functions, {} classes):\n",
-        expected.num_functions(),
-        expected.num_classes()
+         ({num_functions} functions, {num_expected} classes):\n",
     ));
     out.push_str(&format!(
         "  {matching} classes match exactly, {behind} behind (lost tail or \
@@ -524,7 +580,7 @@ fn serve(args: &[String]) -> Result<String, CliError> {
     let pos = positional(args);
     let addr = pos.first().copied().ok_or_else(|| {
         CliError::Usage(
-            "serve <addr> [--set SET] [--parallel N] [--persist DIR] \
+            "serve <addr> [--set SET] [--certified] [--parallel N] [--persist DIR] \
              [--metrics-interval SECS]"
                 .into(),
         )
@@ -537,17 +593,24 @@ fn serve(args: &[String]) -> Result<String, CliError> {
     let workers = parallel_flag(args)?.unwrap_or(0);
     let metrics_interval = metrics_interval_flag(args)?;
     let persist = flag_value(args, "--persist");
-    let cfg = EngineConfig {
-        set,
-        workers,
-        cache_capacity: 1 << 16,
-        ..EngineConfig::default()
+    let resolution = if args.iter().any(|a| a == "--certified") {
+        Resolution::Certified
+    } else {
+        Resolution::Digest
     };
+    let cfg = EngineConfig::builder()
+        .set(set)
+        .workers(workers)
+        .cache_capacity(1 << 16)
+        .resolution(resolution)
+        .build();
     let engine = match persist {
-        Some(dir) => {
-            Engine::open(dir, cfg).map_err(|e| CliError::BadInput(format!("{dir}: {e}")))?
-        }
-        None => Engine::with_config(cfg),
+        Some(dir) => Engine::builder()
+            .config(cfg)
+            .persist(dir)
+            .build()
+            .map_err(|e| CliError::BadInput(format!("{dir}: {e}")))?,
+        None => Engine::builder().config(cfg).build().unwrap(),
     };
     // Announce recovery *now*, not at exit: the operator of a
     // days-long serve needs immediate confirmation that the census
@@ -566,8 +629,8 @@ fn serve(args: &[String]) -> Result<String, CliError> {
         .local_addr()
         .map_err(|e| CliError::BadInput(e.to_string()))?;
     eprintln!(
-        "facepoint serve: listening on {local} (set {set}, protocol v{}); \
-         SIGTERM/SIGINT checkpoints and exits",
+        "facepoint serve: listening on {local} (set {set}, {resolution} resolution, \
+         protocol v{}); SIGTERM/SIGINT checkpoints and exits",
         facepoint_serve::PROTO_VERSION
     );
     let emitter =
@@ -600,7 +663,7 @@ fn client(args: &[String]) -> Result<String, CliError> {
         .transpose()?
         .unwrap_or(5);
     // --metrics: scrape the server's telemetry snapshot (PROTOCOL.md
-    // §4.11) and print it instead of streaming tables.
+    // §4.12) and print it instead of streaming tables.
     if args.iter().any(|a| a == "--metrics") {
         let remote = |e: facepoint_serve::ProtoError| CliError::BadInput(format!("{addr}: {e}"));
         let mut client = Client::connect(addr).map_err(remote)?;
@@ -619,8 +682,18 @@ fn client(args: &[String]) -> Result<String, CliError> {
     let mut client = Client::connect(addr).map_err(remote)?;
     let info = client.server_info().clone();
     let mut out = format!(
-        "connected to {addr}: protocol v{} set {} workers {} persistent {}\n",
-        info.version, info.set, info.workers, info.persistent
+        "connected to {addr}: protocol v{} set {} workers {} persistent {} resolution {}\n",
+        info.version,
+        info.set,
+        info.workers,
+        info.persistent,
+        // Pre-resolution servers omit the field; their census is the
+        // candidate (digest) tier.
+        if info.resolution.is_empty() {
+            "digest"
+        } else {
+            &info.resolution
+        }
     );
     // Stream the input instead of materializing it: parse each line
     // locally (errors name the offending line, and tables go out in
@@ -879,6 +952,57 @@ mod tests {
     }
 
     #[test]
+    fn classify_certified_persists_and_recovers() {
+        let dir =
+            std::env::temp_dir().join(format!("facepoint-cli-certified-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tables = std::env::temp_dir().join("facepoint-cli-test");
+        std::fs::create_dir_all(&tables).unwrap();
+        let path = tables.join("certified-tables.txt");
+        // {e8,d4} are one NPN class, {96,69} another (parity and its
+        // complement).
+        std::fs::write(&path, "e8\nd4\n96\n3:69\n").unwrap();
+        let store = dir.to_str().unwrap().to_string();
+
+        // --certified implies the engine and proves the partition.
+        let out = run(&args(&["classify", "--certified", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("4 functions, 2 certified classes"), "{out}");
+        assert!(out.contains("certified: "), "{out}");
+
+        // A certified census persists and recovers as certified.
+        let out = run(&args(&[
+            "classify",
+            "--certified",
+            "--persist",
+            &store,
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("2 certified classes"), "{out}");
+        let out = run(&args(&["recover", &store])).unwrap();
+        assert!(out.contains("certified resolution"), "{out}");
+        assert!(out.contains("2 classes, 4 members"), "{out}");
+        let out = run(&args(&["recover", &store, path.to_str().unwrap()])).unwrap();
+        assert!(
+            out.contains("store census == one-shot classification"),
+            "{out}"
+        );
+
+        // A digest engine must refuse the certified store (and vice
+        // versa): silently mixing tiers would corrupt the census.
+        assert!(matches!(
+            run(&args(&[
+                "classify",
+                "--persist",
+                &store,
+                path.to_str().unwrap()
+            ])),
+            Err(CliError::BadInput(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn suite_persist_writes_a_store() {
         let dir = std::env::temp_dir().join(format!(
             "facepoint-cli-suite-persist-{}",
@@ -952,10 +1076,13 @@ mod tests {
 
     #[test]
     fn metrics_emitter_writes_jsonl_and_stops() {
-        let engine = facepoint_engine::Engine::with_config(facepoint_engine::EngineConfig {
-            workers: 2,
-            ..facepoint_engine::EngineConfig::default()
-        });
+        let engine = facepoint_engine::Engine::builder()
+            .config(facepoint_engine::EngineConfig {
+                workers: 2,
+                ..facepoint_engine::EngineConfig::default()
+            })
+            .build()
+            .unwrap();
         let sink = SharedSink::default();
         let (stop, handle) = spawn_metrics_emitter(
             engine.telemetry(),
@@ -986,10 +1113,13 @@ mod tests {
 
     #[test]
     fn client_streams_to_an_in_process_server() {
-        let engine = facepoint_engine::Engine::with_config(facepoint_engine::EngineConfig {
-            workers: 2,
-            ..facepoint_engine::EngineConfig::default()
-        });
+        let engine = facepoint_engine::Engine::builder()
+            .config(facepoint_engine::EngineConfig {
+                workers: 2,
+                ..facepoint_engine::EngineConfig::default()
+            })
+            .build()
+            .unwrap();
         let server = Server::bind("127.0.0.1:0", engine, ServerConfig::default()).unwrap();
         let addr = server.local_addr().unwrap();
         let handle = server.shutdown_handle();

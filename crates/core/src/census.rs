@@ -1,0 +1,138 @@
+//! One shared spelling of census data.
+//!
+//! The engine report, the recovered-snapshot report, the CLI `recover`
+//! diff and the wire protocol's `CANON` reply all present "classes with
+//! keys, sizes and representatives". Before this module each spelled
+//! that slightly differently; [`CensusView`] is the single render path
+//! they now share.
+
+use facepoint_truth::TruthTable;
+use std::fmt::Write as _;
+
+/// One class of a census: its 128-bit key, member count and
+/// representative function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CensusEntry {
+    /// The class key — a signature digest in digest resolution, a
+    /// representative digest in certified resolution.
+    pub key: u128,
+    /// Members observed in this class.
+    pub size: u64,
+    /// The class representative.
+    pub representative: TruthTable,
+}
+
+impl CensusEntry {
+    /// The human-facing census line (shared by the CLI `recover`
+    /// report and the top-classes block of recovered snapshots).
+    pub fn render_line(&self) -> String {
+        format!(
+            "  class {:032x}  size {:>8}  representative {}:{}",
+            self.key,
+            self.size,
+            self.representative.num_vars(),
+            self.representative.to_hex()
+        )
+    }
+
+    /// The wire spelling of this entry — the space-separated
+    /// `key=…/size=…/representative=…` fields of the protocol's
+    /// `CANON` reply body (PROTOCOL.md §4).
+    pub fn render_wire(&self) -> String {
+        format!(
+            "key={:032x} size={} representative={}:{}",
+            self.key,
+            self.size,
+            self.representative.num_vars(),
+            self.representative.to_hex()
+        )
+    }
+}
+
+/// An ordered view over census classes: largest class first, key as
+/// the tie-break, so every consumer ranks and prints identically.
+#[derive(Debug, Clone, Default)]
+pub struct CensusView {
+    entries: Vec<CensusEntry>,
+}
+
+impl CensusView {
+    /// Builds a view, sorting by descending size then ascending key.
+    pub fn new(mut entries: Vec<CensusEntry>) -> Self {
+        entries.sort_by(|a, b| b.size.cmp(&a.size).then(a.key.cmp(&b.key)));
+        CensusView { entries }
+    }
+
+    /// The classes, largest first.
+    pub fn entries(&self) -> &[CensusEntry] {
+        &self.entries
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total members across all classes.
+    pub fn members(&self) -> u64 {
+        self.entries.iter().map(|e| e.size).sum()
+    }
+
+    /// Renders the top `limit` classes, one [`CensusEntry::render_line`]
+    /// per class, with a `... and N more` trailer when truncated.
+    pub fn render_top(&self, limit: usize) -> String {
+        let mut out = String::new();
+        for entry in self.entries.iter().take(limit) {
+            let _ = writeln!(out, "{}", entry.render_line());
+        }
+        if self.entries.len() > limit {
+            let _ = writeln!(out, "  ... and {} more", self.entries.len() - limit);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(key: u128, size: u64) -> CensusEntry {
+        CensusEntry {
+            key,
+            size,
+            representative: TruthTable::majority(3),
+        }
+    }
+
+    #[test]
+    fn view_orders_by_size_then_key() {
+        let view = CensusView::new(vec![entry(9, 2), entry(3, 7), entry(1, 2)]);
+        let keys: Vec<u128> = view.entries().iter().map(|e| e.key).collect();
+        assert_eq!(keys, [3, 1, 9]);
+        assert_eq!(view.num_classes(), 3);
+        assert_eq!(view.members(), 11);
+    }
+
+    #[test]
+    fn render_top_truncates_with_trailer() {
+        let view = CensusView::new(vec![entry(1, 5), entry(2, 4), entry(3, 3)]);
+        let text = view.render_top(2);
+        assert_eq!(text.lines().count(), 3, "{text}");
+        assert!(text.contains("... and 1 more"), "{text}");
+        assert!(text.contains("size        5"), "{text}");
+        assert!(text.contains("representative 3:e8"), "{text}");
+    }
+
+    #[test]
+    fn wire_and_line_spellings_agree_on_fields() {
+        let e = entry(0xbeef, 12);
+        let wire = e.render_wire();
+        assert_eq!(
+            wire,
+            format!("key={:032x} size=12 representative=3:e8", 0xbeef_u128)
+        );
+        let line = e.render_line();
+        assert!(line.contains("0000000000000000000000000000beef"), "{line}");
+        assert!(line.contains("representative 3:e8"), "{line}");
+    }
+}

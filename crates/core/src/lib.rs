@@ -42,6 +42,7 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+mod census;
 mod classifier;
 mod fnv;
 mod hierarchical;
@@ -50,6 +51,7 @@ mod metrics;
 mod refine;
 pub mod wire;
 
+pub use census::{CensusEntry, CensusView};
 pub use classifier::{signature_key, Classification, Classifier, KeyMode, NpnClass};
 pub use fnv::{fnv128, Fnv128Stream};
 pub use kernel::SignatureKernel;

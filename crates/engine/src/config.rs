@@ -58,24 +58,59 @@ impl PersistConfig {
     }
 }
 
+/// How far the engine resolves submitted functions into classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Resolution {
+    /// Classes are keyed by signature digests. Digest equality is a
+    /// *necessary* condition for NPN equivalence, so digest classes
+    /// may merge (never split) true classes — probable classes, at
+    /// full signature throughput. The default.
+    #[default]
+    Digest,
+    /// Every digest bucket is additionally resolved into **proved**
+    /// NPN classes: a bucket's first member is canonicalized eagerly
+    /// (Gray-code walk, influence/cofactor-pruned above six
+    /// variables), later members take the exact pairwise-matcher
+    /// witness path against the cached representative. The census
+    /// then counts exact NPN classes and every representative is a
+    /// proved one.
+    Certified,
+}
+
+impl std::fmt::Display for Resolution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Resolution::Digest => "digest",
+            Resolution::Certified => "certified",
+        })
+    }
+}
+
 /// Configuration of an [`Engine`](crate::Engine).
 ///
 /// The defaults are tuned for throughput on commodity multi-core
 /// machines; every knob exists because it moved a benchmark
 /// (`facepoint-bench`'s `engine` bench exercises the space).
 ///
+/// Build configurations through [`EngineConfig::builder`], which
+/// validates and clamps every knob in one place:
+///
 /// ```
 /// use facepoint_engine::{Engine, EngineConfig};
 /// use facepoint_sig::SignatureSet;
 ///
-/// let engine = Engine::with_config(EngineConfig {
-///     set: SignatureSet::OIV | SignatureSet::OSV,
-///     workers: 2,
-///     shards: 16,
-///     ..EngineConfig::default()
-/// });
+/// let cfg = EngineConfig::builder()
+///     .set(SignatureSet::OIV | SignatureSet::OSV)
+///     .workers(2)
+///     .shards(16)
+///     .build();
+/// let engine = Engine::builder().config(cfg).build().unwrap();
 /// assert_eq!(engine.config().workers, 2);
 /// ```
+///
+/// Struct-literal construction (`EngineConfig { .. }` with field
+/// access) remains supported for one deprecation cycle; new code
+/// should use the builder.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Signature families used for keys (default: the paper's "All").
@@ -121,9 +156,14 @@ pub struct EngineConfig {
     /// round-trip (see [`EngineStats::dedup_hits`](crate::EngineStats)).
     pub cache_capacity: usize,
     /// Durable-store settings; `None` (the default) keeps all state in
-    /// memory. Usually set through [`Engine::open`](crate::Engine::open)
+    /// memory. Usually set through
+    /// [`Engine::builder`](crate::Engine::builder)`.persist(dir)`
     /// rather than by hand.
     pub persist: Option<PersistConfig>,
+    /// Class-resolution tier: digest-keyed probable classes (the
+    /// default) or exactly resolved, certified NPN classes (see
+    /// [`Resolution`]).
+    pub resolution: Resolution,
 }
 
 impl Default for EngineConfig {
@@ -138,11 +178,21 @@ impl Default for EngineConfig {
             track_labels: true,
             cache_capacity: 0,
             persist: None,
+            resolution: Resolution::Digest,
         }
     }
 }
 
 impl EngineConfig {
+    /// A builder over the defaults — the one place where every knob is
+    /// validated and clamped (worker/shard resolution, minimum queue
+    /// geometry).
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            cfg: EngineConfig::default(),
+        }
+    }
+
     /// The configuration with a specific signature set and defaults
     /// elsewhere.
     pub fn with_set(set: SignatureSet) -> Self {
@@ -166,6 +216,104 @@ impl EngineConfig {
     /// shard selection is a shift of the key's high bits), minimum 1.
     pub fn resolved_shards(&self) -> usize {
         self.shards.max(1).next_power_of_two()
+    }
+}
+
+/// Typed builder for [`EngineConfig`].
+///
+/// Every setter takes the raw requested value; [`build`] is the single
+/// place where clamping happens (shard power-of-two round-up, minimum
+/// chunk/deque/steal geometry), so the produced configuration is
+/// always internally consistent. Obtained via [`EngineConfig::builder`].
+///
+/// [`build`]: EngineConfigBuilder::build
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    cfg: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Signature families used for keys.
+    pub fn set(mut self, set: SignatureSet) -> Self {
+        self.cfg.set = set;
+        self
+    }
+
+    /// Worker threads (`0` = the machine's available parallelism).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// Partition-store shard count (rounded up to a power of two by
+    /// [`build`](Self::build)).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.cfg.shards = shards;
+        self
+    }
+
+    /// Functions per work item (minimum 1 after
+    /// [`build`](Self::build)).
+    pub fn chunk_size(mut self, chunk_size: usize) -> Self {
+        self.cfg.chunk_size = chunk_size;
+        self
+    }
+
+    /// Bounded per-worker deque capacity in chunks (minimum 1 after
+    /// [`build`](Self::build)).
+    pub fn deque_capacity(mut self, deque_capacity: usize) -> Self {
+        self.cfg.deque_capacity = deque_capacity;
+        self
+    }
+
+    /// Chunks stolen from a victim in one go (clamped to
+    /// `1..=deque_capacity` by [`build`](Self::build)).
+    pub fn steal_batch(mut self, steal_batch: usize) -> Self {
+        self.cfg.steal_batch = steal_batch;
+        self
+    }
+
+    /// Whether to record per-submission labels (`false` = census-only
+    /// streaming with flat memory).
+    pub fn track_labels(mut self, track_labels: bool) -> Self {
+        self.cfg.track_labels = track_labels;
+        self
+    }
+
+    /// Table→key memo-cache capacity in entries (`0` disables it).
+    pub fn cache_capacity(mut self, cache_capacity: usize) -> Self {
+        self.cfg.cache_capacity = cache_capacity;
+        self
+    }
+
+    /// Durable-store settings (`None` keeps all state in memory).
+    pub fn persist(mut self, persist: Option<PersistConfig>) -> Self {
+        self.cfg.persist = persist;
+        self
+    }
+
+    /// Class-resolution tier (see [`Resolution`]).
+    pub fn resolution(mut self, resolution: Resolution) -> Self {
+        self.cfg.resolution = resolution;
+        self
+    }
+
+    /// Shorthand for `resolution(Resolution::Certified)`.
+    pub fn certified(self) -> Self {
+        self.resolution(Resolution::Certified)
+    }
+
+    /// Finalizes the configuration, clamping every knob into its valid
+    /// range: shards round up to a power of two (minimum 1), chunk
+    /// size and deque capacity clamp to at least 1, and the steal
+    /// batch clamps to `1..=deque_capacity`.
+    pub fn build(self) -> EngineConfig {
+        let mut cfg = self.cfg;
+        cfg.shards = cfg.shards.max(1).next_power_of_two();
+        cfg.chunk_size = cfg.chunk_size.max(1);
+        cfg.deque_capacity = cfg.deque_capacity.max(1);
+        cfg.steal_batch = cfg.steal_batch.clamp(1, cfg.deque_capacity);
+        cfg
     }
 }
 
@@ -193,5 +341,45 @@ mod tests {
             };
             assert_eq!(cfg.resolved_shards(), resolved, "requested {requested}");
         }
+    }
+
+    #[test]
+    fn builder_clamps_every_knob() {
+        let cfg = EngineConfig::builder()
+            .shards(3)
+            .chunk_size(0)
+            .deque_capacity(0)
+            .steal_batch(0)
+            .build();
+        assert_eq!(cfg.shards, 4);
+        assert_eq!(cfg.chunk_size, 1);
+        assert_eq!(cfg.deque_capacity, 1);
+        assert_eq!(cfg.steal_batch, 1);
+        // The steal batch never exceeds the deque capacity.
+        let cfg = EngineConfig::builder()
+            .deque_capacity(2)
+            .steal_batch(99)
+            .build();
+        assert_eq!(cfg.steal_batch, 2);
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        let built = EngineConfig::builder().build();
+        let default = EngineConfig::default();
+        assert_eq!(built.set, default.set);
+        assert_eq!(built.workers, default.workers);
+        assert_eq!(built.shards, default.shards);
+        assert_eq!(built.chunk_size, default.chunk_size);
+        assert_eq!(built.track_labels, default.track_labels);
+        assert_eq!(built.resolution, Resolution::Digest);
+    }
+
+    #[test]
+    fn builder_sets_resolution() {
+        let cfg = EngineConfig::builder().certified().build();
+        assert_eq!(cfg.resolution, Resolution::Certified);
+        assert_eq!(cfg.resolution.to_string(), "certified");
+        assert_eq!(Resolution::Digest.to_string(), "digest");
     }
 }

@@ -2,14 +2,17 @@
 //! result assembly.
 
 use crate::cache::MemoCache;
-use crate::config::{EngineConfig, PersistConfig};
+use crate::config::{EngineConfig, PersistConfig, Resolution};
 use crate::pool::{PoolConfig, StealPool};
 use crate::stats::{EngineSnapshot, EngineStats, RecoveryReport};
 use crate::store::{self, ClassSummary, ShardedStore, StoreTelemetry};
-use facepoint_core::{Classification, NpnClass, SignatureKernel};
+use facepoint_core::{
+    fnv128, signature_key, CensusEntry, CensusView, Classification, NpnClass, SignatureKernel,
+};
+use facepoint_exact::{certified_canonical, npn_match, BucketResolver};
 use facepoint_sig::SignatureSet;
 use facepoint_telemetry::{LatencyHistogram, Registry};
-use facepoint_truth::TruthTable;
+use facepoint_truth::{NpnTransform, TruthTable};
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -30,6 +33,55 @@ struct Job {
     /// time a partial chunk sat buffered) is part of the latency, not
     /// hidden from it.
     submitted_at: Instant,
+}
+
+/// The store key of a certified class: the FNV-128 digest of its
+/// canonical representative's serialized form (arity word followed by
+/// the table words). Purely a function of the proved representative,
+/// so any process — recovery included — recomputes the same key from
+/// the stored table.
+pub fn certified_key(representative: &TruthTable) -> u128 {
+    let words = representative.words();
+    let mut data = Vec::with_capacity(1 + words.len());
+    data.push(representative.num_vars() as u64);
+    data.extend_from_slice(words);
+    fnv128(&data)
+}
+
+/// The worker-side state of [`Resolution::Certified`]: the shared
+/// bucket resolver plus its latency instrument. `None` everywhere in
+/// digest mode.
+struct CertifiedResolve {
+    resolver: Arc<BucketResolver>,
+    resolve_nanos: Arc<LatencyHistogram>,
+}
+
+impl CertifiedResolve {
+    /// Resolves one keyed miss to its certified class: digest bucket →
+    /// proved representative → store key.
+    fn resolve(&self, digest: u128, table: &TruthTable) -> (u128, TruthTable) {
+        let started = Instant::now();
+        let resolved = self.resolver.resolve(digest, table);
+        self.resolve_nanos.record_duration(started.elapsed());
+        (
+            certified_key(&resolved.representative),
+            resolved.representative,
+        )
+    }
+}
+
+/// What [`Engine::canon`] answers: the proved class entry plus the
+/// witness transform mapping the queried function onto the
+/// representative.
+#[derive(Debug, Clone)]
+pub struct CanonAnswer {
+    /// The certified class: key (FNV-128 of the representative), the
+    /// member count observed so far (`0` unless the engine runs
+    /// [`Resolution::Certified`] and has seen the class), and the
+    /// proved canonical representative.
+    pub entry: CensusEntry,
+    /// Transform `t` with `t.apply(query) == entry.representative`.
+    pub witness: NpnTransform,
 }
 
 /// The streaming replacement for the old per-worker `(seq, key)` log.
@@ -119,7 +171,7 @@ impl OrderSink {
 ///
 /// See the [crate docs](crate) for the architecture. Lifecycle:
 ///
-/// 1. create ([`Engine::new`] / [`Engine::with_config`]) — workers
+/// 1. create ([`Engine::new`] / [`Engine::builder`]) — workers
 ///    start idle;
 /// 2. feed it ([`Engine::submit`], [`Engine::submit_batch`], or
 ///    concurrently through [`SubmitHandle`]s) — keys are computed and
@@ -174,6 +226,12 @@ pub struct Engine {
     /// When `pending` went empty→non-empty — the `submitted_at` of the
     /// chunk it will become. Meaningless while `pending` is empty.
     pending_since: Instant,
+    /// The certified bucket resolver. Constructed in every mode so the
+    /// telemetry schema (`engine_canon_*`) is stable across modes; only
+    /// [`Resolution::Certified`] routes classifications through it.
+    resolver: Arc<BucketResolver>,
+    /// Worker-side certified-resolution context; `None` in digest mode.
+    certified: Option<Arc<CertifiedResolve>>,
 }
 
 /// A read-only view of a durable store's contents, produced by
@@ -184,6 +242,10 @@ pub struct RecoveredSnapshot {
     /// Signature set the store's keys were computed under (from the
     /// manifest).
     pub set: SignatureSet,
+    /// Resolution tier the store was built under (from the manifest's
+    /// key-scheme marker): certified stores key classes by their proved
+    /// representative, digest stores by the signature digest.
+    pub resolution: Resolution,
     /// Every recovered class, largest first (ties broken by key).
     pub classes: Vec<ClassSummary>,
     /// Replay accounting: classes, members, torn tails, epochs.
@@ -194,6 +256,22 @@ impl RecoveredSnapshot {
     /// Total members across all recovered classes.
     pub fn members(&self) -> u64 {
         self.report.members
+    }
+
+    /// The recovered census as the shared render path (largest class
+    /// first; same ordering and line format as every other census
+    /// consumer).
+    pub fn census_view(&self) -> CensusView {
+        CensusView::new(
+            self.classes
+                .iter()
+                .map(|c| CensusEntry {
+                    key: c.key,
+                    size: c.size as u64,
+                    representative: c.representative.clone(),
+                })
+                .collect(),
+        )
     }
 }
 
@@ -212,12 +290,30 @@ pub struct EngineReport {
     pub classification: Classification,
     /// Throughput and occupancy counters for the run.
     pub stats: EngineStats,
-    /// The final classes, largest first — populated **only** for a
-    /// census-only engine ([`EngineConfig::track_labels`]` == false`),
-    /// where `classification` is empty by design. Label-tracking
-    /// engines leave this empty (the same information, plus labels, is
-    /// in `classification`).
+    /// The final classes, largest first, straight from the partition
+    /// store — always populated, and for a durable engine cumulative
+    /// across runs (recovered members included). For a census-only
+    /// engine ([`EngineConfig::track_labels`]` == false`) this is the
+    /// *entire* result, since `classification` is empty by design.
     pub census: Vec<ClassSummary>,
+}
+
+impl EngineReport {
+    /// The final census as the shared render path (largest class
+    /// first; same ordering and line format as every other census
+    /// consumer).
+    pub fn census_view(&self) -> CensusView {
+        CensusView::new(
+            self.census
+                .iter()
+                .map(|c| CensusEntry {
+                    key: c.key,
+                    size: c.size as u64,
+                    representative: c.representative.clone(),
+                })
+                .collect(),
+        )
+    }
 }
 
 /// An ingestion endpoint detached from the [`Engine`]'s `&mut` API:
@@ -263,6 +359,9 @@ pub struct SubmitHandle {
     log_scratch: Vec<(u64, u128)>,
     miss_scratch: Vec<usize>,
     chunk_latency: Arc<LatencyHistogram>,
+    /// Certified-resolution context for the inline path; `None` in
+    /// digest mode.
+    certified: Option<Arc<CertifiedResolve>>,
 }
 
 /// One buffered [`SubmitHandle::submit_batch`] entry, held *without* a
@@ -404,64 +503,104 @@ impl SubmitHandle {
                 &mut self.log_scratch,
                 &mut self.miss_scratch,
                 &self.chunk_latency,
+                self.certified.as_deref(),
             );
         }
     }
 }
 
-impl Engine {
-    /// An engine over `set` with default tuning (all cores, 64 shards,
-    /// cache off).
-    pub fn new(set: facepoint_sig::SignatureSet) -> Self {
-        Self::with_config(EngineConfig::with_set(set))
+/// The one construction spine of [`Engine`]: configuration, optional
+/// durability directory, then [`build`](EngineBuilder::build) (or
+/// [`recover`](EngineBuilder::recover) for a read-only snapshot of the
+/// same directory). Obtained via [`Engine::builder`]; replaces the
+/// retired `with_config`/`try_with_config`/`open` trio.
+///
+/// ```no_run
+/// use facepoint_engine::{Engine, EngineConfig};
+///
+/// let cfg = EngineConfig::builder().workers(4).certified().build();
+/// let engine = Engine::builder()
+///     .config(cfg)
+///     .persist("/var/lib/facepoint/census")
+///     .build()?;
+/// # drop(engine);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EngineBuilder {
+    cfg: EngineConfig,
+    dir: Option<PathBuf>,
+}
+
+impl EngineBuilder {
+    /// The engine configuration (default: [`EngineConfig::default`]).
+    pub fn config(mut self, cfg: EngineConfig) -> Self {
+        self.cfg = cfg;
+        self
     }
 
-    /// An engine with explicit tuning.
-    ///
-    /// # Panics
-    ///
-    /// Panics if [`EngineConfig::persist`] is set and the durable store
-    /// fails to open — use [`Engine::try_with_config`] (or
-    /// [`Engine::open`]) when disk errors should be handled instead.
-    pub fn with_config(cfg: EngineConfig) -> Self {
-        Self::try_with_config(cfg).expect("failed to open the durable store")
-    }
-
-    /// Opens (or creates) a **durable** engine whose class store lives
-    /// under `dir`: every classified member is journaled to a per-shard
-    /// segment log, and any state already in `dir` is recovered first —
-    /// the partition store and (when enabled) the memo cache pick up
-    /// exactly where the previous process stopped, torn tails
+    /// Makes the engine **durable** under `dir`: every classified
+    /// member is journaled to a per-shard segment log, and any state
+    /// already in `dir` is recovered first — the partition store, the
+    /// certified-class tables and (when enabled) the memo cache pick
+    /// up exactly where the previous process stopped, torn tails
     /// truncated. Inspect what was found via [`Engine::recovery`].
     ///
     /// Durability knobs other than the directory (checkpoint interval,
-    /// sync policy) are taken from `cfg.persist` when set, defaults
-    /// otherwise.
-    ///
-    /// # Errors
-    ///
-    /// I/O failures, a store recorded under a different signature set,
-    /// or corruption outside a log tail.
-    pub fn open(dir: impl Into<PathBuf>, mut cfg: EngineConfig) -> io::Result<Self> {
-        let mut persist = cfg
-            .persist
-            .take()
-            .unwrap_or_else(|| PersistConfig::new(PathBuf::new()));
-        persist.dir = dir.into();
-        cfg.persist = Some(persist);
-        Self::try_with_config(cfg)
+    /// sync policy) are taken from the configuration's
+    /// [`EngineConfig::persist`] when set, defaults otherwise.
+    pub fn persist(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.dir = Some(dir.into());
+        self
     }
 
-    /// Reads the durable store under `dir` without opening it for
-    /// writing: no workers, no truncation, no new segments — the
-    /// inspection path behind the CLI's `recover` subcommand.
+    /// Builds the engine: resolves the configuration through
+    /// [`EngineConfig::builder`]'s clamping, opens (or creates) the
+    /// durable store when [`persist`](Self::persist) was given, and
+    /// starts the worker pool.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`Engine::open`], plus `NotFound` when `dir`
-    /// holds no store manifest.
-    pub fn recover(dir: impl AsRef<Path>) -> io::Result<RecoveredSnapshot> {
-        let (maps, set_name, report) = store::recover_dir(dir.as_ref())?;
+    /// Only for durable engines: I/O failures, a store recorded under
+    /// a different signature set or resolution tier, or corruption
+    /// outside a log tail.
+    pub fn build(self) -> io::Result<Engine> {
+        let EngineBuilder { mut cfg, dir } = self;
+        if let Some(dir) = dir {
+            let mut persist = cfg
+                .persist
+                .take()
+                .unwrap_or_else(|| PersistConfig::new(PathBuf::new()));
+            persist.dir = dir;
+            cfg.persist = Some(persist);
+        }
+        Engine::build_from(cfg)
+    }
+
+    /// Reads the durable store under the [`persist`](Self::persist)
+    /// directory without opening it for writing: no workers, no
+    /// truncation, no new segments — the inspection path behind the
+    /// CLI's `recover` subcommand.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`build`](Self::build), plus `NotFound` when
+    /// the directory holds no store manifest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no `persist` directory was set — there is nothing to
+    /// recover from.
+    pub fn recover(self) -> io::Result<RecoveredSnapshot> {
+        let dir = self
+            .dir
+            .or_else(|| self.cfg.persist.map(|p| p.dir))
+            .expect("EngineBuilder::recover needs a persist directory");
+        let (maps, set_name, report) = store::recover_dir(&dir)?;
+        let (resolution, set_name) = match set_name.strip_prefix(CERTIFIED_SET_PREFIX) {
+            Some(rest) => (Resolution::Certified, rest.to_string()),
+            None => (Resolution::Digest, set_name),
+        };
         let set = SignatureSet::parse(&set_name).ok_or_else(|| {
             io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -481,9 +620,71 @@ impl Engine {
         classes.sort_by(|a, b| b.size.cmp(&a.size).then(a.key.cmp(&b.key)));
         Ok(RecoveredSnapshot {
             set,
+            resolution,
             classes,
             report,
         })
+    }
+}
+
+/// Manifest key-scheme marker of a certified-resolution store. A
+/// certified store's keys are representative digests, not signature
+/// digests, so reopening it under the other resolution is refused the
+/// same way a signature-set mismatch is.
+const CERTIFIED_SET_PREFIX: &str = "certified:";
+
+impl Engine {
+    /// An engine over `set` with default tuning (all cores, 64 shards,
+    /// cache off).
+    pub fn new(set: facepoint_sig::SignatureSet) -> Self {
+        Self::build_from(EngineConfig::with_set(set)).expect("in-memory engine cannot fail")
+    }
+
+    /// The construction spine: see [`EngineBuilder`].
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// An engine with explicit tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`EngineConfig::persist`] is set and the durable store
+    /// fails to open.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Engine::builder().config(cfg).build() — the builder reports \
+                store-opening failures instead of panicking"
+    )]
+    pub fn with_config(cfg: EngineConfig) -> Self {
+        Self::build_from(cfg).expect("failed to open the durable store")
+    }
+
+    /// Opens (or creates) a **durable** engine whose class store lives
+    /// under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a store recorded under a different signature set
+    /// or resolution tier, or corruption outside a log tail.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Engine::builder().config(cfg).persist(dir).build()"
+    )]
+    pub fn open(dir: impl Into<PathBuf>, cfg: EngineConfig) -> io::Result<Self> {
+        Self::builder().config(cfg).persist(dir).build()
+    }
+
+    /// Reads the durable store under `dir` without opening it for
+    /// writing — shorthand for
+    /// [`Engine::builder`]`.persist(dir).recover()`, see
+    /// [`EngineBuilder::recover`].
+    ///
+    /// # Errors
+    ///
+    /// See [`EngineBuilder::recover`].
+    pub fn recover(dir: impl AsRef<Path>) -> io::Result<RecoveredSnapshot> {
+        Self::builder().persist(dir.as_ref()).recover()
     }
 
     /// An engine with explicit tuning, reporting store-opening failures
@@ -491,9 +692,14 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Only when [`EngineConfig::persist`] is set: see
-    /// [`Engine::open`].
+    /// Only when [`EngineConfig::persist`] is set.
+    #[deprecated(since = "0.1.0", note = "use Engine::builder().config(cfg).build()")]
     pub fn try_with_config(cfg: EngineConfig) -> io::Result<Self> {
+        Self::build_from(cfg)
+    }
+
+    /// The one code path every constructor funnels into.
+    fn build_from(cfg: EngineConfig) -> io::Result<Self> {
         let workers = cfg.resolved_workers();
         // The registry exists before anything it instruments:
         // recovery-replay timing below covers the store open itself.
@@ -505,12 +711,20 @@ impl Engine {
             checkpoint_nanos: telemetry.histogram("store_checkpoint_nanos"),
         };
         let opened = Instant::now();
+        // The manifest records the key scheme: the signature set, with
+        // a resolution marker in front for certified stores (their keys
+        // are representative digests — incomparable with digest keys,
+        // so cross-mode reopens must be refused like set mismatches).
+        let store_set_name = match cfg.resolution {
+            Resolution::Digest => cfg.set.to_string(),
+            Resolution::Certified => format!("{CERTIFIED_SET_PREFIX}{}", cfg.set),
+        };
         let (store, recovery) = match &cfg.persist {
             Some(persist) => {
                 let (store, report) = ShardedStore::open_durable(
                     persist,
                     cfg.resolved_shards(),
-                    cfg.set,
+                    &store_set_name,
                     store_telemetry,
                 )?;
                 (store, Some(report))
@@ -546,6 +760,29 @@ impl Engine {
         if recovery.is_some() && cfg.cache_capacity > 0 {
             // Warm the dedup fast path with the recovered census.
             store.for_each(|key, entry| cache.prime(&entry.representative, key));
+        }
+        let resolver = Arc::new(BucketResolver::new());
+        let resolve_nanos = telemetry.histogram("engine_canon_resolve_nanos");
+        let certified = match cfg.resolution {
+            Resolution::Digest => None,
+            Resolution::Certified => Some(Arc::new(CertifiedResolve {
+                resolver: Arc::clone(&resolver),
+                resolve_nanos: Arc::clone(&resolve_nanos),
+            })),
+        };
+        if certified.is_some() && recovery.is_some() {
+            // Rebuild the bucket tables from the recovered census: a
+            // stored representative's signature digest equals its whole
+            // class's digest (signatures are NPN invariants), so
+            // re-keying the representatives reconstructs exactly the
+            // buckets the previous process had — no Gray-code walk is
+            // repeated for a recovered class.
+            store.for_each(|_, entry| {
+                resolver.prime(
+                    signature_key(&entry.representative, cfg.set),
+                    entry.representative.clone(),
+                );
+            });
         }
         let processed = Arc::new(AtomicU64::new(base_seq));
         let order = Arc::new(OrderSink::new(cfg.track_labels, base_seq));
@@ -598,6 +835,15 @@ impl Engine {
             let d = Arc::clone(&dedup_hits);
             telemetry.counter_fn("engine_dedup_hits_total", move || d.load(Ordering::Relaxed));
             telemetry.gauge_fn("engine_workers", move || workers as f64);
+            // Certified-resolution counters: registered in every mode
+            // (a digest engine scrapes zeros) so the series schema is
+            // stable whatever the resolution.
+            let r = Arc::clone(&resolver);
+            telemetry.counter_fn("engine_canon_walks_total", move || r.walks());
+            let r = Arc::clone(&resolver);
+            telemetry.counter_fn("engine_canon_matches_total", move || r.matches());
+            let r = Arc::clone(&resolver);
+            telemetry.counter_fn("engine_canon_fallbacks_total", move || r.fallbacks());
             // Weak, not Arc: the registry outlives the engine when a
             // caller keeps `Engine::telemetry()` after `finish`, and a
             // strong reference here would pin the durable store — and
@@ -632,6 +878,7 @@ impl Engine {
                 let order = Arc::clone(&order);
                 let set = cfg.set;
                 let chunk_latency = Arc::clone(&chunk_latency);
+                let certified = certified.clone();
                 std::thread::spawn(move || {
                     worker_loop(
                         me,
@@ -642,6 +889,7 @@ impl Engine {
                         &order,
                         set,
                         &chunk_latency,
+                        certified.as_deref(),
                     )
                 })
             })
@@ -668,6 +916,8 @@ impl Engine {
             telemetry,
             chunk_latency,
             pending_since: Instant::now(),
+            resolver,
+            certified,
             cfg,
         })
     }
@@ -714,6 +964,54 @@ impl Engine {
             log_scratch: Vec::new(),
             miss_scratch: Vec::new(),
             chunk_latency: Arc::clone(&self.chunk_latency),
+            certified: self.certified.clone(),
+        }
+    }
+
+    /// Resolves `f` to its **proved** NPN class: the certified
+    /// canonical representative, the witness transform mapping `f` onto
+    /// it, and — when the engine runs [`Resolution::Certified`] and has
+    /// already seen the class — the class key and member count from the
+    /// store. The query itself is read-only: it never creates a class,
+    /// counts a member or touches the stream.
+    ///
+    /// In certified mode the answer comes from the resolver's cached
+    /// representative when the class is known (so the key and size
+    /// match the census even for heavy-symmetry classes whose label
+    /// came from the budget fallback); otherwise — unknown class, or a
+    /// digest-mode engine — the representative is computed on the spot
+    /// and the size reported as `0`.
+    pub fn canon(&self, f: &TruthTable) -> CanonAnswer {
+        if let Some(tier) = &self.certified {
+            let digest = signature_key(f, self.cfg.set);
+            if let Some((representative, witness)) = tier.resolver.witness(digest, f) {
+                let key = certified_key(&representative);
+                let size = self.store.get(key).map_or(0, |(_, size)| size as u64);
+                return CanonAnswer {
+                    entry: CensusEntry {
+                        key,
+                        size,
+                        representative,
+                    },
+                    witness,
+                };
+            }
+        }
+        let (representative, _) = certified_canonical(f);
+        let witness = npn_match(f, &representative).expect("a canonical form is in its own orbit");
+        let key = certified_key(&representative);
+        let size = if self.certified.is_some() {
+            self.store.get(key).map_or(0, |(_, size)| size as u64)
+        } else {
+            0
+        };
+        CanonAnswer {
+            entry: CensusEntry {
+                key,
+                size,
+                representative,
+            },
+            witness,
         }
     }
 
@@ -938,6 +1236,7 @@ impl Engine {
                     &mut log,
                     &mut misses,
                     &self.chunk_latency,
+                    self.certified.as_deref(),
                 );
             }
         }
@@ -948,9 +1247,10 @@ impl Engine {
         }
         let submitted_this_run = (self.next_seq.load(Ordering::Acquire) - self.base_seq) as usize;
         let state = self.order.seal();
+        // The census always reflects the store (cumulative for durable
+        // engines); for a census-only engine it is the entire result.
+        let census = self.store.top_classes(usize::MAX);
         if !self.cfg.track_labels {
-            // Census-only: the store is the result.
-            let census = self.store.top_classes(usize::MAX);
             let stats = self.stats_inner(Some(census.len()));
             return EngineReport {
                 classification: Classification::from_parts(Vec::new(), Vec::new()),
@@ -997,7 +1297,7 @@ impl Engine {
         EngineReport {
             classification: Classification::from_parts(labels, classes),
             stats,
-            census: Vec::new(),
+            census,
         }
     }
 
@@ -1029,6 +1329,10 @@ impl Engine {
             elapsed: self.started.elapsed(),
             recovered_members: self.base_seq,
             durability: self.store.durability_snapshot(),
+            resolution: self.cfg.resolution,
+            canon_walks: self.resolver.walks(),
+            canon_matches: self.resolver.matches(),
+            canon_fallbacks: self.resolver.fallbacks(),
         }
     }
 }
@@ -1077,6 +1381,7 @@ fn classify_job(
     log: &mut Vec<(u64, u128)>,
     misses: &mut Vec<usize>,
     chunk_latency: &LatencyHistogram,
+    certified: Option<&CertifiedResolve>,
 ) {
     let submitted_at = job.submitted_at;
     let entries = job.entries;
@@ -1095,11 +1400,26 @@ fn classify_job(
     kernel.key_batch_with(
         miss_idx.len(),
         |j| &entries[miss_idx[j]].1,
-        |j, key| {
+        |j, digest| {
             let i = miss_idx[j];
             let (seq, table) = &entries[i];
+            // In certified mode the signature digest only names the
+            // bucket; the store key and the stored representative are
+            // the *proved* ones from the resolver. Either way the
+            // store insert lands before the cache records the key, so
+            // a dedup fast-path hit always finds an occupied entry.
+            let key = match certified {
+                None => {
+                    store.insert(digest, table, *seq);
+                    digest
+                }
+                Some(tier) => {
+                    let (key, representative) = tier.resolve(digest, table);
+                    store.insert(key, &representative, *seq);
+                    key
+                }
+            };
             cache.record(table, key);
-            store.insert(key, table, *seq);
             log[i].1 = key;
             processed.fetch_add(1, Ordering::AcqRel);
         },
@@ -1120,6 +1440,7 @@ fn worker_loop(
     order: &OrderSink,
     set: facepoint_sig::SignatureSet,
     chunk_latency: &LatencyHistogram,
+    certified: Option<&CertifiedResolve>,
 ) {
     // One kernel per worker, reused for the whole stream: scratch
     // buffers grow to the largest arity seen, then key computation is
@@ -1139,6 +1460,7 @@ fn worker_loop(
             &mut log,
             &mut misses,
             chunk_latency,
+            certified,
         );
     }
 }
@@ -1162,11 +1484,14 @@ mod tests {
     fn matches_one_shot_classifier() {
         let fns = workload(5, 10, 6, 42);
         let expected = Classifier::new(SignatureSet::all()).classify(fns.clone());
-        let mut engine = Engine::with_config(EngineConfig {
-            workers: 4,
-            chunk_size: 7, // force many small, oddly-sized chunks
-            ..EngineConfig::default()
-        });
+        let mut engine = Engine::builder()
+            .config(EngineConfig {
+                workers: 4,
+                chunk_size: 7, // force many small, oddly-sized chunks
+                ..EngineConfig::default()
+            })
+            .build()
+            .unwrap();
         engine.submit_batch(fns);
         let report = engine.finish();
         assert_eq!(report.classification.labels(), expected.labels());
@@ -1176,11 +1501,14 @@ mod tests {
     #[test]
     fn representatives_are_class_members() {
         let fns = workload(4, 6, 4, 7);
-        let mut engine = Engine::with_config(EngineConfig {
-            workers: 3,
-            chunk_size: 5,
-            ..EngineConfig::default()
-        });
+        let mut engine = Engine::builder()
+            .config(EngineConfig {
+                workers: 3,
+                chunk_size: 5,
+                ..EngineConfig::default()
+            })
+            .build()
+            .unwrap();
         engine.submit_batch(fns);
         let report = engine.finish();
         for class in report.classification.classes() {
@@ -1201,11 +1529,14 @@ mod tests {
     fn snapshot_mid_stream_progresses() {
         let fns = workload(5, 8, 8, 99);
         let total = fns.len() as u64;
-        let mut engine = Engine::with_config(EngineConfig {
-            workers: 2,
-            chunk_size: 16,
-            ..EngineConfig::default()
-        });
+        let mut engine = Engine::builder()
+            .config(EngineConfig {
+                workers: 2,
+                chunk_size: 16,
+                ..EngineConfig::default()
+            })
+            .build()
+            .unwrap();
         engine.submit_batch(fns);
         engine.flush();
         let snap = engine.snapshot();
@@ -1222,12 +1553,15 @@ mod tests {
     #[test]
     fn memo_cache_sees_repeat_traffic() {
         let f = TruthTable::majority(5);
-        let mut engine = Engine::with_config(EngineConfig {
-            workers: 2,
-            cache_capacity: 1024,
-            chunk_size: 8,
-            ..EngineConfig::default()
-        });
+        let mut engine = Engine::builder()
+            .config(EngineConfig {
+                workers: 2,
+                cache_capacity: 1024,
+                chunk_size: 8,
+                ..EngineConfig::default()
+            })
+            .build()
+            .unwrap();
         for _ in 0..64 {
             engine.submit(f.clone());
         }
@@ -1245,11 +1579,14 @@ mod tests {
         fns.extend(workload(4, 1, 2, 6)); // 2 of another
         let expected = Classifier::new(SignatureSet::all()).classify(fns.clone());
         let total = fns.len() as u64;
-        let mut engine = Engine::with_config(EngineConfig {
-            workers: 2,
-            chunk_size: 3,
-            ..EngineConfig::default()
-        });
+        let mut engine = Engine::builder()
+            .config(EngineConfig {
+                workers: 2,
+                chunk_size: 3,
+                ..EngineConfig::default()
+            })
+            .build()
+            .unwrap();
         engine.submit_batch(fns);
         engine.flush();
         // Wait (bounded) for the stream to drain, then the mid-stream
@@ -1289,11 +1626,14 @@ mod tests {
         let fns = workload(5, 10, 8, 17);
         let total = fns.len() as u64;
         let expected = Classifier::new(SignatureSet::all()).classify(fns.clone());
-        let mut engine = Engine::with_config(EngineConfig {
-            workers: 3,
-            chunk_size: 9,
-            ..EngineConfig::default()
-        });
+        let mut engine = Engine::builder()
+            .config(EngineConfig {
+                workers: 3,
+                chunk_size: 9,
+                ..EngineConfig::default()
+            })
+            .build()
+            .unwrap();
         // Interleave submission with mid-stream drains: after each
         // drain, the snapshot must account for every prior submission
         // (the service invariant behind `facepoint serve`'s SNAPSHOT).
@@ -1329,11 +1669,14 @@ mod tests {
         // `backlog()` never overshoot while a chunk is in flight.
         let fns = facepoint_bench::random_workload(8, 400, 0x9A9);
         let total = fns.len() as u64;
-        let mut engine = Engine::with_config(EngineConfig {
-            workers: 1,
-            chunk_size: fns.len(),
-            ..EngineConfig::default()
-        });
+        let mut engine = Engine::builder()
+            .config(EngineConfig {
+                workers: 1,
+                chunk_size: fns.len(),
+                ..EngineConfig::default()
+            })
+            .build()
+            .unwrap();
         engine.submit_batch(fns);
         engine.flush();
         let deadline = Instant::now() + std::time::Duration::from_secs(120);
@@ -1364,13 +1707,16 @@ mod tests {
         // between deques; the partition must not notice.
         let fns = workload(4, 9, 5, 0x57EA);
         let expected = Classifier::new(SignatureSet::all()).classify(fns.clone());
-        let mut engine = Engine::with_config(EngineConfig {
-            workers: 8,
-            chunk_size: 1,
-            deque_capacity: 1,
-            steal_batch: 1,
-            ..EngineConfig::default()
-        });
+        let mut engine = Engine::builder()
+            .config(EngineConfig {
+                workers: 8,
+                chunk_size: 1,
+                deque_capacity: 1,
+                steal_batch: 1,
+                ..EngineConfig::default()
+            })
+            .build()
+            .unwrap();
         engine.submit_batch(fns.iter().cloned());
         let report = engine.finish();
         assert_eq!(report.classification.labels(), expected.labels());
@@ -1384,12 +1730,15 @@ mod tests {
     fn census_only_mode_reports_through_census() {
         let fns = workload(4, 7, 3, 0xCE45);
         let expected = Classifier::new(SignatureSet::all()).classify(fns.clone());
-        let mut engine = Engine::with_config(EngineConfig {
-            workers: 2,
-            chunk_size: 4,
-            track_labels: false,
-            ..EngineConfig::default()
-        });
+        let mut engine = Engine::builder()
+            .config(EngineConfig {
+                workers: 2,
+                chunk_size: 4,
+                track_labels: false,
+                ..EngineConfig::default()
+            })
+            .build()
+            .unwrap();
         engine.submit_batch(fns.iter().cloned());
         let report = engine.finish();
         // No labels were tracked…
@@ -1411,11 +1760,14 @@ mod tests {
         let expected_classes = Classifier::new(SignatureSet::all())
             .classify(fns.clone())
             .num_classes();
-        let mut engine = Engine::with_config(EngineConfig {
-            workers: 2,
-            chunk_size: 4,
-            ..EngineConfig::default()
-        });
+        let mut engine = Engine::builder()
+            .config(EngineConfig {
+                workers: 2,
+                chunk_size: 4,
+                ..EngineConfig::default()
+            })
+            .build()
+            .unwrap();
         let (left, right) = fns.split_at(fns.len() / 2);
         let mut handle = engine.submit_handle();
         let right = right.to_vec();
@@ -1450,12 +1802,15 @@ mod tests {
     fn telemetry_scrape_covers_engine_series() {
         let fns = workload(4, 6, 5, 0x7E1E);
         let total = fns.len() as u64;
-        let mut engine = Engine::with_config(EngineConfig {
-            workers: 2,
-            chunk_size: 4,
-            cache_capacity: 64,
-            ..EngineConfig::default()
-        });
+        let mut engine = Engine::builder()
+            .config(EngineConfig {
+                workers: 2,
+                chunk_size: 4,
+                cache_capacity: 64,
+                ..EngineConfig::default()
+            })
+            .build()
+            .unwrap();
         let telemetry = engine.telemetry();
         engine.submit_batch(fns);
         engine.flush();
@@ -1507,7 +1862,11 @@ mod tests {
             }),
             ..EngineConfig::default()
         };
-        let mut engine = Engine::open(&dir, cfg.clone()).unwrap();
+        let mut engine = Engine::builder()
+            .config(cfg.clone())
+            .persist(&dir)
+            .build()
+            .unwrap();
         let telemetry = engine.telemetry();
         engine.submit_batch(workload(4, 6, 8, 0xD0C));
         engine.flush(); // epoch barrier → fsync under Barrier policy
@@ -1532,7 +1891,7 @@ mod tests {
         assert_eq!(series(&text, "store_journal_records_total"), 0.0);
         // Reopening replays the checkpoints; the replay gauge reflects
         // the measured open cost.
-        let reopened = Engine::open(&dir, cfg).unwrap();
+        let reopened = Engine::builder().config(cfg).persist(&dir).build().unwrap();
         let text = reopened.telemetry().render_text();
         assert!(
             series(&text, "store_recovery_replay_nanos") >= 1.0,
@@ -1544,10 +1903,13 @@ mod tests {
 
     #[test]
     fn submit_handle_refuses_after_finish() {
-        let mut engine = Engine::with_config(EngineConfig {
-            workers: 2,
-            ..EngineConfig::default()
-        });
+        let mut engine = Engine::builder()
+            .config(EngineConfig {
+                workers: 2,
+                ..EngineConfig::default()
+            })
+            .build()
+            .unwrap();
         let mut handle = engine.submit_handle();
         engine.submit(TruthTable::majority(3));
         let report = engine.finish();

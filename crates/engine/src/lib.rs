@@ -27,7 +27,15 @@
 //!   workers touching different classes never contend;
 //! * **memoizes** — an optional sharded table→key cache short-circuits
 //!   repeated-function traffic (cut workloads repeat heavily);
-//! * **persists** — [`Engine::open`] journals every class mutation to
+//! * **certifies** — [`Resolution::Certified`] resolves every digest
+//!   bucket into **proved** NPN classes: a bucket's first member is
+//!   canonicalized eagerly (Gray-code walk, influence/cofactor-pruned
+//!   above six variables), later members take the exact
+//!   pairwise-matcher witness path against the cached representative,
+//!   and [`Engine::canon`] answers point queries with the proved
+//!   representative plus a witness transform;
+//! * **persists** — [`Engine::builder`]`.persist(dir)` journals every
+//!   class mutation to
 //!   an append-only, CRC-guarded, per-shard segment log with periodic
 //!   checkpoint compaction, so a library-scale census survives
 //!   restarts and SIGKILLs: recovery replays the newest checkpoint
@@ -75,7 +83,10 @@ mod pool;
 mod stats;
 mod store;
 
-pub use config::{EngineConfig, PersistConfig, SyncPolicy};
-pub use engine::{Engine, EngineReport, RecoveredSnapshot, SubmitHandle};
+pub use config::{EngineConfig, EngineConfigBuilder, PersistConfig, Resolution, SyncPolicy};
+pub use engine::{
+    certified_key, CanonAnswer, Engine, EngineBuilder, EngineReport, RecoveredSnapshot,
+    SubmitHandle,
+};
 pub use stats::{DurabilityStats, EngineSnapshot, EngineStats, RecoveryReport};
 pub use store::ClassSummary;

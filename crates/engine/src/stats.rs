@@ -1,5 +1,6 @@
 //! Engine observability: mid-stream snapshots and end-of-run stats.
 
+use crate::config::Resolution;
 use std::time::Duration;
 
 /// A consistent-enough view of the engine while a stream is still being
@@ -95,6 +96,22 @@ pub struct EngineStats {
     /// Journal counters when the engine persists to disk, `None` for an
     /// in-memory run.
     pub durability: Option<DurabilityStats>,
+    /// Resolution tier the engine ran
+    /// ([`Resolution::Digest`]/[`Resolution::Certified`]).
+    pub resolution: Resolution,
+    /// Certified classes created by an eager canonicalization with an
+    /// orbit-invariant label (Gray-code walk up to six variables, the
+    /// pruned walk above). `0` in digest mode.
+    pub canon_walks: u64,
+    /// Members resolved against an already-cached certified
+    /// representative via the exact pairwise matcher. `0` in digest
+    /// mode.
+    pub canon_matches: u64,
+    /// Certified classes whose label came from the deterministic
+    /// budget fallback (heavy symmetry blew the pruned walk's
+    /// transform budget; the partition is still exact). `0` in digest
+    /// mode.
+    pub canon_fallbacks: u64,
 }
 
 /// Counters of the durable store's write side.
@@ -224,6 +241,13 @@ impl std::fmt::Display for EngineStats {
             self.steals,
             self.parks,
         )?;
+        if self.resolution == Resolution::Certified {
+            write!(
+                f,
+                " | certified: {} walks, {} matches, {} fallbacks",
+                self.canon_walks, self.canon_matches, self.canon_fallbacks,
+            )?;
+        }
         if let Some(d) = &self.durability {
             write!(f, " | journal: {d}")?;
         }
@@ -252,6 +276,10 @@ mod tests {
             elapsed: Duration::from_secs(2),
             recovered_members: 0,
             durability: None,
+            resolution: Resolution::Digest,
+            canon_walks: 0,
+            canon_matches: 0,
+            canon_fallbacks: 0,
         }
     }
 
@@ -262,6 +290,21 @@ mod tests {
         assert_eq!(s.cache_hit_rate(), 0.25);
         let display = s.to_string();
         assert!(display.contains("100 functions -> 10 classes"), "{display}");
+        // Digest mode stays silent about the certified tier…
+        assert!(!display.contains("certified"), "{display}");
+        // …a certified run reports its resolver counters.
+        let certified = EngineStats {
+            resolution: Resolution::Certified,
+            canon_walks: 10,
+            canon_matches: 88,
+            canon_fallbacks: 2,
+            ..stats()
+        };
+        let display = certified.to_string();
+        assert!(
+            display.contains("certified: 10 walks, 88 matches, 2 fallbacks"),
+            "{display}"
+        );
     }
 
     #[test]

@@ -394,19 +394,20 @@ impl ShardedStore {
     ///
     /// # Errors
     ///
-    /// I/O errors, a manifest recorded under a different signature set
-    /// (keys would be incomparable), or corruption outside a log tail.
+    /// I/O errors, a manifest recorded under a different key scheme
+    /// (`set_name` names the signature set, prefixed `certified:` for a
+    /// certified-resolution store — keys of different schemes would be
+    /// incomparable), or corruption outside a log tail.
     pub fn open_durable(
         persist: &PersistConfig,
         default_shards: usize,
-        set: facepoint_sig::SignatureSet,
+        set_name: &str,
         telemetry: StoreTelemetry,
     ) -> io::Result<(Self, RecoveryReport)> {
         assert!(default_shards.is_power_of_two(), "shard count must be 2^k");
         let dir = &persist.dir;
         std::fs::create_dir_all(dir)?;
         let lock = acquire_lock(dir)?;
-        let set_name = set.to_string();
         let shards = match read_manifest(dir)? {
             Some((manifest_shards, manifest_set)) => {
                 if manifest_set != set_name {
@@ -421,7 +422,7 @@ impl ShardedStore {
                 manifest_shards
             }
             None => {
-                write_manifest(dir, default_shards, &set_name, persist.sync)?;
+                write_manifest(dir, default_shards, set_name, persist.sync)?;
                 default_shards
             }
         };
@@ -993,7 +994,7 @@ mod tests {
         ShardedStore::open_durable(
             &cfg,
             4,
-            facepoint_sig::SignatureSet::all(),
+            &facepoint_sig::SignatureSet::all().to_string(),
             StoreTelemetry::default(),
         )
         .unwrap()
@@ -1078,7 +1079,7 @@ mod tests {
         let err = ShardedStore::open_durable(
             &cfg,
             4,
-            facepoint_sig::SignatureSet::OIV,
+            &facepoint_sig::SignatureSet::OIV.to_string(),
             StoreTelemetry::default(),
         )
         .map(|_| ())
@@ -1103,7 +1104,7 @@ mod tests {
         let (store, report) = ShardedStore::open_durable(
             &cfg,
             16,
-            facepoint_sig::SignatureSet::all(),
+            &facepoint_sig::SignatureSet::all().to_string(),
             StoreTelemetry::default(),
         )
         .unwrap();

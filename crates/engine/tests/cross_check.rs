@@ -11,12 +11,15 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn engine_with(workers: usize, set: SignatureSet, chunk_size: usize) -> Engine {
-    Engine::with_config(EngineConfig {
-        set,
-        workers,
-        chunk_size,
-        ..EngineConfig::default()
-    })
+    Engine::builder()
+        .config(EngineConfig {
+            set,
+            workers,
+            chunk_size,
+            ..EngineConfig::default()
+        })
+        .build()
+        .unwrap()
 }
 
 /// The acceptance-scale cross-check: ≥ 10k random tables spanning
@@ -141,13 +144,16 @@ fn dedup_fast_path_is_transparent_across_worker_counts() {
     fns.extend(base.iter().cloned());
     let expected = Classifier::new(SignatureSet::all()).classify(fns.clone());
     for workers in [1usize, 2, 8] {
-        let mut engine = Engine::with_config(EngineConfig {
-            set: SignatureSet::all(),
-            workers,
-            chunk_size: 8,
-            cache_capacity: 4096,
-            ..EngineConfig::default()
-        });
+        let mut engine = Engine::builder()
+            .config(EngineConfig {
+                set: SignatureSet::all(),
+                workers,
+                chunk_size: 8,
+                cache_capacity: 4096,
+                ..EngineConfig::default()
+            })
+            .build()
+            .unwrap();
         // Warm the cache with the first copy of the stream, draining it
         // fully so every repeat can take the fast path.
         engine.submit_batch(base.iter().cloned());
@@ -193,13 +199,16 @@ fn dedup_interleaved_with_pending_buffer_keeps_submission_order() {
         stream.push(k.clone());
     }
     let expected = Classifier::new(SignatureSet::all()).classify(stream.clone());
-    let mut engine = Engine::with_config(EngineConfig {
-        set: SignatureSet::all(),
-        workers: 2,
-        chunk_size: 64, // larger than the stream: everything stays buffered
-        cache_capacity: 1024,
-        ..EngineConfig::default()
-    });
+    let mut engine = Engine::builder()
+        .config(EngineConfig {
+            set: SignatureSet::all(),
+            workers: 2,
+            chunk_size: 64, // larger than the stream: everything stays buffered
+            cache_capacity: 1024,
+            ..EngineConfig::default()
+        })
+        .build()
+        .unwrap();
     engine.submit_batch(known.iter().cloned());
     engine.flush();
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
@@ -232,12 +241,15 @@ fn cache_is_transparent_and_hits() {
     let mut fns = base.clone();
     fns.extend(base.iter().cloned());
     let expected = Classifier::new(SignatureSet::all()).classify(fns.clone());
-    let mut cached = Engine::with_config(EngineConfig {
-        workers: 4,
-        cache_capacity: 4096,
-        chunk_size: 8,
-        ..EngineConfig::default()
-    });
+    let mut cached = Engine::builder()
+        .config(EngineConfig {
+            workers: 4,
+            cache_capacity: 4096,
+            chunk_size: 8,
+            ..EngineConfig::default()
+        })
+        .build()
+        .unwrap();
     cached.submit_batch(fns.iter().cloned());
     let report = cached.finish();
     assert_eq!(report.classification.labels(), expected.labels());

@@ -1,0 +1,67 @@
+//! The retired constructor trio — `Engine::with_config`,
+//! `Engine::try_with_config`, `Engine::open` — must keep compiling and
+//! keep delegating to the builder spine until the deprecation window
+//! closes. This file is the only caller left in the workspace; the
+//! `allow` scopes the exemption so `-D warnings` still flags any new
+//! use elsewhere.
+
+#![allow(deprecated)]
+
+use facepoint_engine::{Engine, EngineConfig, Resolution};
+use facepoint_sig::SignatureSet;
+use facepoint_truth::TruthTable;
+
+fn workload() -> Vec<TruthTable> {
+    vec![
+        TruthTable::majority(3),
+        TruthTable::majority(3).flip_var(0),
+        TruthTable::parity(3),
+    ]
+}
+
+#[test]
+fn with_config_still_classifies() {
+    let mut engine = Engine::with_config(EngineConfig::builder().workers(2).build());
+    engine.submit_batch(workload());
+    let report = engine.finish();
+    assert_eq!(report.classification.num_classes(), 2);
+}
+
+#[test]
+fn try_with_config_matches_the_builder() {
+    let cfg = EngineConfig::builder().workers(2).certified().build();
+    let mut shim = Engine::try_with_config(cfg.clone()).unwrap();
+    let mut spine = Engine::builder().config(cfg).build().unwrap();
+    shim.submit_batch(workload());
+    spine.submit_batch(workload());
+    let (a, b) = (shim.finish(), spine.finish());
+    assert_eq!(a.classification.labels(), b.classification.labels());
+    assert_eq!(a.stats.resolution, Resolution::Certified);
+}
+
+#[test]
+fn open_reopens_a_builder_store() {
+    let dir = std::env::temp_dir().join(format!("facepoint-shim-open-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut engine = Engine::builder()
+        .config(EngineConfig::with_set(SignatureSet::all()))
+        .persist(&dir)
+        .build()
+        .unwrap();
+    engine.submit_batch(workload());
+    engine.finish();
+
+    let mut reopened = Engine::open(&dir, EngineConfig::with_set(SignatureSet::all())).unwrap();
+    assert_eq!(reopened.recovery().unwrap().members, 3);
+    reopened.submit(TruthTable::parity(3));
+    let report = reopened.finish();
+    // This run's classification saw only parity; the census stays
+    // cumulative across the reopen.
+    assert_eq!(report.classification.num_classes(), 1);
+    assert_eq!(
+        report.census.len(),
+        2,
+        "recovered classes dropped from the census"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

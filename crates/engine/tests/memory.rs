@@ -123,14 +123,17 @@ fn steady_state_memory_is_flat_without_label_tracking() {
     let palette = palette();
 
     // --- census-only: flat ------------------------------------------
-    let mut engine = Engine::with_config(EngineConfig {
-        workers: 2,
-        chunk_size: 64,
-        shards: 16,
-        track_labels: false,
-        cache_capacity: 0, // every submission takes the full queue path
-        ..EngineConfig::default()
-    });
+    let mut engine = Engine::builder()
+        .config(EngineConfig {
+            workers: 2,
+            chunk_size: 64,
+            shards: 16,
+            track_labels: false,
+            cache_capacity: 0, // every submission takes the full queue path
+            ..EngineConfig::default()
+        })
+        .build()
+        .unwrap();
     // Warm-up: grow chunk buffers, deques, shard maps and kernel
     // scratch to their high-water marks.
     stream(&mut engine, &palette, warmup);
@@ -165,14 +168,17 @@ fn steady_state_memory_is_flat_without_label_tracking() {
     // --- label tracking: grows, and by about 4 B/fn, proving the
     // --- harness measures what it claims ----------------------------
     let tracked_stream = (total / 2).max(10_000);
-    let mut tracked = Engine::with_config(EngineConfig {
-        workers: 2,
-        chunk_size: 64,
-        shards: 16,
-        track_labels: true,
-        cache_capacity: 0,
-        ..EngineConfig::default()
-    });
+    let mut tracked = Engine::builder()
+        .config(EngineConfig {
+            workers: 2,
+            chunk_size: 64,
+            shards: 16,
+            track_labels: true,
+            cache_capacity: 0,
+            ..EngineConfig::default()
+        })
+        .build()
+        .unwrap();
     stream(&mut tracked, &palette, 1_000);
     let tracked_baseline = live_bytes();
     stream(&mut tracked, &palette, tracked_stream);

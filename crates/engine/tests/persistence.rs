@@ -51,7 +51,11 @@ fn open_finish_recover_roundtrip() {
     let dir = test_dir("roundtrip");
     let fns = random_workload(5, 300, 11);
     let expected = Classifier::new(SignatureSet::all()).classify(fns.clone());
-    let mut engine = Engine::open(&dir, EngineConfig::default()).unwrap();
+    let mut engine = Engine::builder()
+        .config(EngineConfig::default())
+        .persist(&dir)
+        .build()
+        .unwrap();
     assert_eq!(engine.recovery().unwrap().classes, 0);
     engine.submit_batch(fns);
     let report = engine.finish();
@@ -104,11 +108,19 @@ fn reopen_accumulates_and_warms_dedup_cache() {
         }),
         ..EngineConfig::default()
     };
-    let mut first = Engine::open(&dir, cfg()).unwrap();
+    let mut first = Engine::builder()
+        .config(cfg())
+        .persist(&dir)
+        .build()
+        .unwrap();
     first.submit_batch(fns.clone());
     let first_report = first.finish();
 
-    let mut second = Engine::open(&dir, cfg()).unwrap();
+    let mut second = Engine::builder()
+        .config(cfg())
+        .persist(&dir)
+        .build()
+        .unwrap();
     let recovered = second.recovery().unwrap().clone();
     assert_eq!(recovered.members, 120);
     assert_eq!(recovered.classes, first_report.classification.num_classes());
@@ -138,18 +150,18 @@ fn reopen_accumulates_and_warms_dedup_cache() {
 #[test]
 fn flush_writes_epoch_barriers() {
     let dir = test_dir("epochs");
-    let mut engine = Engine::open(
-        &dir,
-        EngineConfig {
+    let mut engine = Engine::builder()
+        .config(EngineConfig {
             persist: Some(PersistConfig {
                 dir: dir.clone(),
                 checkpoint_interval: 0,
                 sync: SyncPolicy::Barrier,
             }),
             ..EngineConfig::default()
-        },
-    )
-    .unwrap();
+        })
+        .persist(&dir)
+        .build()
+        .unwrap();
     for f in random_workload(4, 50, 3) {
         engine.submit(f);
     }
@@ -191,18 +203,18 @@ fn flush_writes_epoch_barriers() {
     assert_eq!(snap.report.last_epoch, 2);
 
     // Epoch numbering resumes (stays monotonic) across a reopen.
-    let mut engine = Engine::open(
-        &dir,
-        EngineConfig {
+    let mut engine = Engine::builder()
+        .config(EngineConfig {
             persist: Some(PersistConfig {
                 dir: dir.clone(),
                 checkpoint_interval: 0,
                 sync: SyncPolicy::Barrier,
             }),
             ..EngineConfig::default()
-        },
-    )
-    .unwrap();
+        })
+        .persist(&dir)
+        .build()
+        .unwrap();
     engine.submit(TruthTable::majority(3));
     // Drain first, so the next barrier covers the new member
     // deterministically (epoch 3); a second, idle barrier (4) writes no
@@ -219,18 +231,18 @@ fn flush_writes_epoch_barriers() {
 
     // A clean finish() compacts every log away, but the epoch survives
     // in the checkpoint headers — numbering never regresses.
-    let engine = Engine::open(
-        &dir,
-        EngineConfig {
+    let engine = Engine::builder()
+        .config(EngineConfig {
             persist: Some(PersistConfig {
                 dir: dir.clone(),
                 checkpoint_interval: 0,
                 sync: SyncPolicy::Barrier,
             }),
             ..EngineConfig::default()
-        },
-    )
-    .unwrap();
+        })
+        .persist(&dir)
+        .build()
+        .unwrap();
     engine.finish();
     let snap = Engine::recover(&dir).unwrap();
     assert_eq!(snap.report.log_records, 0, "finish compacted the logs");
@@ -244,14 +256,24 @@ fn flush_writes_epoch_barriers() {
 #[test]
 fn second_writer_is_refused_while_store_is_open() {
     let dir = test_dir("locked");
-    let first = Engine::open(&dir, EngineConfig::default()).unwrap();
-    let err = Engine::open(&dir, EngineConfig::default())
+    let first = Engine::builder()
+        .config(EngineConfig::default())
+        .persist(&dir)
+        .build()
+        .unwrap();
+    let err = Engine::builder()
+        .config(EngineConfig::default())
+        .persist(&dir)
+        .build()
         .map(|_| ())
         .expect_err("two live writers on one store must be refused");
     assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
     // Releasing the first engine releases the lock.
     drop(first);
-    let reopened = Engine::open(&dir, EngineConfig::default());
+    let reopened = Engine::builder()
+        .config(EngineConfig::default())
+        .persist(&dir)
+        .build();
     assert!(reopened.is_ok(), "{:?}", reopened.err());
     drop(reopened);
     std::fs::remove_dir_all(&dir).unwrap();
@@ -270,9 +292,8 @@ fn recover_without_store_is_not_found() {
 fn sync_always_survives_unclean_drop() {
     let dir = test_dir("always");
     let fns = random_workload(4, 40, 17);
-    let mut engine = Engine::open(
-        &dir,
-        EngineConfig {
+    let mut engine = Engine::builder()
+        .config(EngineConfig {
             workers: 1,
             persist: Some(PersistConfig {
                 dir: dir.clone(),
@@ -280,9 +301,10 @@ fn sync_always_survives_unclean_drop() {
                 sync: SyncPolicy::Always,
             }),
             ..EngineConfig::default()
-        },
-    )
-    .unwrap();
+        })
+        .persist(&dir)
+        .build()
+        .unwrap();
     engine.submit_batch(fns);
     engine.flush();
     // Wait for the pipeline to drain, then drop without finish(): no
@@ -357,7 +379,7 @@ proptest! {
     fn torn_tail_truncates_to_prefix(count in 4usize..=10, seed in any::<u64>()) {
         let dir = test_dir("torn-prop");
         let fns = random_workload(4, count, seed);
-        let mut engine = Engine::try_with_config(durable_cfg(&dir, 0)).unwrap();
+        let mut engine = Engine::builder().config(durable_cfg(&dir, 0)).build().unwrap();
         engine.submit_batch(fns.iter().cloned());
         // Drain, then drop WITHOUT finish so no checkpoint supersedes
         // the log (single worker: log order == submission order).
@@ -418,7 +440,7 @@ proptest! {
         let plain_dir = test_dir("ckpt-eq-plain");
         let fns = random_workload(4, count, seed);
         for (dir, ckpt) in [(&compacted_dir, interval), (&plain_dir, 0)] {
-            let mut engine = Engine::try_with_config(durable_cfg(dir, ckpt)).unwrap();
+            let mut engine = Engine::builder().config(durable_cfg(dir, ckpt)).build().unwrap();
             engine.submit_batch(fns.iter().cloned());
             let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
             while engine.snapshot().functions_processed < count as u64 {

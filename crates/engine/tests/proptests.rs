@@ -35,23 +35,23 @@ proptest! {
         workers in 1usize..=4,
         chunk in 1usize..=32,
     ) {
-        let mut one_by_one = Engine::with_config(EngineConfig {
+        let mut one_by_one = Engine::builder().config(EngineConfig {
             set,
             workers,
             chunk_size: chunk,
             ..EngineConfig::default()
-        });
+        }).build().unwrap();
         for f in fns.iter().cloned() {
             one_by_one.submit(f);
         }
         let a = one_by_one.finish().classification;
 
-        let mut batched = Engine::with_config(EngineConfig {
+        let mut batched = Engine::builder().config(EngineConfig {
             set,
             workers,
             chunk_size: chunk,
             ..EngineConfig::default()
-        });
+        }).build().unwrap();
         batched.submit_batch(fns.clone());
         let b = batched.finish().classification;
 
@@ -66,12 +66,12 @@ proptest! {
         workers in 1usize..=4,
     ) {
         let expected = Classifier::new(set).classify(fns.clone());
-        let mut engine = Engine::with_config(EngineConfig {
+        let mut engine = Engine::builder().config(EngineConfig {
             set,
             workers,
             chunk_size: 5,
             ..EngineConfig::default()
-        });
+        }).build().unwrap();
         engine.submit_batch(fns);
         let got = engine.finish().classification;
         prop_assert_eq!(got.labels(), expected.labels());
@@ -100,14 +100,14 @@ proptest! {
     ) {
         let expected = Classifier::new(set).classify(fns.clone());
         for workers in [1usize, 2, 8] {
-            let mut engine = Engine::with_config(EngineConfig {
+            let mut engine = Engine::builder().config(EngineConfig {
                 set,
                 workers,
                 chunk_size: chunk,
                 deque_capacity: 1,
                 steal_batch,
                 ..EngineConfig::default()
-            });
+            }).build().unwrap();
             engine.submit_batch(fns.clone());
             let got = engine.finish().classification;
             prop_assert_eq!(
@@ -136,7 +136,7 @@ proptest! {
         ));
         let _ = std::fs::remove_dir_all(&dir);
         let expected = Classifier::new(SignatureSet::all()).classify(fns.clone());
-        let mut engine = Engine::open(&dir, EngineConfig {
+        let mut engine = Engine::builder().config(EngineConfig {
             workers: 8,
             chunk_size: chunk,
             deque_capacity: 1,
@@ -148,7 +148,7 @@ proptest! {
                 sync: facepoint_engine::SyncPolicy::Never,
             }),
             ..EngineConfig::default()
-        }).expect("open durable engine");
+        }).persist(&dir).build().expect("open durable engine");
         engine.submit_batch(fns.clone());
         let report = engine.finish();
         prop_assert_eq!(report.classification.labels(), expected.labels());
@@ -163,5 +163,63 @@ proptest! {
         got_sizes.sort_unstable();
         prop_assert_eq!(got_sizes, expected_sizes);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The two resolution tiers differ only by splitting: a certified
+    /// run on the same stream (including under weak signature sets
+    /// chosen to force digest collisions) partitions exactly like the
+    /// ground-truth classifier, and every certified class stays inside
+    /// one digest bucket — certified never merges what digest
+    /// separated, at 1, 2 and 8 workers alike.
+    #[test]
+    fn certified_splits_digest_buckets_never_merges(
+        fns in arb_workload(),
+        set in arb_set(),
+        chunk in 1usize..=8,
+    ) {
+        let exact = facepoint_exact::exact_classify(&fns);
+        for workers in [1usize, 2, 8] {
+            let run = |resolution: facepoint_engine::Resolution| {
+                let mut engine = Engine::builder().config(
+                    EngineConfig::builder()
+                        .set(set)
+                        .workers(workers)
+                        .chunk_size(chunk)
+                        .resolution(resolution)
+                        .build(),
+                ).build().unwrap();
+                engine.submit_batch(fns.clone());
+                engine.finish().classification
+            };
+            let digest = run(facepoint_engine::Resolution::Digest);
+            let certified = run(facepoint_engine::Resolution::Certified);
+
+            // Certified is exact: same partition as the ground truth
+            // (labels normalized to first-occurrence order).
+            let normalized = facepoint_exact::ClassLabels::from_keys(
+                certified.labels().iter().copied(),
+            );
+            prop_assert_eq!(
+                normalized.labels(),
+                exact.labels(),
+                "workers={}", workers
+            );
+
+            // Pure refinement: a certified class never spans two
+            // digest buckets, so certified can only split.
+            prop_assert!(certified.num_classes() >= digest.num_classes());
+            for i in 0..fns.len() {
+                for j in i + 1..fns.len() {
+                    if certified.label(i) == certified.label(j) {
+                        prop_assert_eq!(
+                            digest.label(i),
+                            digest.label(j),
+                            "certified merged digest buckets at {} {} ({} workers)",
+                            i, j, workers
+                        );
+                    }
+                }
+            }
+        }
     }
 }

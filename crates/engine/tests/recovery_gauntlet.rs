@@ -13,11 +13,17 @@
 //! The child is this same test binary re-executed with
 //! `FACEPOINT_GAUNTLET_CHILD` set (keep this file to a single `#[test]`
 //! so the re-exec never races another test). CI scales the stream up
-//! via `GAUNTLET_STREAM` / `GAUNTLET_ROUNDS`.
+//! via `GAUNTLET_STREAM` / `GAUNTLET_ROUNDS`, and re-runs the whole
+//! gauntlet at the certified resolution tier via `GAUNTLET_CERTIFIED`
+//! (kill points then land on proved-class journal records and the
+//! expectations come from the exact classifier).
 
 use facepoint_bench::random_workload;
 use facepoint_core::{signature_key, Classifier};
-use facepoint_engine::{Engine, EngineConfig, PersistConfig, SyncPolicy};
+use facepoint_engine::{
+    certified_key, Engine, EngineConfig, PersistConfig, Resolution, SyncPolicy,
+};
+use facepoint_exact::{certified_canonical, exact_classify, ClassLabels};
 use facepoint_sig::SignatureSet;
 use facepoint_truth::TruthTable;
 use std::collections::HashMap;
@@ -33,6 +39,19 @@ const ROUNDS_ENV: &str = "GAUNTLET_ROUNDS";
 /// job sets 8 so SIGKILLs land while chunks are spread over — and
 /// stolen between — eight deques.
 const WORKERS_ENV: &str = "GAUNTLET_WORKERS";
+/// When set, the whole gauntlet (child stream, recovery, convergence)
+/// runs at [`Resolution::Certified`]: kill points land on proved-class
+/// journal records and the expectations come from the exact classifier
+/// instead of the signature digest. CI's certified job sets it.
+const CERTIFIED_ENV: &str = "GAUNTLET_CERTIFIED";
+
+fn resolution() -> Resolution {
+    if std::env::var(CERTIFIED_ENV).is_ok() {
+        Resolution::Certified
+    } else {
+        Resolution::Digest
+    }
+}
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -62,6 +81,7 @@ fn gauntlet_stream(total: usize) -> Vec<TruthTable> {
 fn child_cfg(dir: PathBuf, sync: SyncPolicy) -> EngineConfig {
     EngineConfig {
         workers: env_usize(WORKERS_ENV, 2),
+        resolution: resolution(),
         // Shallow deques at 8 workers: chunks spread over every deque
         // and idle workers steal, so kill points land mid-migration.
         deque_capacity: 2,
@@ -87,7 +107,11 @@ fn child_main() -> ! {
         Ok("always") => SyncPolicy::Always,
         _ => SyncPolicy::Barrier,
     };
-    let mut engine = Engine::open(&dir, child_cfg(dir.clone(), sync)).expect("child open");
+    let mut engine = Engine::builder()
+        .config(child_cfg(dir.clone(), sync))
+        .persist(&dir)
+        .build()
+        .expect("child open");
     for (i, f) in gauntlet_stream(total).into_iter().enumerate() {
         engine.submit(f);
         if i % 256 == 255 {
@@ -108,18 +132,39 @@ fn kill_then_recover_converges() {
     }
     let total = env_usize(STREAM_ENV, 8_000);
     let rounds = env_usize(ROUNDS_ENV, 3);
+    let certified = resolution() == Resolution::Certified;
     let fns = gauntlet_stream(total);
-    let expected = Classifier::new(SignatureSet::all()).classify(fns.clone());
-    let expected_by_key: HashMap<u128, (usize, &TruthTable)> = expected
-        .classes()
-        .iter()
-        .map(|c| {
-            (
-                signature_key(c.representative(), SignatureSet::all()),
-                (c.size(), c.representative()),
-            )
-        })
-        .collect();
+    // The expected partition and the store-key → class-size map, under
+    // the active resolution: digest keys come from the one-shot
+    // classifier, certified keys from each class's proved canonical
+    // representative (orbit-invariant at n = 6: the exact walk always
+    // completes, no fallback labeling exists).
+    let (expected_labels, expected_by_key): (Vec<usize>, HashMap<u128, usize>) = if certified {
+        let labels = exact_classify(&fns);
+        let mut key_of_label: HashMap<usize, u128> = HashMap::new();
+        let mut sizes: HashMap<u128, usize> = HashMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            let key = *key_of_label
+                .entry(labels.label(i))
+                .or_insert_with(|| certified_key(&certified_canonical(f).0));
+            *sizes.entry(key).or_insert(0) += 1;
+        }
+        (labels.labels().to_vec(), sizes)
+    } else {
+        let expected = Classifier::new(SignatureSet::all()).classify(fns.clone());
+        let by_key = expected
+            .classes()
+            .iter()
+            .map(|c| {
+                (
+                    signature_key(c.representative(), SignatureSet::all()),
+                    c.size(),
+                )
+            })
+            .collect();
+        (expected.labels().to_vec(), by_key)
+    };
+    let num_expected = expected_by_key.len();
 
     for round in 0..rounds {
         let dir =
@@ -147,8 +192,9 @@ fn kill_then_recover_converges() {
 
         // 2. Prefix-consistent subset of the one-shot partition.
         assert!(snap.members() <= total as u64, "round {round}");
+        assert_eq!(snap.resolution, resolution(), "round {round}");
         for class in &snap.classes {
-            let (exp_size, _) = expected_by_key.get(&class.key).unwrap_or_else(|| {
+            let exp_size = expected_by_key.get(&class.key).unwrap_or_else(|| {
                 panic!(
                     "round {round}: recovered class {:032x} unknown to the classifier",
                     class.key
@@ -161,39 +207,54 @@ fn kill_then_recover_converges() {
                 class.size,
                 exp_size
             );
-            // The representative really is a member of its class.
+            // The representative really is a member of its class: its
+            // key under the active resolution is the stored key.
+            let rep_key = if certified {
+                certified_key(&certified_canonical(&class.representative).0)
+            } else {
+                signature_key(&class.representative, SignatureSet::all())
+            };
             assert_eq!(
-                signature_key(&class.representative, SignatureSet::all()),
-                class.key,
+                rep_key, class.key,
                 "round {round}: representative outside its class"
             );
         }
 
         // 3. Reopen, re-submit the full stream: the partition converges
         // to the one-shot result and the census accumulates exactly.
-        let mut engine =
-            Engine::open(&dir, child_cfg(dir.clone(), SyncPolicy::Barrier)).expect("reopen");
+        let mut engine = Engine::builder()
+            .config(child_cfg(dir.clone(), SyncPolicy::Barrier))
+            .persist(&dir)
+            .build()
+            .expect("reopen");
         let recovered_members = engine.recovery().unwrap().members;
         assert_eq!(recovered_members, snap.members(), "round {round}");
         engine.submit_batch(fns.iter().cloned());
         let report = engine.finish();
-        assert_eq!(
-            report.classification.labels(),
-            expected.labels(),
-            "round {round}: resubmitted stream grouped differently"
-        );
+        if certified {
+            // Certified label ids depend on recovered-class ordering;
+            // compare the partitions in first-occurrence order.
+            let normalized = ClassLabels::from_keys(report.classification.labels().iter().copied());
+            assert_eq!(
+                normalized.labels(),
+                &expected_labels[..],
+                "round {round}: resubmitted stream grouped differently"
+            );
+        } else {
+            assert_eq!(
+                report.classification.labels(),
+                &expected_labels[..],
+                "round {round}: resubmitted stream grouped differently"
+            );
+        }
         assert_eq!(
             report.classification.num_classes(),
-            expected.num_classes(),
+            num_expected,
             "round {round}"
         );
 
         let final_snap = Engine::recover(&dir).expect("post-finish recover");
-        assert_eq!(
-            final_snap.classes.len(),
-            expected.num_classes(),
-            "round {round}"
-        );
+        assert_eq!(final_snap.classes.len(), num_expected, "round {round}");
         assert_eq!(
             final_snap.members(),
             recovered_members + total as u64,
@@ -203,7 +264,7 @@ fn kill_then_recover_converges() {
             snap.classes.iter().map(|c| (c.key, c.size)).collect();
         for class in &final_snap.classes {
             let before = recovered_sizes.get(&class.key).copied().unwrap_or(0);
-            let (exp_size, _) = expected_by_key[&class.key];
+            let exp_size = expected_by_key[&class.key];
             assert_eq!(
                 class.size,
                 before + exp_size,

@@ -44,6 +44,7 @@ mod classify;
 mod enumerate;
 mod exhaustive;
 mod matcher;
+mod resolver;
 mod unionfind;
 
 pub use classify::{exact_classify, exact_classify_canonical, ClassLabels};
@@ -54,4 +55,5 @@ pub use exhaustive::{
     canonical_u64, exact_npn_canonical, exact_npn_canonical_with_witness, exhaustive_states,
 };
 pub use matcher::{are_npn_equivalent, npn_match, p_match, pn_match};
+pub use resolver::{certified_canonical, BucketResolver, Resolved};
 pub use unionfind::UnionFind;

@@ -24,6 +24,9 @@ pub struct ServerInfo {
     /// Whether the census is journaled to disk (so it survives a
     /// server restart).
     pub persistent: bool,
+    /// The engine's resolution tier (`"digest"` or `"certified"`);
+    /// empty when an older server omits the field.
+    pub resolution: String,
 }
 
 /// One `SNAPSHOT` reply.
@@ -49,6 +52,27 @@ pub struct TopClass {
     pub size: u64,
     /// The representative, as the spec's `n:hex` table literal.
     pub representative: String,
+}
+
+/// One `CANON` reply: the proved class entry plus the witness
+/// transform mapping the queried table onto the representative.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonReply {
+    /// FNV-128 digest of the proved canonical representative.
+    pub key: u128,
+    /// Members the server has counted for the class (`0` on a
+    /// digest-mode server, or for a class it has not seen).
+    pub size: u64,
+    /// The proved representative, as the spec's `n:hex` table literal.
+    pub representative: String,
+    /// The witness permutation: output variable `i` of the transform
+    /// reads input variable `perm[i]` of the query.
+    pub perm: Vec<u8>,
+    /// Input-negation mask of the witness (bit `i` negates variable
+    /// `i` of the query).
+    pub neg: u16,
+    /// Whether the witness negates the output.
+    pub out: bool,
 }
 
 /// A connected, greeted protocol client.
@@ -77,6 +101,7 @@ impl Client {
                 set: String::new(),
                 workers: 0,
                 persistent: false,
+                resolution: String::new(),
             },
         };
         let body = client.exchange(&format!("HELLO {PROTO_VERSION}"))?;
@@ -194,6 +219,35 @@ impl Client {
         Ok(out)
     }
 
+    /// `CANON <table>` — the proved canonical representative of the
+    /// table's NPN class, with the witness transform and (on a
+    /// certified server that has seen the class) its member count.
+    ///
+    /// # Errors
+    ///
+    /// `ETABLE` for a malformed literal; transport failures; a reply
+    /// violating the §4.8 field grammar is [`ProtoError::Malformed`].
+    pub fn canon(&mut self, table: &str) -> Result<CanonReply, ProtoError> {
+        let body = self.exchange(&format!("CANON {table}"))?;
+        let key: String = parse_field(&body, "key")?;
+        let perm_csv: String = parse_field(&body, "perm")?;
+        let mut perm = Vec::new();
+        for part in perm_csv.split(',').filter(|p| !p.is_empty()) {
+            perm.push(part.parse().map_err(|_| {
+                ProtoError::Malformed(format!("bad witness permutation {perm_csv:?}"))
+            })?);
+        }
+        Ok(CanonReply {
+            key: u128::from_str_radix(&key, 16)
+                .map_err(|_| ProtoError::Malformed(format!("bad class key {key:?}")))?,
+            size: parse_field(&body, "size")?,
+            representative: parse_field(&body, "representative")?,
+            perm,
+            neg: parse_field(&body, "neg")?,
+            out: parse_field::<u8>(&body, "out")? != 0,
+        })
+    }
+
     /// `STATS` — the server's one-line engine statistics report.
     ///
     /// # Errors
@@ -251,7 +305,7 @@ impl Client {
         }
     }
 
-    /// `METRICS` — the server's full telemetry scrape as the §4.11
+    /// `METRICS` — the server's full telemetry scrape as the §4.12
     /// text exposition: one `name SP value` line per series, each
     /// LF-terminated, names sorted. Counter and histogram-bucket
     /// values are integers; gauges are decimal. The scrape spans all
@@ -326,6 +380,11 @@ fn parse_server_info(body: &str) -> Result<ServerInfo, ProtoError> {
             .to_string(),
         workers: parse_field(body, "workers").unwrap_or(0),
         persistent: body.split_whitespace().any(|p| p == "persistent=true"),
+        resolution: body
+            .split_whitespace()
+            .find_map(|p| p.strip_prefix("resolution="))
+            .unwrap_or("")
+            .to_string(),
     })
 }
 
@@ -343,13 +402,19 @@ mod tests {
 
     #[test]
     fn hello_banner_grammar() {
-        let info =
-            parse_server_info("facepoint 1 set=OCV1+OCV2+OIV+OSV+OSDV workers=8 persistent=true")
-                .unwrap();
+        let info = parse_server_info(
+            "facepoint 1 set=OCV1+OCV2+OIV+OSV+OSDV workers=8 persistent=true \
+             resolution=certified",
+        )
+        .unwrap();
         assert_eq!(info.version, 1);
         assert_eq!(info.set, "OCV1+OCV2+OIV+OSV+OSDV");
         assert_eq!(info.workers, 8);
         assert!(info.persistent);
+        assert_eq!(info.resolution, "certified");
+        // A banner without the field (an older server) still parses.
+        let bare = parse_server_info("facepoint 1 set=OIV workers=2 persistent=false").unwrap();
+        assert_eq!(bare.resolution, "");
         assert!(parse_server_info("nginx 1.2").is_err());
     }
 }

@@ -9,7 +9,7 @@
 //!
 //! The wire contract is **`docs/PROTOCOL.md`** at the repository root:
 //! frame layout, opcodes (`HELLO`, `PING`, `SUBMIT`, `SUBMIT-BATCH`,
-//! `SNAPSHOT`, `TOP`, `STATS`, `FLUSH`, `QUIT`), error codes, version
+//! `SNAPSHOT`, `TOP`, `CANON`, `STATS`, `FLUSH`, `QUIT`), error codes, version
 //! negotiation and backpressure semantics. This crate is one
 //! implementation of that spec — the spec, not this source, is the
 //! contract. The system-level picture (how a submission travels from
@@ -72,6 +72,6 @@ pub mod proto;
 mod server;
 pub mod signal;
 
-pub use client::{Client, ServeSnapshot, ServerInfo, TopClass};
+pub use client::{CanonReply, Client, ServeSnapshot, ServerInfo, TopClass};
 pub use proto::{ProtoError, Status, PROTO_VERSION};
 pub use server::{Server, ServerConfig, ShutdownHandle};

@@ -334,7 +334,19 @@ mod tests {
                 b's', b'e', b'q', b'=', b'0',
             ]
         );
-        // The §4.11 METRICS request frame.
+        // The §4.8 CANON request frame.
+        let mut buf = Vec::new();
+        write_request(&mut buf, "CANON 3:e8").unwrap();
+        assert_eq!(
+            buf,
+            [
+                0x0b, 0x00, 0x00, 0x00, // len = 11
+                0x6a, 0x51, 0x7b, 0xbe, // crc32(payload)
+                0x06, // kind: request
+                b'C', b'A', b'N', b'O', b'N', b' ', b'3', b':', b'e', b'8',
+            ]
+        );
+        // The §4.12 METRICS request frame.
         let mut buf = Vec::new();
         write_request(&mut buf, "METRICS").unwrap();
         assert_eq!(

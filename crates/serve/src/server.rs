@@ -49,13 +49,14 @@ impl Default for ServerConfig {
 /// `serve_<op>_nanos` histogram, and the empty-opcode entry (last) is
 /// the catch-all for unknown opcodes. Names are fixed here so the
 /// series set a scrape reports is identical on every server.
-const OP_SERIES: [(&str, &str); 11] = [
+const OP_SERIES: [(&str, &str); 12] = [
     ("HELLO", "serve_hello_nanos"),
     ("PING", "serve_ping_nanos"),
     ("SUBMIT", "serve_submit_nanos"),
     ("SUBMIT-BATCH", "serve_submit_batch_nanos"),
     ("SNAPSHOT", "serve_snapshot_nanos"),
     ("TOP", "serve_top_nanos"),
+    ("CANON", "serve_canon_nanos"),
     ("STATS", "serve_stats_nanos"),
     ("FLUSH", "serve_flush_nanos"),
     ("METRICS", "serve_metrics_nanos"),
@@ -477,10 +478,11 @@ fn dispatch(
                 let guard = shared.lock_engine();
                 let body = match guard.as_ref() {
                     Some(engine) => format!(
-                        "facepoint {PROTO_VERSION} set={} workers={} persistent={}",
+                        "facepoint {PROTO_VERSION} set={} workers={} persistent={} resolution={}",
                         engine.config().set,
                         engine.config().resolved_workers(),
                         engine.config().persist.is_some(),
+                        engine.config().resolution,
                     ),
                     None => format!("facepoint {PROTO_VERSION}"),
                 };
@@ -537,6 +539,18 @@ fn dispatch(
                 (Status::Ok, body, Action::Continue)
             })
         }
+        "CANON" => {
+            if args.is_empty() {
+                return (Status::Usage, "CANON <table>".into(), Action::Continue);
+            }
+            match proto::parse_table_line(args) {
+                Ok(table) => with_engine(shared, |engine| {
+                    let answer = engine.canon(&table);
+                    (Status::Ok, canon_body(&answer), Action::Continue)
+                }),
+                Err(e) => (Status::Table, e, Action::Continue),
+            }
+        }
         "STATS" => with_engine(shared, |engine| {
             (Status::Ok, engine.stats().to_string(), Action::Continue)
         }),
@@ -557,7 +571,7 @@ fn dispatch(
             Status::Usage,
             format!(
                 "unknown opcode {op:?}; expected HELLO, PING, SUBMIT, SUBMIT-BATCH, \
-                 SNAPSHOT, TOP, STATS, FLUSH, METRICS or QUIT"
+                 SNAPSHOT, TOP, CANON, STATS, FLUSH, METRICS or QUIT"
             ),
             Action::Continue,
         ),
@@ -601,6 +615,26 @@ fn top_body(classes: Vec<facepoint_engine::ClassSummary>, budget: usize) -> Stri
         body.push_str(line);
     }
     body
+}
+
+/// Renders a `CANON` reply body (§4.8): the certified class entry
+/// (key, size, proved representative) followed by the witness
+/// transform mapping the queried table onto that representative.
+fn canon_body(answer: &facepoint_engine::CanonAnswer) -> String {
+    let perm: Vec<String> = answer
+        .witness
+        .perm()
+        .as_slice()
+        .iter()
+        .map(|v| v.to_string())
+        .collect();
+    format!(
+        "{} perm={} neg={} out={}",
+        answer.entry.render_wire(),
+        perm.join(","),
+        answer.witness.input_neg(),
+        answer.witness.output_neg() as u8,
+    )
 }
 
 /// The connection's private [`SubmitHandle`], created on first use —
@@ -736,10 +770,13 @@ mod tests {
     use facepoint_sig::SignatureSet;
 
     fn shared() -> Shared {
-        let engine = Engine::with_config(EngineConfig {
-            workers: 2,
-            ..EngineConfig::with_set(SignatureSet::all())
-        });
+        let engine = Engine::builder()
+            .config(EngineConfig {
+                workers: 2,
+                ..EngineConfig::with_set(SignatureSet::all())
+            })
+            .build()
+            .unwrap();
         Shared::new(engine)
     }
 
@@ -852,6 +889,28 @@ mod tests {
         let (st, _, _) = dispatch(&shared, &mut s, "TOP", &mut empty());
         assert_eq!(st, Status::Usage);
 
+        // CANON: proved representative + witness, missing arg, bad
+        // table. On this digest-mode engine the size field reads 0.
+        let (st, body, _) = dispatch(&shared, &mut s, "CANON d4", &mut empty());
+        assert_eq!(st, Status::Ok);
+        assert!(body.starts_with("key="), "{body}");
+        for field in ["size=0", "representative=3:", "perm=", "neg=", "out="] {
+            assert!(body.contains(field), "no {field} in {body}");
+        }
+        // d4 and e8 are one transform apart: same proved representative.
+        let (_, twin, _) = dispatch(&shared, &mut s, "CANON e8", &mut empty());
+        let rep = |b: &str| {
+            b.split_whitespace()
+                .find(|f| f.starts_with("representative="))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(rep(&body), rep(&twin), "{body} vs {twin}");
+        let (st, _, _) = dispatch(&shared, &mut s, "CANON", &mut empty());
+        assert_eq!(st, Status::Usage);
+        let (st, _, _) = dispatch(&shared, &mut s, "CANON zzz", &mut empty());
+        assert_eq!(st, Status::Table);
+
         let (st, body, _) = dispatch(&shared, &mut s, "STATS", &mut empty());
         assert_eq!(st, Status::Ok);
         assert!(body.contains("functions -> "), "{body}");
@@ -860,7 +919,7 @@ mod tests {
         assert_eq!(st, Status::Ok);
         assert_eq!(body, "epochs=0"); // in-memory engine: no barriers
 
-        // METRICS: every line obeys the §4.11 `name SP value` grammar
+        // METRICS: every line obeys the §4.12 `name SP value` grammar
         // and the scrape spans all three layers.
         let (st, body, act) = dispatch(&shared, &mut s, "METRICS", &mut empty());
         assert_eq!((st, act), (Status::Ok, Action::Continue));
@@ -958,7 +1017,14 @@ mod tests {
         drop(engine.finish());
         let (st, _, act) = dispatch(&shared, &mut veteran, "SUBMIT d4", &mut empty());
         assert_eq!((st, act), (Status::Shutdown, Action::Close));
-        for op in ["SUBMIT e8", "SNAPSHOT", "TOP 5", "STATS", "FLUSH"] {
+        for op in [
+            "SUBMIT e8",
+            "SNAPSHOT",
+            "TOP 5",
+            "CANON e8",
+            "STATS",
+            "FLUSH",
+        ] {
             let (st, _, act) = dispatch(&shared, &mut greeted(), op, &mut empty());
             assert_eq!((st, act), (Status::Shutdown, Action::Close), "{op}");
         }

@@ -38,11 +38,14 @@ fn tables(n: usize, count: usize) -> Vec<TruthTable> {
 /// Classification rate of this machine/build (debug vs release differ
 /// ~30×), measured on a throwaway single-worker engine.
 fn calibrate_fns_per_sec(sample: &[TruthTable]) -> f64 {
-    let mut engine = Engine::with_config(EngineConfig {
-        workers: 1,
-        chunk_size: 32,
-        ..EngineConfig::default()
-    });
+    let mut engine = Engine::builder()
+        .config(EngineConfig {
+            workers: 1,
+            chunk_size: 32,
+            ..EngineConfig::default()
+        })
+        .build()
+        .unwrap();
     let start = Instant::now();
     engine.submit_batch(sample.iter().cloned());
     assert!(engine.drain(Duration::from_secs(120)));
@@ -66,12 +69,15 @@ fn big_batch_does_not_starve_observers() {
     // One worker and shallow deques: the batch submitter spends almost
     // the whole busy window blocked on pool backpressure — exactly the
     // state that used to be spent holding the engine lock.
-    let engine = Engine::with_config(EngineConfig {
-        workers: 1,
-        chunk_size: 32,
-        deque_capacity: 2,
-        ..EngineConfig::default()
-    });
+    let engine = Engine::builder()
+        .config(EngineConfig {
+            workers: 1,
+            chunk_size: 32,
+            deque_capacity: 2,
+            ..EngineConfig::default()
+        })
+        .build()
+        .unwrap();
     let server = Server::bind("127.0.0.1:0", engine, ServerConfig::default()).unwrap();
     let addr = server.local_addr().unwrap();
     let shutdown = server.shutdown_handle();

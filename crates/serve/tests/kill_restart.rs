@@ -91,7 +91,11 @@ fn child_main() -> ! {
         }),
         ..EngineConfig::default()
     };
-    let engine = Engine::open(&dir, cfg).expect("child: open store");
+    let engine = Engine::builder()
+        .config(cfg)
+        .persist(&dir)
+        .build()
+        .expect("child: open store");
     let server = Server::bind(
         "127.0.0.1:0",
         engine,

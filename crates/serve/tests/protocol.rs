@@ -24,7 +24,7 @@ fn spawn_server(
     ShutdownHandle,
     std::thread::JoinHandle<std::io::Result<Option<facepoint_engine::EngineReport>>>,
 ) {
-    let engine = Engine::with_config(cfg);
+    let engine = Engine::builder().config(cfg).build().unwrap();
     let server = Server::bind("127.0.0.1:0", engine, ServerConfig::default()).unwrap();
     let addr = server.local_addr().unwrap();
     let handle = server.shutdown_handle();
@@ -232,4 +232,64 @@ fn concurrent_clients_share_one_census() {
     client.quit().unwrap();
     handle.shutdown();
     run.join().unwrap().unwrap();
+}
+
+/// A certified server: the census is the *exact* NPN partition, and
+/// `CANON` answers with the class's member count and a witness that
+/// really maps the query onto the proved representative.
+#[test]
+fn certified_server_proves_its_census_and_answers_canon() {
+    let fns = workload(4, 6, 5, 0xCAFE);
+    let expected = facepoint_exact::exact_classify(&fns);
+    let (addr, handle, run) = spawn_server(
+        EngineConfig::builder()
+            .workers(2)
+            .chunk_size(8)
+            .certified()
+            .build(),
+    );
+
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.server_info().resolution, "certified");
+    let lines: Vec<String> = fns
+        .iter()
+        .map(|f| format!("{}:{}", f.num_vars(), f.to_hex()))
+        .collect();
+    client
+        .submit_batch(lines.iter().map(String::as_str))
+        .unwrap();
+    client.wait_drained(DRAIN).unwrap();
+
+    // The served census is the exact partition, not just a digest one.
+    let snap = client.snapshot().unwrap();
+    assert_eq!(snap.classes as usize, expected.num_classes());
+
+    // CANON per member: same exact class <=> same key, the size is the
+    // class's member count, and the witness actually works.
+    let mut key_by_label = std::collections::HashMap::new();
+    for (i, line) in lines.iter().enumerate() {
+        let reply = client.canon(line).unwrap();
+        let label = expected.label(i);
+        let class_size = expected.labels().iter().filter(|&&l| l == label).count() as u64;
+        assert_eq!(reply.size, class_size, "member {i}: {reply:?}");
+        assert_eq!(
+            *key_by_label.entry(label).or_insert(reply.key),
+            reply.key,
+            "member {i} disagrees with its class on the key"
+        );
+        let rep = proto::parse_table_line(&reply.representative).unwrap();
+        let perm: Vec<usize> = reply.perm.iter().map(|&v| v as usize).collect();
+        let witness = facepoint_truth::NpnTransform::new(
+            facepoint_truth::Permutation::from_slice(&perm).unwrap(),
+            reply.neg,
+            reply.out,
+        );
+        assert_eq!(witness.apply(&fns[i]), rep, "member {i}: witness is bogus");
+    }
+    assert_eq!(key_by_label.len(), expected.num_classes());
+
+    client.quit().unwrap();
+    handle.shutdown();
+    let report = run.join().unwrap().unwrap().expect("engine report");
+    assert_eq!(report.classification.num_classes(), expected.num_classes());
 }

@@ -195,7 +195,7 @@ impl Registry {
     }
 
     /// Renders the snapshot as the text exposition of PROTOCOL.md
-    /// §4.11: one `name SP value LF` line per series, names sorted. A
+    /// §4.12: one `name SP value LF` line per series, names sorted. A
     /// histogram `h` expands to `h_count`, `h_sum`, `h_p50`, `h_p90`,
     /// `h_p99` and `h_max`.
     pub fn render_text(&self) -> String {

@@ -19,10 +19,13 @@ const TOTAL: usize = 10_000;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- The server side: an engine behind a TCP acceptor. -----------
-    let engine = Engine::with_config(EngineConfig {
-        cache_capacity: 1 << 14,
-        ..EngineConfig::with_set(SignatureSet::all())
-    });
+    let engine = Engine::builder()
+        .config(EngineConfig {
+            cache_capacity: 1 << 14,
+            ..EngineConfig::with_set(SignatureSet::all())
+        })
+        .build()
+        .unwrap();
     let server = Server::bind("127.0.0.1:0", engine, ServerConfig::default())?;
     let addr = server.local_addr()?;
     let shutdown = server.shutdown_handle();
