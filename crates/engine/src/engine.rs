@@ -84,6 +84,70 @@ pub struct CanonAnswer {
     pub witness: NpnTransform,
 }
 
+/// A read-only canonicalization endpoint detached from the [`Engine`]
+/// object — see [`Engine::canon_handle`]. Cloneable; every clone keeps
+/// the underlying store and resolver alive.
+#[derive(Clone)]
+pub struct CanonHandle {
+    store: Arc<ShardedStore>,
+    certified: Option<Arc<CertifiedResolve>>,
+    set: SignatureSet,
+}
+
+impl CanonHandle {
+    /// Answers exactly like [`Engine::canon`], without touching the
+    /// engine object: resolver-cached classes come back with their
+    /// store key and member count, everything else is canonicalized on
+    /// the calling thread.
+    pub fn canon(&self, f: &TruthTable) -> CanonAnswer {
+        answer_canon(&self.store, self.certified.as_deref(), self.set, f)
+    }
+}
+
+/// The one `canon` code path, shared by [`Engine::canon`] and
+/// [`CanonHandle::canon`]: try the resolver's cached representative
+/// (certified engines only), fall back to canonicalizing `f` on the
+/// spot. Read-only — it never creates a class, counts a member or
+/// touches the stream.
+fn answer_canon(
+    store: &ShardedStore,
+    certified: Option<&CertifiedResolve>,
+    set: SignatureSet,
+    f: &TruthTable,
+) -> CanonAnswer {
+    if let Some(tier) = certified {
+        let digest = signature_key(f, set);
+        if let Some((representative, witness)) = tier.resolver.witness(digest, f) {
+            let key = certified_key(&representative);
+            let size = store.get(key).map_or(0, |(_, size)| size as u64);
+            return CanonAnswer {
+                entry: CensusEntry {
+                    key,
+                    size,
+                    representative,
+                },
+                witness,
+            };
+        }
+    }
+    let (representative, _) = certified_canonical(f);
+    let witness = npn_match(f, &representative).expect("a canonical form is in its own orbit");
+    let key = certified_key(&representative);
+    let size = if certified.is_some() {
+        store.get(key).map_or(0, |(_, size)| size as u64)
+    } else {
+        0
+    };
+    CanonAnswer {
+        entry: CensusEntry {
+            key,
+            size,
+            representative,
+        },
+        witness,
+    }
+}
+
 /// The streaming replacement for the old per-worker `(seq, key)` log.
 ///
 /// Workers used to accumulate every submission into a worker-local
@@ -719,7 +783,7 @@ impl Engine {
             Resolution::Digest => cfg.set.to_string(),
             Resolution::Certified => format!("{CERTIFIED_SET_PREFIX}{}", cfg.set),
         };
-        let (store, recovery) = match &cfg.persist {
+        let (mut store, recovery) = match &cfg.persist {
             Some(persist) => {
                 let (store, report) = ShardedStore::open_durable(
                     persist,
@@ -731,6 +795,16 @@ impl Engine {
             }
             None => (ShardedStore::new(cfg.resolved_shards()), None),
         };
+        if cfg.resolution == Resolution::Certified {
+            // A certified class's representative is the proved
+            // canonical table its creating insert carried; pin it so
+            // the dedup fast paths — which insert raw member tables —
+            // can never steal the slot with a lower seq (duplicates
+            // classified out of chunk order would otherwise overwrite
+            // it, break `certified_key(rep) == key`, and split the
+            // class after a reopen primes the resolver from the store).
+            store.pin_representatives();
+        }
         // Wall-clock cost of opening the store and replaying its
         // checkpoints + log tails (0 for in-memory engines).
         let replay_nanos = if recovery.is_some() {
@@ -982,36 +1056,22 @@ impl Engine {
     /// digest-mode engine — the representative is computed on the spot
     /// and the size reported as `0`.
     pub fn canon(&self, f: &TruthTable) -> CanonAnswer {
-        if let Some(tier) = &self.certified {
-            let digest = signature_key(f, self.cfg.set);
-            if let Some((representative, witness)) = tier.resolver.witness(digest, f) {
-                let key = certified_key(&representative);
-                let size = self.store.get(key).map_or(0, |(_, size)| size as u64);
-                return CanonAnswer {
-                    entry: CensusEntry {
-                        key,
-                        size,
-                        representative,
-                    },
-                    witness,
-                };
-            }
-        }
-        let (representative, _) = certified_canonical(f);
-        let witness = npn_match(f, &representative).expect("a canonical form is in its own orbit");
-        let key = certified_key(&representative);
-        let size = if self.certified.is_some() {
-            self.store.get(key).map_or(0, |(_, size)| size as u64)
-        } else {
-            0
-        };
-        CanonAnswer {
-            entry: CensusEntry {
-                key,
-                size,
-                representative,
-            },
-            witness,
+        answer_canon(&self.store, self.certified.as_deref(), self.cfg.set, f)
+    }
+
+    /// A detached, read-only endpoint answering [`Engine::canon`]
+    /// queries **without the engine**: it shares the store, the
+    /// resolver and the signature set through `Arc`s, so a caller that
+    /// keeps the engine behind a lock (the service front-end does) can
+    /// run the canonicalization — up to a full Gray-code walk for an
+    /// unknown class — without holding that lock and stalling every
+    /// other engine user. Answers stay correct (if increasingly stale
+    /// in their member counts) even after [`Engine::finish`].
+    pub fn canon_handle(&self) -> CanonHandle {
+        CanonHandle {
+            store: Arc::clone(&self.store),
+            certified: self.certified.clone(),
+            set: self.cfg.set,
         }
     }
 

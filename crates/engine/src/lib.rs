@@ -85,8 +85,8 @@ mod store;
 
 pub use config::{EngineConfig, EngineConfigBuilder, PersistConfig, Resolution, SyncPolicy};
 pub use engine::{
-    certified_key, CanonAnswer, Engine, EngineBuilder, EngineReport, RecoveredSnapshot,
-    SubmitHandle,
+    certified_key, CanonAnswer, CanonHandle, Engine, EngineBuilder, EngineReport,
+    RecoveredSnapshot, SubmitHandle,
 };
 pub use stats::{DurabilityStats, EngineSnapshot, EngineStats, RecoveryReport};
 pub use store::ClassSummary;

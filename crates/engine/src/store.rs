@@ -361,6 +361,13 @@ pub(crate) struct ShardedStore {
     /// How far to shift a key right so its top bits index `shards`.
     shift: u32,
     counters: Option<Arc<DurabilityCounters>>,
+    /// When set, a class's representative is **pinned** at creation:
+    /// later inserts only bump the member count, they never steal the
+    /// slot on a lower `seq`. Certified-resolution engines run this
+    /// way — the creating insert carries the *proved* canonical table
+    /// (`certified_key(rep) == key`), while the dedup fast paths insert
+    /// raw member tables that must never become the representative.
+    pinned_reps: bool,
     /// Held for the store's lifetime when durable; dropping it (or the
     /// process dying) releases the advisory lock.
     _lock: Option<File>,
@@ -382,8 +389,17 @@ impl ShardedStore {
                 .collect(),
             shift: 128 - shards.trailing_zeros(),
             counters: None,
+            pinned_reps: false,
             _lock: None,
         }
+    }
+
+    /// Switches the store to pinned-representative mode (see
+    /// [`ShardedStore::pinned_reps`]). Called once at engine
+    /// construction for certified-resolution engines, before the store
+    /// is shared.
+    pub fn pin_representatives(&mut self) {
+        self.pinned_reps = true;
     }
 
     /// Opens (or creates) a durable store under `persist.dir`,
@@ -483,6 +499,7 @@ impl ShardedStore {
                 shards: shard_cells,
                 shift: 128 - shards.trailing_zeros(),
                 counters: Some(counters),
+                pinned_reps: false,
                 _lock: Some(lock),
             },
             report,
@@ -499,9 +516,12 @@ impl ShardedStore {
 
     /// Records the member with submission number `seq` into class
     /// `key`; the earliest-submitted member becomes (or stays) the
-    /// representative. Returns `true` when this insert created the
-    /// class. When durable, the mutation is journaled before the shard
-    /// lock is released.
+    /// representative — unless the store runs in
+    /// pinned-representative mode ([`ShardedStore::pin_representatives`]),
+    /// where the creating insert's table is the proved canonical form
+    /// and is kept whatever `seq` later members arrive with. Returns
+    /// `true` when this insert created the class. When durable, the
+    /// mutation is journaled before the shard lock is released.
     ///
     /// # Panics
     ///
@@ -521,11 +541,16 @@ impl ShardedStore {
             std::collections::hash_map::Entry::Occupied(mut e) => {
                 let entry = e.get_mut();
                 entry.size += 1;
-                if seq < entry.rep_seq {
+                if !self.pinned_reps && seq < entry.rep_seq {
                     entry.representative = table.clone();
                     entry.rep_seq = seq;
                     (false, Some((seq, entry.size as u64)))
                 } else {
+                    // Pinned mode: a duplicate classified out of chunk
+                    // order may carry a raw (non-canonical) member
+                    // table with a lower seq; it bumps the count only,
+                    // so `certified_key(rep) == key` holds for the
+                    // store's — and the journal's — whole lifetime.
                     (false, None)
                 }
             }
@@ -952,6 +977,22 @@ mod tests {
     }
 
     #[test]
+    fn pinned_reps_ignore_lower_seq_inserts() {
+        // Certified mode: the creating insert carries the proved
+        // canonical table; a duplicate classified out of chunk order
+        // arrives later with a *lower* seq and a raw member table. It
+        // must bump the count only — never steal the representative.
+        let mut store = ShardedStore::new(4);
+        store.pin_representatives();
+        assert!(store.insert(7, &t(0xe8), 100));
+        assert!(!store.insert(7, &t(0xd4), 5));
+        assert!(!store.insert(7, &t(0x2b), 0));
+        let (rep, size) = store.get(7).unwrap();
+        assert_eq!(rep, t(0xe8), "creating insert's table must stay pinned");
+        assert_eq!(size, 3);
+    }
+
+    #[test]
     fn high_bits_select_shard() {
         let store = ShardedStore::new(4);
         assert_eq!(store.shard_of(0), 0);
@@ -1062,6 +1103,27 @@ mod tests {
         let (mem_rep, mem_size) = mem.get(7).unwrap();
         assert_eq!(rep, mem_rep);
         assert_eq!(size, mem_size);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pinned_reps_survive_a_durable_reopen() {
+        // The pinned (canonical) representative must be what the
+        // journal records: an out-of-order lower-seq duplicate is a
+        // bump frame, not a rep-change frame, so recovery rebuilds the
+        // same pinned table.
+        let dir = test_dir("pinned-rep");
+        {
+            let (mut store, _) = durable(&dir, 0);
+            store.pin_representatives();
+            store.insert(7, &t(0xe8), 100);
+            store.insert(7, &t(0xd4), 5);
+        }
+        let (store, report) = durable(&dir, 0);
+        assert_eq!(report.members, 2);
+        let (rep, size) = store.get(7).unwrap();
+        assert_eq!(rep, t(0xe8), "journal recorded a stolen representative");
+        assert_eq!(size, 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -6,7 +6,7 @@
 
 use facepoint_bench::{random_workload, transform_closure_workload};
 use facepoint_engine::{certified_key, Engine, EngineConfig, EngineReport, Resolution};
-use facepoint_exact::{exact_classify, ClassLabels};
+use facepoint_exact::{certified_canonical, exact_classify, ClassLabels};
 use facepoint_sig::SignatureSet;
 use facepoint_truth::TruthTable;
 use std::path::PathBuf;
@@ -214,6 +214,103 @@ fn certified_store_persists_and_primes_the_resolver() {
 
     let cumulative = Engine::recover(&dir).expect("post-finish recover");
     assert_eq!(cumulative.members(), 2 * fns.len() as u64);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The shipped configuration: `facepoint serve --certified` runs with
+/// the memo cache **on**, so repeated tables take the dedup fast paths
+/// (submit-time peek, the worker's per-entry cache probe, a
+/// [`SubmitHandle`](facepoint_engine::SubmitHandle)'s batched hits) —
+/// all of which insert *raw* member tables. With chunks of one table
+/// and eight workers, duplicates routinely classify out of chunk
+/// order, which once let such an insert steal the representative slot
+/// on a lower seq (`seq < rep_seq`), replacing the proved canonical
+/// table and — after a reopen primed the resolver with the raw table —
+/// permanently splitting the class. Every stored representative must
+/// satisfy `certified_key(rep) == key` and be its own canonical form,
+/// after `finish` and after a durable reopen alike.
+#[test]
+fn dedup_cache_never_steals_certified_representatives() {
+    fn cached_cfg() -> EngineConfig {
+        EngineConfig::builder()
+            .workers(8)
+            // One table per chunk: maximal cross-worker reordering, so
+            // lower-seq duplicates race higher-seq canonical inserts.
+            .chunk_size(1)
+            .cache_capacity(1 << 12)
+            .certified()
+            .build()
+    }
+    fn assert_proved(census: &[facepoint_engine::ClassSummary]) {
+        for class in census {
+            assert_eq!(
+                certified_key(&class.representative),
+                class.key,
+                "stored key is not its representative's digest"
+            );
+            let (canon, _) = certified_canonical(&class.representative);
+            assert_eq!(
+                canon, class.representative,
+                "stored representative is not canonical — a dedup insert stole the slot"
+            );
+        }
+    }
+
+    let dir = scratch_dir("dedup-cache");
+    let base = transform_closure_workload(4, 6, 5, 0xCAFE);
+    let expected = exact_classify(&base);
+    // Duplicate-heavy stream: the same tables over and over, so later
+    // rounds hit the cache while earlier chunks may still be queued.
+    let mut fns = Vec::new();
+    for _ in 0..8 {
+        fns.extend(base.iter().cloned());
+    }
+
+    let mut engine = Engine::builder()
+        .config(cached_cfg())
+        .persist(&dir)
+        .build()
+        .unwrap();
+    // Cross-handle duplicates exercise the handle's batched hit path.
+    let mut handle = engine.submit_handle();
+    engine.submit_batch(fns.iter().cloned());
+    handle.submit_batch(base.iter().cloned()).unwrap();
+    // The handle's `Arc`s keep the store — and its advisory file lock —
+    // alive; release them before the reopen below.
+    drop(handle);
+    let first = engine.finish();
+    assert_eq!(first.stats.num_classes, expected.num_classes());
+    assert!(
+        first.stats.cache_hits + first.stats.dedup_hits > 0,
+        "no duplicate ever hit the cache — the fast paths went unexercised"
+    );
+    assert_proved(&first.census);
+
+    // The reopened store primes resolver and cache from the stored
+    // representatives; had a raw table been journaled as one, the
+    // identical re-feed would split its class (and walk it again).
+    let snap = Engine::recover(&dir).expect("recover certified store");
+    for class in &snap.classes {
+        assert_eq!(certified_key(&class.representative), class.key);
+    }
+    let mut engine = Engine::builder()
+        .config(cached_cfg())
+        .persist(&dir)
+        .build()
+        .unwrap();
+    engine.submit_batch(fns.iter().cloned());
+    let second = engine.finish();
+    assert_eq!(
+        second.stats.num_classes,
+        expected.num_classes(),
+        "reopen split a certified class"
+    );
+    assert_eq!(
+        second.stats.canon_walks + second.stats.canon_fallbacks,
+        0,
+        "recovered classes were re-walked"
+    );
+    assert_proved(&second.census);
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -126,16 +126,24 @@ struct Shared {
     /// long-running server).
     conns: Mutex<std::collections::HashMap<u64, TcpStream>>,
     serve: ServeTelemetry,
+    /// Lock-free `CANON` endpoint, detached from the engine at
+    /// construction: a canonicalization (up to a full Gray-code walk
+    /// for an unknown heavy-symmetry class) runs on the requesting
+    /// connection's thread without holding the engine lock that
+    /// `SNAPSHOT`/`STATS`/`FLUSH` from other connections need.
+    canon: facepoint_engine::CanonHandle,
 }
 
 impl Shared {
     fn new(engine: Engine) -> Shared {
         let serve = ServeTelemetry::new(engine.telemetry());
+        let canon = engine.canon_handle();
         Shared {
             engine: Mutex::new(Some(engine)),
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(std::collections::HashMap::new()),
             serve,
+            canon,
         }
     }
 
@@ -544,10 +552,18 @@ fn dispatch(
                 return (Status::Usage, "CANON <table>".into(), Action::Continue);
             }
             match proto::parse_table_line(args) {
-                Ok(table) => with_engine(shared, |engine| {
-                    let answer = engine.canon(&table);
+                Ok(table) => {
+                    // Only the sealed check touches the engine lock;
+                    // the canonicalization itself (potentially a full
+                    // Gray-code walk) runs on this connection's thread
+                    // through the detached handle, so a heavy CANON
+                    // never stalls other connections' requests.
+                    if shared.lock_engine().is_none() {
+                        return shutdown_reply();
+                    }
+                    let answer = shared.canon.canon(&table);
                     (Status::Ok, canon_body(&answer), Action::Continue)
-                }),
+                }
                 Err(e) => (Status::Table, e, Action::Continue),
             }
         }

@@ -53,7 +53,8 @@ pub use facepoint_truth as truth;
 
 pub use facepoint_core::{signature_key, Classification, Classifier};
 pub use facepoint_engine::{
-    certified_key, CanonAnswer, Engine, EngineConfig, EngineReport, EngineStats, Resolution,
+    certified_key, CanonAnswer, CanonHandle, Engine, EngineConfig, EngineReport, EngineStats,
+    Resolution,
 };
 pub use facepoint_sig::{msv, Msv, SignatureSet};
 pub use facepoint_truth::{NpnTransform, Permutation, TruthTable};
