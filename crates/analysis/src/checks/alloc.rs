@@ -1,0 +1,216 @@
+//! The hot-path allocation lint: functions marked `// analysis:
+//! no_alloc` must not lexically reach allocating constructs.
+//!
+//! This statically complements the three runtime counting-allocator
+//! proofs (`crates/core/tests/zero_alloc.rs`,
+//! `crates/engine/tests/memory.rs`,
+//! `crates/telemetry/tests/zero_alloc.rs`): the tests prove a
+//! particular workload stays off the heap, the lint refuses the
+//! *constructs* that would put a future edit back on it.
+//!
+//! Denied inside a marked function body: `Vec::new(`, `vec![`,
+//! `format!(`, `.to_vec(`, `String::from(`, `String::new(`,
+//! `.to_string(`, `.to_owned(`, `Box::new(`, `.push(` (unless
+//! `with_capacity` appears in the same body — the warmed-buffer
+//! idiom), and `.clone(` (unless the receiver identifier is listed in
+//! `[no_alloc] copy_clone_receivers`). Legitimate cold-path
+//! exceptions take an `allow(no-alloc, "…")` pragma with the reason
+//! on record.
+
+use crate::config::Config;
+use crate::lexer::{find_all, word_bounded, Lexed};
+use crate::pragma::NoAllocMark;
+use crate::report::{Finding, CHECK_ALLOC};
+
+const DENY: [&str; 9] = [
+    "Vec::new(",
+    "vec![",
+    "format!(",
+    ".to_vec(",
+    "String::from(",
+    "String::new(",
+    ".to_string(",
+    ".to_owned(",
+    "Box::new(",
+];
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// The body span of the first `fn` after `mark` (exclusive of its
+/// braces), or `None` with a finding when no function follows.
+fn body_after(lexed: &Lexed, mark: &NoAllocMark) -> Option<(usize, usize)> {
+    let text = &lexed.code.text;
+    let bytes = text.as_bytes();
+    let fn_pos = find_all(text, "fn")
+        .into_iter()
+        .find(|&p| word_bounded(text, p, 2) && lexed.code.line_of(p) > mark.line)?;
+    // The body opens at the first `{` after the signature; a `;` first
+    // means a bodiless declaration.
+    let open = (fn_pos..bytes.len()).find(|&i| bytes[i] == b'{' || bytes[i] == b';')?;
+    if bytes[open] == b';' {
+        return None;
+    }
+    let mut depth = 0i32;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open + 1, i));
+                }
+            }
+            _ => {}
+        }
+    }
+    Some((open + 1, bytes.len()))
+}
+
+/// The identifier immediately preceding a `.clone(`/`.push(` match.
+fn receiver(text: &str, dot_pos: usize) -> &str {
+    let bytes = text.as_bytes();
+    let end = dot_pos;
+    let mut start = end;
+    while start > 0 && is_ident_byte(bytes[start - 1]) {
+        start -= 1;
+    }
+    &text[start..end]
+}
+
+/// Runs the checker over one file's marks.
+pub fn check(file: &str, lexed: &Lexed, marks: &[NoAllocMark], cfg: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let text = &lexed.code.text;
+    for mark in marks {
+        let Some((start, end)) = body_after(lexed, mark) else {
+            findings.push(Finding {
+                check: CHECK_ALLOC.to_string(),
+                file: file.to_string(),
+                line: mark.line,
+                message: "`analysis: no_alloc` mark is not followed by a function body".to_string(),
+            });
+            continue;
+        };
+        let body = &text[start..end];
+        let report = |findings: &mut Vec<Finding>, pos: usize, what: &str| {
+            findings.push(Finding {
+                check: CHECK_ALLOC.to_string(),
+                file: file.to_string(),
+                line: lexed.code.line_of(start + pos),
+                message: format!(
+                    "allocating construct `{what}` in a `no_alloc` function \
+                     (marked at line {})",
+                    mark.line
+                ),
+            });
+        };
+        for pat in DENY {
+            for pos in find_all(body, pat) {
+                report(&mut findings, pos, pat);
+            }
+        }
+        let has_with_capacity = !find_all(body, "with_capacity").is_empty();
+        if !has_with_capacity {
+            for pos in find_all(body, ".push(") {
+                report(&mut findings, pos, ".push( (no `with_capacity` in scope)");
+            }
+        }
+        for pos in find_all(body, ".clone(") {
+            let recv = receiver(body, pos);
+            if !cfg.copy_clone_receivers.iter().any(|r| r == recv) {
+                report(&mut findings, pos, ".clone(");
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::pragma;
+
+    fn run(src: &str, copy_receivers: &[&str]) -> Vec<Finding> {
+        let cfg = Config {
+            copy_clone_receivers: copy_receivers.iter().map(|s| s.to_string()).collect(),
+            ..Config::default()
+        };
+        let lexed = lex(src);
+        let pragmas = pragma::collect("f.rs", &lexed.comments);
+        assert!(pragmas.errors.is_empty(), "{:?}", pragmas.errors);
+        check("f.rs", &lexed, &pragmas.no_alloc, &cfg)
+    }
+
+    #[test]
+    fn allocating_constructs_fire_inside_marked_fns_only() {
+        let findings = run(
+            concat!(
+                "// analysis: no_alloc\n",
+                "fn hot(&mut self) {\n",
+                "    let v = Vec::new();\n",
+                "    let s = format!(\"x{}\", 1);\n",
+                "    let t = self.table.clone();\n",
+                "}\n",
+                "fn cold(&mut self) {\n",
+                "    let v = Vec::new(); // unmarked: fine\n",
+                "}\n",
+            ),
+            &[],
+        );
+        assert_eq!(findings.len(), 3, "{findings:#?}");
+        assert_eq!(findings[0].line, 3);
+        assert_eq!(findings[1].line, 4);
+        assert_eq!(findings[2].line, 5);
+    }
+
+    #[test]
+    fn push_needs_with_capacity_and_copy_receivers_may_clone() {
+        let clean = run(
+            concat!(
+                "// analysis: no_alloc\n",
+                "fn hot(&mut self, out: &mut Vec<u64>) {\n",
+                "    out.reserve(0); let cap = Vec::with_capacity(8);\n",
+                "    out.push(1);\n",
+                "    let k = key.clone();\n",
+                "}\n",
+            ),
+            &["key"],
+        );
+        assert_eq!(clean, vec![], "{clean:#?}");
+        let dirty = run(
+            concat!(
+                "// analysis: no_alloc\n",
+                "fn hot(&mut self, out: &mut Vec<u64>) {\n",
+                "    out.push(1);\n",
+                "}\n",
+            ),
+            &[],
+        );
+        assert_eq!(dirty.len(), 1);
+        assert!(dirty[0].message.contains("with_capacity"), "{dirty:#?}");
+    }
+
+    #[test]
+    fn a_mark_without_a_function_is_a_finding() {
+        let findings = run("// analysis: no_alloc\nconst X: u32 = 1;\n", &[]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("not followed"));
+    }
+
+    #[test]
+    fn string_contents_do_not_trip_the_lint() {
+        let findings = run(
+            concat!(
+                "// analysis: no_alloc\n",
+                "fn hot(&self) {\n",
+                "    log(\"calls Vec::new() and format!() often\");\n",
+                "}\n",
+            ),
+            &[],
+        );
+        assert_eq!(findings, vec![]);
+    }
+}

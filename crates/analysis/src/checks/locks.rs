@@ -1,0 +1,288 @@
+//! Lock-discipline: the declared hierarchy (`[locks] order` in
+//! `analysis.toml`, normative in `docs/ANALYSIS.md`) is enforced
+//! against *lexical guard scopes*.
+//!
+//! An acquisition site is any match of a lock class's patterns in the
+//! raw condensed view (string contents kept — the `.expect("…
+//! poisoned")` messages are the most stable anchors the lock sites
+//! have). A guard bound with `let` lives until its enclosing brace
+//! block closes or an explicit `drop(<name>)`; an unbound (temporary)
+//! guard lives to the end of its statement. This over-approximates
+//! real guard lifetimes on early returns, which is the safe direction
+//! for a deadlock lint.
+//!
+//! Two rules:
+//!
+//! 1. while a guard of rank *r* is live, acquiring a lock of rank
+//!    ≤ *r* (outward or same-class) is a violation;
+//! 2. while any guard is live, a blocking call (`[locks] blocking`
+//!    patterns: fsync, journal appends/compaction, canonicalization
+//!    walks) is a violation unless pragma-allowed with a reason.
+
+use crate::config::Config;
+use crate::lexer::{find_all, word_bounded, Lexed};
+use crate::report::{Finding, CHECK_LOCKS};
+
+/// Brace depth before each byte of `text` (one extra trailing entry).
+fn depths(text: &str) -> Vec<u32> {
+    let mut out = Vec::with_capacity(text.len() + 1);
+    let mut d: u32 = 0;
+    for b in text.bytes() {
+        match b {
+            b'{' => {
+                out.push(d);
+                d += 1;
+            }
+            b'}' => {
+                d = d.saturating_sub(1);
+                out.push(d);
+            }
+            _ => out.push(d),
+        }
+    }
+    out.push(d);
+    out
+}
+
+#[derive(Debug)]
+struct Acquisition {
+    rank: usize,
+    pos: usize,
+    line: u32,
+    scope_end: usize,
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Start of the statement segment containing `pos`.
+fn segment_start(text: &str, pos: usize) -> usize {
+    text.as_bytes()[..pos]
+        .iter()
+        .rposition(|&b| b == b';' || b == b'{' || b == b'}')
+        .map(|i| i + 1)
+        .unwrap_or(0)
+}
+
+/// The guard variable bound by the statement, if it is a `let`.
+fn binding_name(segment: &str) -> Option<&str> {
+    let rest = segment.trim_start().strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let end = rest
+        .as_bytes()
+        .iter()
+        .position(|&b| !is_ident_byte(b))
+        .unwrap_or(rest.len());
+    (end > 0).then(|| &rest[..end])
+}
+
+/// Where the guard acquired at `pos` stops being (lexically) live.
+fn scope_end(text: &str, depth: &[u32], pos: usize) -> usize {
+    let seg_start = segment_start(text, pos);
+    let segment = &text[seg_start..pos];
+    let d = depth[pos];
+    // The position where the enclosing block closes.
+    let block_end = (pos..text.len())
+        .find(|&i| depth[i] < d)
+        .unwrap_or(text.len());
+    match binding_name(segment) {
+        Some(name) => {
+            let drop_pat = format!("drop({name})");
+            for p in find_all(&text[pos..block_end], &drop_pat) {
+                if word_bounded(text, pos + p + 5, name.len()) {
+                    return pos + p;
+                }
+            }
+            block_end
+        }
+        None => {
+            // Temporary: dies at the end of its statement.
+            let stmt_end = (pos..block_end)
+                .find(|&i| text.as_bytes()[i] == b';' && depth[i] == d)
+                .unwrap_or(block_end);
+            stmt_end.min(block_end)
+        }
+    }
+}
+
+/// True when the match at `pos` sits in a declaration (`fn lock_x(`),
+/// not a call site.
+fn is_definition(text: &str, pos: usize) -> bool {
+    let segment = &text[segment_start(text, pos)..pos];
+    find_all(segment, "fn")
+        .iter()
+        .any(|&p| word_bounded(segment, p, 2))
+}
+
+/// Runs the checker over one file's lex.
+pub fn check(file: &str, lexed: &Lexed, cfg: &Config) -> Vec<Finding> {
+    let text = &lexed.raw.text;
+    let depth = depths(text);
+    let mut acqs: Vec<Acquisition> = Vec::new();
+    for (rank, class) in cfg.lock_order.iter().enumerate() {
+        for pat in &class.patterns {
+            for pos in find_all(text, pat) {
+                if is_definition(text, pos) {
+                    continue;
+                }
+                acqs.push(Acquisition {
+                    rank,
+                    pos,
+                    line: lexed.raw.line_of(pos),
+                    scope_end: scope_end(text, &depth, pos),
+                });
+            }
+        }
+    }
+    acqs.sort_by_key(|a| a.pos);
+
+    let mut findings = Vec::new();
+    for (i, outer) in acqs.iter().enumerate() {
+        for inner in &acqs[i + 1..] {
+            if inner.pos >= outer.scope_end {
+                break;
+            }
+            if inner.rank <= outer.rank {
+                let outer_name = &cfg.lock_order[outer.rank].name;
+                let inner_name = &cfg.lock_order[inner.rank].name;
+                let what = if inner.rank == outer.rank {
+                    format!("nested acquisition of lock class `{inner_name}`")
+                } else {
+                    format!(
+                        "acquires `{inner_name}` (rank {}) while holding `{outer_name}` \
+                         (rank {})",
+                        inner.rank, outer.rank
+                    )
+                };
+                findings.push(Finding {
+                    check: CHECK_LOCKS.to_string(),
+                    file: file.to_string(),
+                    line: inner.line,
+                    message: format!(
+                        "{what}; declared order is outermost-first `{}` \
+                         (guard taken at line {})",
+                        order_names(cfg),
+                        outer.line
+                    ),
+                });
+            }
+        }
+    }
+
+    for pat in &cfg.blocking {
+        for pos in find_all(text, pat) {
+            if let Some(holder) = acqs
+                .iter()
+                .filter(|a| a.pos < pos && pos < a.scope_end)
+                .max_by_key(|a| a.pos)
+            {
+                findings.push(Finding {
+                    check: CHECK_LOCKS.to_string(),
+                    file: file.to_string(),
+                    line: lexed.raw.line_of(pos),
+                    message: format!(
+                        "blocking call `{pat}` while holding the `{}` guard taken \
+                         at line {}",
+                        cfg.lock_order[holder.rank].name, holder.line
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+fn order_names(cfg: &Config) -> String {
+    cfg.lock_order
+        .iter()
+        .map(|c| c.name.as_str())
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn test_cfg() -> Config {
+        Config::parse(concat!(
+            "[locks]\n",
+            "files = [\"x.rs\"]\n",
+            "order = [\"outer\", \"inner\"]\n",
+            "blocking = [\".sync_all(\"]\n",
+            "[locks.patterns]\n",
+            "outer = [\"outer.lock(\"]\n",
+            "inner = [\"inner.lock(\"]\n",
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn out_of_order_and_same_class_nesting_fire() {
+        let lexed = lex(concat!(
+            "fn bad(&self) {\n",
+            "    let g = self.inner.lock().unwrap();\n",
+            "    let h = self.outer.lock().unwrap();\n", // inward->outward: bad
+            "}\n",
+            "fn worse(&self) {\n",
+            "    let a = self.outer.lock().unwrap();\n",
+            "    let b = self.outer.lock().unwrap();\n", // same class: bad
+            "}\n",
+            "fn good(&self) {\n",
+            "    let g = self.outer.lock().unwrap();\n",
+            "    let h = self.inner.lock().unwrap();\n", // outermost-first: ok
+            "}\n",
+        ));
+        let findings = check("x.rs", &lexed, &test_cfg());
+        assert_eq!(findings.len(), 2, "{findings:#?}");
+        assert_eq!(findings[0].line, 3);
+        assert!(findings[0].message.contains("while holding"));
+        assert_eq!(findings[1].line, 7);
+        assert!(findings[1].message.contains("nested acquisition"));
+    }
+
+    #[test]
+    fn drop_and_statement_scope_end_guards() {
+        let lexed = lex(concat!(
+            "fn ok(&self) {\n",
+            "    let g = self.inner.lock().unwrap();\n",
+            "    drop(g);\n",
+            "    let h = self.outer.lock().unwrap();\n", // g dropped: ok
+            "    self.inner.lock().unwrap().len();\n",   // temporary
+            "    let i = self.inner.lock().unwrap();\n", // after stmt end: ok
+            "}\n",
+        ));
+        assert_eq!(check("x.rs", &lexed, &test_cfg()), vec![]);
+    }
+
+    #[test]
+    fn blocking_calls_under_guards_fire() {
+        let lexed = lex(concat!(
+            "fn flushy(&self) {\n",
+            "    let g = self.outer.lock().unwrap();\n",
+            "    self.file.sync_all().unwrap();\n",
+            "}\n",
+            "fn fine(&self) {\n",
+            "    self.file.sync_all().unwrap();\n",
+            "}\n",
+        ));
+        let findings = check("x.rs", &lexed, &test_cfg());
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert_eq!(findings[0].line, 3);
+        assert!(findings[0].message.contains(".sync_all("));
+    }
+
+    #[test]
+    fn declarations_are_not_acquisitions() {
+        let lexed = lex(concat!(
+            "impl S {\n",
+            "    fn outer.lock(&self) {}\n", // contrived, but: decl
+            "    pub fn helper(&self) -> G { self.inner.lock().unwrap() }\n",
+            "    fn later(&self) { let g = self.outer.lock().unwrap(); }\n",
+            "}\n",
+        ));
+        assert_eq!(check("x.rs", &lexed, &test_cfg()), vec![]);
+    }
+}

@@ -1,0 +1,8 @@
+//! The four checkers. Each takes one file's [`crate::lexer::Lexed`]
+//! (plus whatever config it needs) and returns raw findings; pragma
+//! suppression and crate-level aggregation happen in [`crate::run`].
+
+pub mod alloc;
+pub mod locks;
+pub mod protocol;
+pub mod unsafety;

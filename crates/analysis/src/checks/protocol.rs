@@ -1,0 +1,476 @@
+//! Protocol-drift: `docs/PROTOCOL.md` is the normative wire contract
+//! (opcode sections in §4, the status-code table in §5), and this
+//! checker cross-references it against the two implementation anchors:
+//!
+//! * `crates/serve/src/proto.rs` — the `Status` enum discriminants,
+//!   `token()` strings and `from_code()` mapping must agree with the
+//!   §5 table row by row;
+//! * `crates/serve/src/server.rs` — the `OP_SERIES` telemetry table
+//!   and the `dispatch` match arms must name exactly the opcodes §4
+//!   documents, and §4's section numbering must stay contiguous.
+//!
+//! Additionally, every `§4.<k> OPCODE` reference in any scanned source
+//! comment is resolved against the doc: a renumbered section silently
+//! orphans those references, so they are part of the contract too.
+//!
+//! The checker works on plain text inputs (not file handles) so the
+//! fixture tests can mutate a copy of the real spec and prove the
+//! drift is caught.
+
+use crate::report::{Finding, CHECK_PROTOCOL};
+
+/// What the markdown spec declares.
+#[derive(Debug, Default)]
+pub struct DocSpec {
+    /// `(section minor, opcode, doc line)` for every `### 4.<k>`
+    /// header whose backtick title starts with an opcode token.
+    pub opcodes: Vec<(u32, String, u32)>,
+    /// `(code, token, doc line)` from the §5 status table.
+    pub statuses: Vec<(u32, String, u32)>,
+}
+
+impl DocSpec {
+    /// The §4 section minor documenting opcode `name`, if any.
+    pub fn opcode_section(&self, name: &str) -> Option<u32> {
+        self.opcodes
+            .iter()
+            .find(|(_, n, _)| n == name)
+            .map(|(k, _, _)| *k)
+    }
+}
+
+fn is_opcode_char(c: char) -> bool {
+    c.is_ascii_uppercase() || c == '-'
+}
+
+/// Leading run of opcode characters, if it is a plausible opcode.
+fn opcode_token(s: &str) -> Option<&str> {
+    let end = s.find(|c| !is_opcode_char(c)).unwrap_or(s.len());
+    (end >= 2).then(|| &s[..end])
+}
+
+/// Parses the spec: §4 opcode headers and the §5 status table.
+pub fn parse_doc(text: &str) -> DocSpec {
+    let mut spec = DocSpec::default();
+    let mut in_status_section = false;
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        if let Some(rest) = line.strip_prefix("## ") {
+            in_status_section = rest.starts_with("5.");
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("### 4.") {
+            // `### 4.8 `CANON <table>`` — a header is an opcode section
+            // iff its title is backtick-quoted and starts with a token.
+            let Some((minor, title)) = rest.split_once(' ') else {
+                continue;
+            };
+            let Ok(minor) = minor.parse::<u32>() else {
+                continue;
+            };
+            let Some(name) = title.trim().strip_prefix('`').and_then(opcode_token) else {
+                continue;
+            };
+            spec.opcodes.push((minor, name.to_string(), line_no));
+            continue;
+        }
+        if in_status_section && line.starts_with('|') {
+            // `| 0 | `OK` | … |`
+            let mut cells = line.split('|').map(str::trim);
+            cells.next(); // before the leading pipe
+            let (Some(code), Some(token)) = (cells.next(), cells.next()) else {
+                continue;
+            };
+            let Ok(code) = code.parse::<u32>() else {
+                continue;
+            };
+            let Some(token) = token.strip_prefix('`').and_then(|t| t.strip_suffix('`')) else {
+                continue;
+            };
+            spec.statuses.push((code, token.to_string(), line_no));
+        }
+    }
+    spec
+}
+
+fn line_no_at(text: &str, pos: usize) -> u32 {
+    (text[..pos].bytes().filter(|&b| b == b'\n').count() + 1) as u32
+}
+
+fn finding(file: &str, line: u32, message: String) -> Finding {
+    Finding {
+        check: CHECK_PROTOCOL.to_string(),
+        file: file.to_string(),
+        line,
+        message,
+    }
+}
+
+/// All `"NAME" =>` match arms whose literal looks like an opcode.
+fn arm_names(text: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let Some(q) = line.trim_start().strip_prefix('"') else {
+            continue;
+        };
+        let Some((name, rest)) = q.split_once('"') else {
+            continue;
+        };
+        if rest.trim_start().starts_with("=>") && opcode_token(name) == Some(name) {
+            out.push((name.to_string(), (idx + 1) as u32));
+        }
+    }
+    out
+}
+
+/// Opcode names in the `OP_SERIES` table (the `""` catch-all is not
+/// an opcode).
+fn op_series_names(text: &str) -> Vec<(String, u32)> {
+    let Some(start) = text.find("OP_SERIES") else {
+        return Vec::new();
+    };
+    let Some(end) = text[start..].find("];").map(|e| start + e) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for p in crate::lexer::find_all(&text[start..end], "(\"") {
+        let rest = &text[start + p + 2..end];
+        let Some((name, _)) = rest.split_once('"') else {
+            continue;
+        };
+        if !name.is_empty() {
+            out.push((name.to_string(), line_no_at(text, start + p)));
+        }
+    }
+    out
+}
+
+/// `Variant = N,` rows inside `enum Status { … }`.
+fn status_discriminants(text: &str) -> Vec<(String, u32)> {
+    let Some(start) = text.find("enum Status") else {
+        return Vec::new();
+    };
+    let end = text[start..]
+        .find('}')
+        .map(|e| start + e)
+        .unwrap_or(text.len());
+    let mut out = Vec::new();
+    for line in text[start..end].lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((name, value)) = line.split_once('=') else {
+            continue;
+        };
+        let name = name.trim();
+        if name.chars().all(|c| c.is_ascii_alphanumeric()) && !name.is_empty() {
+            if let Ok(v) = value.trim().parse::<u32>() {
+                out.push((name.to_string(), v));
+            }
+        }
+    }
+    out
+}
+
+/// `Status::Variant => "TOKEN"` arms (the `token()` table).
+fn status_tokens(text: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim().strip_prefix("Status::") else {
+            continue;
+        };
+        let Some((variant, rest)) = rest.split_once("=>") else {
+            continue;
+        };
+        let Some(token) = rest
+            .trim()
+            .trim_end_matches(',')
+            .strip_prefix('"')
+            .and_then(|t| t.strip_suffix('"'))
+        else {
+            continue;
+        };
+        out.push((variant.trim().to_string(), token.to_string()));
+    }
+    out
+}
+
+/// `N => Some(Status::Variant)` arms (the `from_code()` table).
+fn status_from_code(text: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some((code, rest)) = line.split_once("=> Some(Status::") else {
+            continue;
+        };
+        let Ok(code) = code.trim().parse::<u32>() else {
+            continue;
+        };
+        let variant: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric())
+            .collect();
+        out.push((code, variant));
+    }
+    out
+}
+
+/// Cross-checks the three texts. `paths` are `(doc, proto, server)`
+/// as they should appear in findings.
+pub fn check_texts(
+    doc: &str,
+    proto: &str,
+    server: &str,
+    paths: (&str, &str, &str),
+) -> (DocSpec, Vec<Finding>) {
+    let (doc_path, proto_path, server_path) = paths;
+    let spec = parse_doc(doc);
+    let mut findings = Vec::new();
+
+    // §4 numbering must be contiguous and ascending.
+    for pair in spec.opcodes.windows(2) {
+        let ((a, a_name, _), (b, b_name, line)) = (&pair[0], &pair[1]);
+        if *b != *a + 1 {
+            findings.push(finding(
+                doc_path,
+                *line,
+                format!(
+                    "opcode sections must be contiguous: §4.{a} `{a_name}` is \
+                     followed by §4.{b} `{b_name}`"
+                ),
+            ));
+        }
+    }
+    for (i, (_, name, line)) in spec.opcodes.iter().enumerate() {
+        if spec.opcodes[..i].iter().any(|(_, n, _)| n == name) {
+            findings.push(finding(
+                doc_path,
+                *line,
+                format!("opcode `{name}` is documented twice"),
+            ));
+        }
+    }
+
+    // OP_SERIES and the dispatch arms must both name exactly §4's set.
+    let doc_names: Vec<&str> = spec.opcodes.iter().map(|(_, n, _)| n.as_str()).collect();
+    for (what, impl_names) in [
+        ("OP_SERIES", op_series_names(server)),
+        ("dispatch arm", arm_names(server)),
+    ] {
+        for (name, line) in &impl_names {
+            if !doc_names.contains(&name.as_str()) {
+                findings.push(finding(
+                    server_path,
+                    *line,
+                    format!("{what} `{name}` has no §4 opcode section in {doc_path}"),
+                ));
+            }
+        }
+        for (_, name, line) in &spec.opcodes {
+            if !impl_names.iter().any(|(n, _)| n == name) {
+                findings.push(finding(
+                    doc_path,
+                    *line,
+                    format!("documented opcode `{name}` has no {what} in {server_path}"),
+                ));
+            }
+        }
+    }
+
+    // §5 rows vs the Status enum: discriminant, token() and
+    // from_code() must all agree.
+    let discr = status_discriminants(proto);
+    let tokens = status_tokens(proto);
+    let from_code = status_from_code(proto);
+    for (code, token, line) in &spec.statuses {
+        let Some((variant, _)) = discr.iter().find(|(_, v)| v == code) else {
+            findings.push(finding(
+                doc_path,
+                *line,
+                format!(
+                    "status code {code} (`{token}`) has no Status discriminant in {proto_path}"
+                ),
+            ));
+            continue;
+        };
+        match tokens.iter().find(|(v, _)| v == variant) {
+            Some((_, t)) if t == token => {}
+            Some((_, t)) => findings.push(finding(
+                doc_path,
+                *line,
+                format!(
+                    "status code {code}: doc token `{token}` but \
+                     Status::{variant}.token() is `{t}`"
+                ),
+            )),
+            None => findings.push(finding(
+                doc_path,
+                *line,
+                format!("Status::{variant} has no token() arm in {proto_path}"),
+            )),
+        }
+        if !from_code.iter().any(|(c, v)| c == code && v == variant) {
+            findings.push(finding(
+                doc_path,
+                *line,
+                format!("from_code({code}) does not map back to Status::{variant}"),
+            ));
+        }
+    }
+    for (variant, code) in &discr {
+        if !spec.statuses.iter().any(|(c, _, _)| c == code) {
+            findings.push(finding(
+                proto_path,
+                0,
+                format!("Status::{variant} = {code} is not documented in the §5 table"),
+            ));
+        }
+    }
+    (spec, findings)
+}
+
+/// Validates `§4.<k> OPCODE` references in one source file's text
+/// (original text: the references live in comments).
+pub fn check_references(file: &str, text: &str, spec: &DocSpec) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for pos in crate::lexer::find_all(text, "\u{a7}4.") {
+        let rest = &text[pos + "\u{a7}4.".len()..];
+        let digits_end = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        let Ok(minor) = rest[..digits_end].parse::<u32>() else {
+            continue;
+        };
+        let after = rest[digits_end..].trim_start_matches(' ');
+        let Some(token) = opcode_token(after) else {
+            continue; // a bare `§4.7` — nothing to cross-check
+        };
+        let Some(actual) = spec.opcode_section(token) else {
+            continue; // not an opcode name (prose in caps)
+        };
+        if actual != minor {
+            findings.push(finding(
+                file,
+                line_no_at(text, pos),
+                format!(
+                    "reference `\u{a7}4.{minor} {token}` is stale: `{token}` is \u{a7}4.{actual}"
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = concat!(
+        "## 4. Opcodes\n",
+        "### 4.1 Table literals\n",
+        "### 4.2 `HELLO <version>`\n",
+        "### 4.3 `PING`\n",
+        "## 5. Status codes\n",
+        "| code | token | meaning |\n",
+        "|---|---|---|\n",
+        "| 0 | `OK` | success |\n",
+        "| 1 | `EPROTO` | violation |\n",
+    );
+    const PROTO: &str = concat!(
+        "pub enum Status {\n",
+        "    Ok = 0,\n",
+        "    Proto = 1,\n",
+        "}\n",
+        "fn token() {\n",
+        "    Status::Ok => \"OK\",\n",
+        "    Status::Proto => \"EPROTO\",\n",
+        "}\n",
+        "fn from_code() {\n",
+        "    0 => Some(Status::Ok),\n",
+        "    1 => Some(Status::Proto),\n",
+        "}\n",
+    );
+    const SERVER: &str = concat!(
+        "const OP_SERIES: [(&str, &str); 3] = [\n",
+        "    (\"HELLO\", \"serve_hello_nanos\"),\n",
+        "    (\"PING\", \"serve_ping_nanos\"),\n",
+        "    (\"\", \"serve_other_nanos\"),\n",
+        "];\n",
+        "fn dispatch() {\n",
+        "    \"HELLO\" => hello(),\n",
+        "    \"PING\" => pong(),\n",
+        "}\n",
+    );
+
+    fn paths() -> (&'static str, &'static str, &'static str) {
+        ("doc.md", "proto.rs", "server.rs")
+    }
+
+    #[test]
+    fn aligned_spec_and_impl_are_clean() {
+        let (spec, findings) = check_texts(DOC, PROTO, SERVER, paths());
+        assert_eq!(findings, vec![], "{findings:#?}");
+        assert_eq!(spec.opcodes.len(), 2); // 4.1 has no backtick title
+        assert_eq!(spec.opcode_section("PING"), Some(3));
+        assert_eq!(spec.statuses.len(), 2);
+    }
+
+    #[test]
+    fn a_mutated_opcode_number_breaks_contiguity() {
+        let mutated = DOC.replace("### 4.3 `PING`", "### 4.4 `PING`");
+        let (_, findings) = check_texts(&mutated, PROTO, SERVER, paths());
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert!(findings[0].message.contains("contiguous"), "{findings:#?}");
+    }
+
+    #[test]
+    fn missing_and_extra_opcodes_fire_on_both_sides() {
+        let extra_doc = DOC.replace("### 4.3 `PING`", "### 4.3 `PING`\n### 4.4 `RESET`");
+        let (_, findings) = check_texts(&extra_doc, PROTO, SERVER, paths());
+        // RESET missing from both OP_SERIES and dispatch.
+        assert_eq!(findings.len(), 2, "{findings:#?}");
+        assert!(findings.iter().all(|f| f.message.contains("RESET")));
+
+        let dropped = SERVER.replace("    (\"PING\", \"serve_ping_nanos\"),\n", "");
+        let (_, findings) = check_texts(DOC, PROTO, &dropped, paths());
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert!(
+            findings[0].message.contains("no OP_SERIES"),
+            "{findings:#?}"
+        );
+    }
+
+    #[test]
+    fn status_token_and_code_drift_fires() {
+        let retok = PROTO.replace(
+            "Status::Proto => \"EPROTO\"",
+            "Status::Proto => \"EPROTO2\"",
+        );
+        let (_, findings) = check_texts(DOC, &retok, SERVER, paths());
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert!(findings[0].message.contains("EPROTO2"));
+
+        let recode = DOC.replace("| 1 | `EPROTO` |", "| 2 | `EPROTO` |");
+        let (_, findings) = check_texts(&recode, PROTO, SERVER, paths());
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("no Status discriminant")),
+            "{findings:#?}"
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("not documented")),
+            "{findings:#?}"
+        );
+    }
+
+    #[test]
+    fn stale_section_references_fire() {
+        let (spec, _) = check_texts(DOC, PROTO, SERVER, paths());
+        let src = "// the \u{a7}4.3 PING frame\n// a \u{a7}4.2 PING typo\n// bare \u{a7}4.9 ref\n";
+        let findings = check_references("x.rs", src, &spec);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert_eq!(findings[0].line, 2);
+        assert!(findings[0].message.contains("stale"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Unsafe-audit: the workspace is safe Rust by declaration, and this
+//! checker keeps the declaration honest.
+//!
+//! * every crate root (`src/lib.rs`, `src/main.rs`, `src/bin/*.rs`)
+//!   must carry `#![forbid(unsafe_code)]` or `#![deny(unsafe_code)]`;
+//! * a crate root may keep `deny` (instead of `forbid`) only while
+//!   some file under its `src/` actually contains `unsafe` — otherwise
+//!   the weaker level is itself a finding (the forbid-promotion rule);
+//! * `unsafe` blocks and `#[allow(unsafe_code)]` escapes may appear
+//!   only in the `[unsafe] allow_files` allowlist (the signal handler
+//!   and the counting-allocator test harness), and each occurrence
+//!   needs a `// SAFETY:` comment within the preceding eight lines.
+
+use crate::config::Config;
+use crate::lexer::{find_all, word_bounded, Lexed};
+use crate::report::{Finding, CHECK_UNSAFE};
+
+/// How many lines above an `unsafe` occurrence a `SAFETY:` comment
+/// still counts as adjacent.
+const SAFETY_WINDOW: u32 = 8;
+
+/// The crate-root lint attribute, if present.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootGuard {
+    /// `#![forbid(unsafe_code)]` — the required strength.
+    Forbid,
+    /// `#![deny(unsafe_code)]` — only justified while the crate
+    /// actually contains audited unsafe.
+    Deny,
+}
+
+/// Condensed forms (the code view has all whitespace collapsed).
+const FORBID: &str = "#![forbid(unsafe_code)]";
+const DENY_ATTR: &str = "#![deny(unsafe_code)]";
+
+/// The crate-root lint attribute present in `lexed`, if any.
+pub fn root_guard(lexed: &Lexed) -> Option<RootGuard> {
+    let code = &lexed.code.text;
+    if code.contains(FORBID) {
+        Some(RootGuard::Forbid)
+    } else if code.contains(DENY_ATTR) {
+        Some(RootGuard::Deny)
+    } else {
+        None
+    }
+}
+
+/// Lines of every `unsafe` keyword and `#[allow(unsafe_code)]` escape.
+fn unsafe_sites(lexed: &Lexed) -> Vec<(u32, &'static str)> {
+    let code = &lexed.code.text;
+    let mut sites = Vec::new();
+    for pos in find_all(code, "unsafe") {
+        // `unsafe_code` inside the lint attributes is not word-bounded,
+        // so only real `unsafe` keywords land here.
+        if word_bounded(code, pos, "unsafe".len()) {
+            sites.push((lexed.code.line_of(pos), "`unsafe`"));
+        }
+    }
+    for pos in find_all(code, "#[allow(unsafe_code)]") {
+        sites.push((lexed.code.line_of(pos), "`#[allow(unsafe_code)]`"));
+    }
+    sites.sort_unstable();
+    sites
+}
+
+/// True when the file contains any `unsafe` keyword or escape.
+pub fn has_unsafe(lexed: &Lexed) -> bool {
+    !unsafe_sites(lexed).is_empty()
+}
+
+/// True for files that are their own crate/binary root and therefore
+/// must carry the lint attribute.
+pub fn is_crate_root(rel_path: &str) -> bool {
+    rel_path.ends_with("src/lib.rs")
+        || rel_path.ends_with("src/main.rs")
+        || rel_path.contains("/src/bin/")
+}
+
+/// Runs the per-file part of the audit (the crate-wide
+/// forbid-promotion rule lives in [`crate::run`], which sees every
+/// file of a crate together).
+pub fn check(file: &str, lexed: &Lexed, cfg: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut push = |line: u32, message: String| {
+        findings.push(Finding {
+            check: CHECK_UNSAFE.to_string(),
+            file: file.to_string(),
+            line,
+            message,
+        });
+    };
+    if is_crate_root(file) && root_guard(lexed).is_none() {
+        push(
+            1,
+            "crate root carries neither `#![forbid(unsafe_code)]` nor \
+             `#![deny(unsafe_code)]`"
+                .to_string(),
+        );
+    }
+    let allowed_file = cfg.unsafe_allow_files.iter().any(|f| f == file);
+    for (line, what) in unsafe_sites(lexed) {
+        if !allowed_file {
+            push(
+                line,
+                format!("{what} outside the `[unsafe] allow_files` allowlist"),
+            );
+        }
+        let documented = lexed
+            .comments
+            .iter()
+            .any(|(l, text)| *l <= line && line - *l <= SAFETY_WINDOW && text.contains("SAFETY:"));
+        if !documented {
+            push(
+                line,
+                format!(
+                    "{what} without a `// SAFETY:` comment in the preceding \
+                     {SAFETY_WINDOW} lines"
+                ),
+            );
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn cfg_allowing(files: &[&str]) -> Config {
+        Config {
+            unsafe_allow_files: files.iter().map(|s| s.to_string()).collect(),
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn missing_root_attr_fires_only_on_crate_roots() {
+        let lexed = lex("pub fn f() {}\n");
+        let findings = check("crates/x/src/lib.rs", &lexed, &cfg_allowing(&[]));
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("crate root"));
+        assert_eq!(
+            check("crates/x/src/util.rs", &lexed, &cfg_allowing(&[])),
+            vec![]
+        );
+
+        let guarded = lex("#![forbid(unsafe_code)]\npub fn f() {}\n");
+        assert_eq!(
+            check("crates/x/src/lib.rs", &guarded, &cfg_allowing(&[])),
+            vec![]
+        );
+        assert_eq!(root_guard(&guarded), Some(RootGuard::Forbid));
+    }
+
+    #[test]
+    fn unsafe_needs_allowlist_and_safety_comment() {
+        let src = concat!(
+            "#![deny(unsafe_code)]\n",
+            "#[allow(unsafe_code)]\n",
+            "fn f() { unsafe { g() } }\n",
+        );
+        let lexed = lex(src);
+        assert!(has_unsafe(&lexed));
+        // Off the allowlist: every site is two findings (location + doc).
+        let findings = check("crates/x/src/lib.rs", &lexed, &cfg_allowing(&[]));
+        assert_eq!(findings.len(), 4, "{findings:#?}");
+        // On the allowlist but undocumented: still the SAFETY findings.
+        let findings = check(
+            "crates/x/src/lib.rs",
+            &lexed,
+            &cfg_allowing(&["crates/x/src/lib.rs"]),
+        );
+        assert_eq!(findings.len(), 2, "{findings:#?}");
+        assert!(findings.iter().all(|f| f.message.contains("SAFETY")));
+
+        let documented = lex(concat!(
+            "#![deny(unsafe_code)]\n",
+            "// SAFETY: the harness only counts, it never frees.\n",
+            "#[allow(unsafe_code)]\n",
+            "fn f() { unsafe { g() } }\n",
+        ));
+        assert_eq!(
+            check(
+                "crates/x/src/lib.rs",
+                &documented,
+                &cfg_allowing(&["crates/x/src/lib.rs"]),
+            ),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn strings_and_attr_mentions_are_not_unsafe_sites() {
+        let lexed = lex(concat!(
+            "#![forbid(unsafe_code)]\n",
+            "const M: &str = \"unsafe is banned here\";\n",
+        ));
+        assert!(!has_unsafe(&lexed));
+        assert_eq!(
+            check("crates/x/src/lib.rs", &lexed, &cfg_allowing(&[])),
+            vec![]
+        );
+    }
+}

@@ -1,0 +1,331 @@
+//! `analysis.toml` — the declared invariants the checkers enforce.
+//!
+//! The parser reads the TOML subset the config actually needs
+//! (sections, string values, string arrays — including multi-line
+//! arrays), hand-rolled in the same no-new-deps spirit as
+//! `facepoint_bench::json`. Unknown sections and keys are errors:
+//! a typo in the config must not silently disable a checker.
+
+use std::collections::BTreeMap;
+
+/// One lock class: its name (hierarchy position comes from
+/// `[locks] order`) and the lexical patterns that mark an acquisition.
+#[derive(Debug, Clone)]
+pub struct LockClass {
+    /// Class name as declared in `[locks] order`.
+    pub name: String,
+    /// Normalized (whitespace-collapsed) substrings matched against
+    /// the raw condensed view.
+    pub patterns: Vec<String>,
+}
+
+/// Parsed configuration; see `analysis.toml` at the repo root for the
+/// normative instance and `docs/ANALYSIS.md` for the grammar.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Path prefixes (relative to the scan root) excluded from every
+    /// checker.
+    pub skip: Vec<String>,
+    /// Files the lock-discipline checker runs on (it is scoped to the
+    /// lock-bearing modules; the other checkers are workspace-wide).
+    pub lock_files: Vec<String>,
+    /// Outermost-first lock hierarchy.
+    pub lock_order: Vec<LockClass>,
+    /// Normalized substrings that mark a blocking call (I/O, fsync,
+    /// canonicalization walks) which must not run under any guard.
+    pub blocking: Vec<String>,
+    /// `.clone()` receivers that are `Copy` (or otherwise heap-free)
+    /// and therefore legal in `no_alloc` functions.
+    pub copy_clone_receivers: Vec<String>,
+    /// Files allowed to contain `unsafe` at all (each occurrence still
+    /// needs an adjacent `// SAFETY:` comment).
+    pub unsafe_allow_files: Vec<String>,
+    /// The protocol spec (empty disables the protocol-drift checker).
+    pub protocol_doc: String,
+    /// The `Status` enum anchor (`proto.rs`).
+    pub protocol_impl: String,
+    /// The `OP_SERIES`/dispatch anchor (`server.rs`).
+    pub protocol_server: String,
+}
+
+fn strip_comment(line: &str) -> &str {
+    // '#' starts a comment unless inside a quoted string.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(v: &str, line_no: usize) -> Result<String, String> {
+    let v = v.trim();
+    let inner = v
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("line {line_no}: expected a quoted string, got {v:?}"))?;
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                other => {
+                    return Err(format!("line {line_no}: unsupported escape \\{other:?}"));
+                }
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+fn parse_array(v: &str, line_no: usize) -> Result<Vec<String>, String> {
+    let v = v.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("line {line_no}: expected an array"))?;
+    let mut out = Vec::new();
+    // Split on commas outside quotes.
+    let mut item = String::new();
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in inner.chars() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                item.push(c);
+            }
+            '"' if !escaped => {
+                in_str = !in_str;
+                item.push(c);
+            }
+            ',' if !in_str => {
+                if !item.trim().is_empty() {
+                    out.push(parse_string(&item, line_no)?);
+                }
+                item.clear();
+            }
+            c => {
+                escaped = false;
+                item.push(c);
+            }
+        }
+    }
+    if !item.trim().is_empty() {
+        out.push(parse_string(&item, line_no)?);
+    }
+    Ok(out)
+}
+
+impl Config {
+    /// Parses the config text. Every section/key is checked against
+    /// the known schema; the result's lock patterns are already
+    /// normalized for condensed matching.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut sections: BTreeMap<String, Vec<(usize, String, String)>> = BTreeMap::new();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = name.trim().to_string();
+                sections.entry(section.clone()).or_default();
+                continue;
+            }
+            let Some((key, mut value)) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+            else {
+                return Err(format!(
+                    "line {line_no}: expected `key = value` or `[section]`"
+                ));
+            };
+            // Multi-line array: keep consuming until brackets balance.
+            while value.starts_with('[') && !balanced(&value) {
+                let Some((_, cont)) = lines.next() else {
+                    return Err(format!("line {line_no}: unterminated array"));
+                };
+                value.push(' ');
+                value.push_str(strip_comment(cont).trim());
+            }
+            sections
+                .entry(section.clone())
+                .or_default()
+                .push((line_no, key, value));
+        }
+
+        let mut cfg = Config::default();
+        let mut order_names: Vec<String> = Vec::new();
+        let mut patterns: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for (section, entries) in &sections {
+            match section.as_str() {
+                "scan" => {
+                    for (ln, key, value) in entries {
+                        match key.as_str() {
+                            "skip" => cfg.skip = parse_array(value, *ln)?,
+                            other => return Err(format!("line {ln}: unknown key scan.{other}")),
+                        }
+                    }
+                }
+                "locks" => {
+                    for (ln, key, value) in entries {
+                        match key.as_str() {
+                            "files" => cfg.lock_files = parse_array(value, *ln)?,
+                            "order" => order_names = parse_array(value, *ln)?,
+                            "blocking" => {
+                                cfg.blocking = parse_array(value, *ln)?
+                                    .iter()
+                                    .map(|p| crate::lexer::normalize_pattern(p))
+                                    .collect()
+                            }
+                            other => return Err(format!("line {ln}: unknown key locks.{other}")),
+                        }
+                    }
+                }
+                "locks.patterns" => {
+                    for (ln, key, value) in entries {
+                        patterns.insert(
+                            key.clone(),
+                            parse_array(value, *ln)?
+                                .iter()
+                                .map(|p| crate::lexer::normalize_pattern(p))
+                                .collect(),
+                        );
+                    }
+                }
+                "no_alloc" => {
+                    for (ln, key, value) in entries {
+                        match key.as_str() {
+                            "copy_clone_receivers" => {
+                                cfg.copy_clone_receivers = parse_array(value, *ln)?
+                            }
+                            other => {
+                                return Err(format!("line {ln}: unknown key no_alloc.{other}"))
+                            }
+                        }
+                    }
+                }
+                "unsafe" => {
+                    for (ln, key, value) in entries {
+                        match key.as_str() {
+                            "allow_files" => cfg.unsafe_allow_files = parse_array(value, *ln)?,
+                            other => return Err(format!("line {ln}: unknown key unsafe.{other}")),
+                        }
+                    }
+                }
+                "protocol" => {
+                    for (ln, key, value) in entries {
+                        match key.as_str() {
+                            "doc" => cfg.protocol_doc = parse_string(value, *ln)?,
+                            "impl" => cfg.protocol_impl = parse_string(value, *ln)?,
+                            "server" => cfg.protocol_server = parse_string(value, *ln)?,
+                            other => {
+                                return Err(format!("line {ln}: unknown key protocol.{other}"))
+                            }
+                        }
+                    }
+                }
+                other => return Err(format!("unknown section [{other}]")),
+            }
+        }
+        for name in &order_names {
+            let pats = patterns.remove(name).ok_or_else(|| {
+                format!("locks.order names {name:?} but [locks.patterns] does not define it")
+            })?;
+            cfg.lock_order.push(LockClass {
+                name: name.clone(),
+                patterns: pats,
+            });
+        }
+        if let Some(extra) = patterns.keys().next() {
+            return Err(format!(
+                "[locks.patterns] defines {extra:?} which locks.order does not rank"
+            ));
+        }
+        Ok(cfg)
+    }
+
+    /// Reads and parses `path`.
+    pub fn load(path: &std::path::Path) -> Result<Config, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Config::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+fn balanced(s: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        match c {
+            '\\' if in_str && !escaped => escaped = true,
+            '"' if !escaped => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => escaped = false,
+        }
+    }
+    depth == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_shape() {
+        let cfg = Config::parse(concat!(
+            "[scan]\n",
+            "skip = [\"target\", \"vendor\"] # comment\n",
+            "\n",
+            "[locks]\n",
+            "files = [\n",
+            "    \"a.rs\",\n",
+            "    \"b.rs\",\n",
+            "]\n",
+            "order = [\"outer\", \"inner\"]\n",
+            "blocking = [\".sync_all(\"]\n",
+            "[locks.patterns]\n",
+            "outer = [\"lock_outer(\"]\n",
+            "inner = [\"expect(\\\"inner poisoned\\\")\"]\n",
+            "[protocol]\n",
+            "doc = \"docs/PROTOCOL.md\"\n",
+            "impl = \"crates/serve/src/proto.rs\"\n",
+            "server = \"crates/serve/src/server.rs\"\n",
+        ))
+        .unwrap();
+        assert_eq!(cfg.skip, ["target", "vendor"]);
+        assert_eq!(cfg.lock_files, ["a.rs", "b.rs"]);
+        assert_eq!(cfg.lock_order.len(), 2);
+        assert_eq!(cfg.lock_order[0].name, "outer");
+        assert_eq!(cfg.lock_order[1].patterns, ["expect(\"inner poisoned\")"]);
+        assert_eq!(cfg.protocol_doc, "docs/PROTOCOL.md");
+    }
+
+    #[test]
+    fn unknown_keys_and_unranked_patterns_are_errors() {
+        assert!(Config::parse("[scan]\nskpi = [\"x\"]\n").is_err());
+        assert!(Config::parse("[nope]\n").is_err());
+        let err = Config::parse(concat!(
+            "[locks]\norder = [\"a\"]\n",
+            "[locks.patterns]\na = [\"p\"]\nb = [\"q\"]\n"
+        ))
+        .unwrap_err();
+        assert!(err.contains("\"b\""), "{err}");
+        let err = Config::parse("[locks]\norder = [\"a\"]\n").unwrap_err();
+        assert!(err.contains("does not define"), "{err}");
+    }
+}

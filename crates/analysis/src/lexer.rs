@@ -1,0 +1,439 @@
+//! The lightweight Rust scanner behind every checker.
+//!
+//! This is deliberately **not** a parser: the checkers need comment
+//! text, string-free code text, brace depth and line numbers — nothing
+//! that requires an AST. One pass classifies every byte of a source
+//! file as code, comment or literal, and two *condensed* views are
+//! built on top:
+//!
+//! * [`Lexed::code`] — code with string/char literal *contents*
+//!   dropped (delimiters kept), comments dropped, and whitespace
+//!   collapsed (a single space survives only between two identifier
+//!   characters, so token boundaries are preserved);
+//! * [`Lexed::raw`] — the same, but string literal contents are kept.
+//!   Lock-acquisition patterns match against this view because the
+//!   `.expect("…poisoned")` messages are the most stable lexical
+//!   anchor the lock sites have.
+//!
+//! Both views carry a parallel line map so every match position
+//! resolves back to a 1-based source line.
+
+/// One condensed view of a file: the text plus, per condensed byte,
+/// the 1-based source line it came from.
+#[derive(Debug, Default)]
+pub struct Condensed {
+    /// The condensed text.
+    pub text: String,
+    /// Per condensed byte, the 1-based source line it came from.
+    pub lines: Vec<u32>,
+}
+
+impl Condensed {
+    fn push(&mut self, c: char, line: u32) {
+        self.text.push(c);
+        for _ in 0..c.len_utf8() {
+            self.lines.push(line);
+        }
+    }
+
+    /// The source line of condensed byte offset `pos`.
+    pub fn line_of(&self, pos: usize) -> u32 {
+        self.lines
+            .get(pos)
+            .copied()
+            .unwrap_or_else(|| self.lines.last().copied().unwrap_or(1))
+    }
+}
+
+/// The scan result for one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Condensed code, string contents blanked.
+    pub code: Condensed,
+    /// Condensed code, string contents kept.
+    pub raw: Condensed,
+    /// `(line, text)` for every comment, line (`//`) and block
+    /// (`/* */`) alike; block comments contribute one entry per
+    /// source line so adjacency checks stay line-accurate.
+    pub comments: Vec<(u32, String)>,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Collapses whitespace exactly the way the lexer does, so config
+/// patterns written with natural spacing match the condensed views.
+pub fn normalize_pattern(p: &str) -> String {
+    let mut out = String::new();
+    let mut pending_ws = false;
+    for c in p.chars() {
+        if c.is_whitespace() {
+            pending_ws = true;
+            continue;
+        }
+        if pending_ws {
+            if out.chars().last().map(is_ident).unwrap_or(false) && is_ident(c) {
+                out.push(' ');
+            }
+            pending_ws = false;
+        }
+        out.push(c);
+    }
+    out
+}
+
+struct Emitter {
+    code: Condensed,
+    raw: Condensed,
+    pending_ws: bool,
+}
+
+impl Emitter {
+    /// Emits a code character into one or both condensed views,
+    /// resolving the pending-whitespace marker first. Whitespace
+    /// itself only arms the marker, so every view is collapsed by one
+    /// rule: a single space survives between two identifier characters.
+    ///
+    /// Literal *contents* (`into_code == false`) additionally drop
+    /// braces: the checkers compute brace depth over the raw view, and
+    /// a `{len}` inside a `format!` string must not unbalance it.
+    fn emit(&mut self, c: char, line: u32, into_code: bool) {
+        if c.is_whitespace() {
+            self.pending_ws = true;
+            return;
+        }
+        if !into_code && (c == '{' || c == '}') {
+            return;
+        }
+        if self.pending_ws {
+            if self.raw.text.chars().last().map(is_ident).unwrap_or(false) && is_ident(c) {
+                self.raw.push(' ', line);
+                if self.code.text.chars().last().map(is_ident).unwrap_or(false) {
+                    self.code.push(' ', line);
+                }
+            }
+            self.pending_ws = false;
+        }
+        self.raw.push(c, line);
+        if into_code {
+            self.code.push(c, line);
+        }
+    }
+}
+
+/// Scans `text` into its condensed views and comment list.
+pub fn lex(text: &str) -> Lexed {
+    let mut em = Emitter {
+        code: Condensed::default(),
+        raw: Condensed::default(),
+        pending_ws: false,
+    };
+    let mut comments: Vec<(u32, String)> = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match c {
+            '\n' => {
+                line += 1;
+                em.pending_ws = true;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                em.pending_ws = true;
+                i += 1;
+            }
+            '/' if next == Some('/') => {
+                let start = i + 2;
+                let mut end = start;
+                while end < chars.len() && chars[end] != '\n' {
+                    end += 1;
+                }
+                comments.push((line, chars[start..end].iter().collect()));
+                em.pending_ws = true;
+                i = end;
+            }
+            '/' if next == Some('*') => {
+                // Block comment, nestable, split into per-line entries.
+                let mut depth = 1;
+                let mut j = i + 2;
+                let mut buf = String::new();
+                while j < chars.len() && depth > 0 {
+                    if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        buf.push_str("/*");
+                        j += 2;
+                    } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        if depth > 0 {
+                            buf.push_str("*/");
+                        }
+                        j += 2;
+                    } else if chars[j] == '\n' {
+                        comments.push((line, std::mem::take(&mut buf)));
+                        line += 1;
+                        j += 1;
+                    } else {
+                        buf.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                if !buf.is_empty() {
+                    comments.push((line, buf));
+                }
+                em.pending_ws = true;
+                i = j;
+            }
+            '"' => {
+                em.emit('"', line, true);
+                i += 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => {
+                            if let Some(&e) = chars.get(i + 1) {
+                                em.emit('\\', line, false);
+                                if e == '\n' {
+                                    line += 1;
+                                } else {
+                                    em.emit(e, line, false);
+                                }
+                                i += 2;
+                            } else {
+                                i += 1;
+                            }
+                        }
+                        '"' => {
+                            em.emit('"', line, true);
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            em.pending_ws = true;
+                            line += 1;
+                            i += 1;
+                        }
+                        other => {
+                            em.emit(other, line, false);
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            'r' | 'b' if is_raw_string_start(&chars, i) => {
+                // r"…", r#"…"#, br"…", b"…" raw/byte strings.
+                let mut j = i;
+                while chars.get(j) == Some(&'b') || chars.get(j) == Some(&'r') {
+                    em.emit(chars[j], line, true);
+                    j += 1;
+                }
+                let mut hashes = 0;
+                while chars.get(j) == Some(&'#') {
+                    hashes += 1;
+                    em.emit('#', line, true);
+                    j += 1;
+                }
+                em.emit('"', line, true);
+                j += 1;
+                'scan: while j < chars.len() {
+                    if chars[j] == '"' {
+                        let mut k = 0;
+                        while k < hashes && chars.get(j + 1 + k) == Some(&'#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            em.emit('"', line, true);
+                            for _ in 0..hashes {
+                                em.emit('#', line, true);
+                            }
+                            j += 1 + hashes;
+                            break 'scan;
+                        }
+                    }
+                    if chars[j] == '\n' {
+                        em.pending_ws = true;
+                        line += 1;
+                    } else {
+                        em.emit(chars[j], line, false);
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            '\'' => {
+                // Char literal vs lifetime: a literal closes with a
+                // second quote within a couple of characters.
+                if let Some(len) = char_literal_len(&chars, i) {
+                    em.emit('\'', line, true);
+                    for &c in chars.iter().take(i + len - 1).skip(i + 1) {
+                        em.emit(c, line, false);
+                    }
+                    em.emit('\'', line, true);
+                    i += len;
+                } else {
+                    // Lifetime marker: keep it (it is code).
+                    em.emit('\'', line, true);
+                    i += 1;
+                }
+            }
+            other => {
+                em.emit(other, line, true);
+                i += 1;
+            }
+        }
+    }
+    Lexed {
+        code: em.code,
+        raw: em.raw,
+        comments,
+    }
+}
+
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // Not a raw/byte string if the previous char continues an
+    // identifier (`attr"x"` can't happen, but `br` inside `abr` could).
+    if i > 0 && is_ident(chars[i - 1]) {
+        return false;
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        return chars.get(i) == Some(&'b'); // b"…" byte string
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// `Some(total_len)` when the `'` at `i` opens a char literal.
+fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1)? {
+        '\\' => {
+            // Escapes: '\n', '\'', '\\', '\x41', '\u{…}'.
+            let mut j = i + 2;
+            match chars.get(j)? {
+                'x' => j += 3,
+                'u' => {
+                    j += 1;
+                    while chars.get(j).is_some_and(|&c| c != '\'') {
+                        j += 1;
+                    }
+                    j += 1;
+                    return Some(j - i);
+                }
+                _ => j += 1,
+            }
+            (chars.get(j) == Some(&'\'')).then_some(j + 1 - i)
+        }
+        &c => {
+            if c != '\'' && chars.get(i + 2) == Some(&'\'') {
+                Some(3)
+            } else {
+                None // lifetime ('a, 'static) or stray quote
+            }
+        }
+    }
+}
+
+/// All non-overlapping occurrences of `pat` in `hay`, as byte offsets.
+pub fn find_all(hay: &str, pat: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    if pat.is_empty() {
+        return out;
+    }
+    let mut from = 0;
+    while let Some(off) = hay[from..].find(pat) {
+        out.push(from + off);
+        from += off + pat.len();
+    }
+    out
+}
+
+/// True when the match at `pos..pos+len` in `hay` is bounded by
+/// non-identifier characters (keyword/identifier matching).
+pub fn word_bounded(hay: &str, pos: usize, len: usize) -> bool {
+    let before = hay[..pos].chars().last();
+    let after = hay[pos + len..].chars().next();
+    !before.map(is_ident).unwrap_or(false) && !after.map(is_ident).unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_separated_from_code() {
+        let lexed = lex(concat!(
+            "// top\n",
+            "fn f() {\n",
+            "    let s = \"Vec::new() inside a string\"; // trailing\n",
+            "    let c = 'x'; let l: &'static str = \"\";\n",
+            "}\n",
+        ));
+        assert!(!lexed.code.text.contains("Vec::new"), "{}", lexed.code.text);
+        assert!(
+            lexed.raw.text.contains("\"Vec::new()inside a string\""),
+            "{}",
+            lexed.raw.text
+        );
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0], (1, " top".to_string()));
+        assert_eq!(lexed.comments[1].0, 3);
+        // Lifetime survived, char literal contents did not.
+        assert!(lexed.code.text.contains("&'static str"));
+        assert!(lexed.code.text.contains("''"));
+    }
+
+    #[test]
+    fn line_map_tracks_multiline_chains() {
+        let lexed = lex("a\n  .lock()\n  .expect(\"store shard poisoned\")\n");
+        let pos = lexed
+            .raw
+            .text
+            .find("expect(\"store shard poisoned\")")
+            .unwrap();
+        assert_eq!(lexed.raw.line_of(pos), 3);
+        assert_eq!(
+            lexed.raw.line_of(lexed.raw.text.find(".lock()").unwrap()),
+            2
+        );
+    }
+
+    #[test]
+    fn ident_boundaries_survive_collapsing() {
+        let lexed = lex("let mut guard = x;\nreturn  value ;");
+        assert_eq!(lexed.code.text, "let mut guard=x;return value;");
+        assert_eq!(normalize_pattern("let  mut\n guard"), "let mut guard");
+        assert_eq!(normalize_pattern("Vec :: new ("), "Vec::new(");
+    }
+
+    #[test]
+    fn raw_strings_and_nested_block_comments() {
+        let lexed = lex("let x = r#\"a \"quoted\" b\"#; /* outer /* inner */ still */ code()");
+        assert!(lexed.code.text.contains("r#\"\"#"));
+        assert!(lexed.raw.text.contains("a\"quoted\"b"));
+        assert!(lexed.code.text.ends_with("code()"));
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].1.contains("inner"));
+    }
+
+    #[test]
+    fn keyword_matching_is_word_bounded() {
+        let lexed = lex("#![forbid(unsafe_code)]\nunsafe { x() }");
+        let hits: Vec<usize> = find_all(&lexed.code.text, "unsafe")
+            .into_iter()
+            .filter(|&p| word_bounded(&lexed.code.text, p, "unsafe".len()))
+            .collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(lexed.code.line_of(hits[0]), 2);
+    }
+}

@@ -1,0 +1,206 @@
+//! `facepoint-analysis` — the workspace's own static-analysis pass.
+//!
+//! Four deny-by-default checkers run over every `.rs` file of the
+//! workspace (a lightweight lexer, not a parser — see [`lexer`]):
+//!
+//! * **lock-discipline** — the declared lock hierarchy in
+//!   `analysis.toml` is enforced against lexical guard scopes, and no
+//!   guard may be held across a blocking call without a recorded
+//!   reason ([`checks::locks`]);
+//! * **no-alloc** — functions marked `// analysis: no_alloc` must not
+//!   lexically reach allocating constructs ([`checks::alloc`]);
+//! * **protocol-drift** — `docs/PROTOCOL.md` §4/§5 cross-checked
+//!   against `proto.rs` and the dispatcher ([`checks::protocol`]);
+//! * **unsafe-audit** — forbid/deny attributes, the unsafe allowlist
+//!   and `// SAFETY:` adjacency ([`checks::unsafety`]).
+//!
+//! The one escape hatch is the pragma
+//! `// analysis: allow(<check>, "<reason>")` ([`pragma`]); suppressed
+//! findings stay in the report with their reasons, and malformed
+//! pragmas are fatal. `docs/ANALYSIS.md` is the user-facing catalogue.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checks;
+pub mod config;
+pub mod lexer;
+pub mod pragma;
+pub mod report;
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use config::Config;
+use report::{Allowed, Finding, Report, CHECK_PRAGMA, CHECK_UNSAFE};
+
+/// All `.rs` files under `root` (relative, `/`-separated, sorted),
+/// minus the `[scan] skip` prefixes.
+fn source_files(root: &Path, cfg: &Config) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let rel = rel_str(root, &path);
+            if cfg
+                .skip
+                .iter()
+                .any(|s| rel == *s || rel.starts_with(&format!("{s}/")))
+            {
+                continue;
+            }
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if name.starts_with('.') || name == "target" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn rel_str(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// The crate `src/` prefix a file belongs to, for the
+/// forbid-promotion rule.
+fn crate_src_prefix(rel: &str) -> Option<&str> {
+    rel.find("/src/").map(|i| &rel[..i + 5])
+}
+
+/// Runs every checker over the tree at `root` and folds in pragma
+/// suppression. This is the whole tool; the binary is argument
+/// parsing around it.
+pub fn run(root: &Path, cfg: &Config) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    let files = source_files(root, cfg)?;
+    report.files_scanned = files.len();
+
+    // Protocol drift first: it also yields the DocSpec the §4
+    // reference scan needs.
+    let doc_spec = if cfg.protocol_doc.is_empty() {
+        None
+    } else {
+        let mut texts = Vec::new();
+        for rel in [&cfg.protocol_doc, &cfg.protocol_impl, &cfg.protocol_server] {
+            match std::fs::read_to_string(root.join(rel)) {
+                Ok(text) => texts.push(text),
+                Err(e) => {
+                    report.findings.push(Finding {
+                        check: report::CHECK_PROTOCOL.to_string(),
+                        file: rel.clone(),
+                        line: 0,
+                        message: format!("protocol anchor unreadable: {e}"),
+                    });
+                    break;
+                }
+            }
+        }
+        if let [doc, proto, server] = texts.as_slice() {
+            let (spec, findings) = checks::protocol::check_texts(
+                doc,
+                proto,
+                server,
+                (&cfg.protocol_doc, &cfg.protocol_impl, &cfg.protocol_server),
+            );
+            report.findings.extend(findings);
+            Some(spec)
+        } else {
+            None
+        }
+    };
+
+    // Per-crate state for the forbid-promotion rule.
+    let mut deny_roots: BTreeMap<String, Vec<(String, pragma::Pragmas)>> = BTreeMap::new();
+    let mut crate_has_unsafe: BTreeMap<String, bool> = BTreeMap::new();
+
+    for rel in &files {
+        let text = std::fs::read_to_string(root.join(rel))?;
+        let lexed = lexer::lex(&text);
+        let pragmas = pragma::collect(rel, &lexed.comments);
+        // Malformed pragmas are fatal and never allowable.
+        report.findings.extend(pragmas.errors.iter().cloned());
+
+        let mut raw: Vec<Finding> = Vec::new();
+        raw.extend(checks::unsafety::check(rel, &lexed, cfg));
+        raw.extend(checks::alloc::check(rel, &lexed, &pragmas.no_alloc, cfg));
+        if cfg.lock_files.iter().any(|f| f == rel) {
+            raw.extend(checks::locks::check(rel, &lexed, cfg));
+        }
+        if let Some(spec) = &doc_spec {
+            raw.extend(checks::protocol::check_references(rel, &text, spec));
+        }
+
+        for finding in raw {
+            debug_assert_ne!(finding.check, CHECK_PRAGMA);
+            match pragmas.allowance(&finding.check, finding.line) {
+                Some(allow) => report.allowed.push(Allowed {
+                    finding,
+                    reason: allow.reason.clone(),
+                }),
+                None => report.findings.push(finding),
+            }
+        }
+
+        if let Some(prefix) = crate_src_prefix(rel) {
+            let has = crate_has_unsafe.entry(prefix.to_string()).or_default();
+            *has |= checks::unsafety::has_unsafe(&lexed);
+            if checks::unsafety::is_crate_root(rel)
+                && checks::unsafety::root_guard(&lexed) == Some(checks::unsafety::RootGuard::Deny)
+            {
+                deny_roots
+                    .entry(prefix.to_string())
+                    .or_default()
+                    .push((rel.clone(), pragmas));
+            }
+        }
+    }
+
+    // Forbid-promotion: `deny` is only justified while the crate
+    // actually contains unsafe somewhere under its `src/`.
+    for (prefix, roots) in &deny_roots {
+        if crate_has_unsafe.get(prefix).copied().unwrap_or(false) {
+            continue;
+        }
+        for (rel, pragmas) in roots {
+            let finding = Finding {
+                check: CHECK_UNSAFE.to_string(),
+                file: rel.clone(),
+                line: 1,
+                message: format!(
+                    "`#![deny(unsafe_code)]` but nothing under {prefix} is unsafe \
+                     — promote to `#![forbid(unsafe_code)]`"
+                ),
+            };
+            match pragmas.allowance(CHECK_UNSAFE, 1) {
+                Some(allow) => report.allowed.push(Allowed {
+                    finding,
+                    reason: allow.reason.clone(),
+                }),
+                None => report.findings.push(finding),
+            }
+        }
+    }
+
+    report.sort();
+    Ok(report)
+}
+
+/// Convenience for tests: run with the config at `root/analysis.toml`.
+pub fn run_with_default_config(root: &Path) -> Result<Report, String> {
+    let cfg = Config::load(&root.join("analysis.toml"))?;
+    run(root, &cfg).map_err(|e| e.to_string())
+}

@@ -1,0 +1,137 @@
+//! The `facepoint-analysis` binary.
+//!
+//! ```text
+//! facepoint-analysis [--root DIR] [--config PATH] [--deny] [--report PATH]
+//! ```
+//!
+//! Exit codes:
+//!
+//! * `0` — clean (or findings present but `--deny` not given: report
+//!   mode still prints and writes everything);
+//! * `1` — findings under `--deny`;
+//! * `2` — malformed `// analysis:` pragmas (always fatal: a typo'd
+//!   pragma must not read as a clean run), or a setup error (bad
+//!   config, unreadable tree).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use facepoint_analysis::config::Config;
+use facepoint_analysis::report::Report;
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    deny: bool,
+    report: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        deny: false,
+        report: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut path_arg = |name: &str| {
+            it.next()
+                .map(PathBuf::from)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--root" => args.root = path_arg("--root")?,
+            "--config" => args.config = Some(path_arg("--config")?),
+            "--report" => args.report = Some(path_arg("--report")?),
+            "--deny" => args.deny = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: facepoint-analysis [--root DIR] [--config PATH] \
+                     [--deny] [--report PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn print_summary(report: &Report) {
+    for a in &report.allowed {
+        let f = &a.finding;
+        eprintln!(
+            "allowed: {}:{} [{}] {} (reason: {})",
+            f.file, f.line, f.check, f.message, a.reason
+        );
+    }
+    for f in &report.findings {
+        eprintln!("error: {}:{} [{}] {}", f.file, f.line, f.check, f.message);
+    }
+    let counts = report.counts();
+    let summary: Vec<String> = counts
+        .iter()
+        .filter(|(_, &n)| n > 0)
+        .map(|(c, n)| format!("{c}: {n}"))
+        .collect();
+    if report.is_clean() {
+        eprintln!(
+            "analysis: clean ({} files scanned, {} allowed)",
+            report.files_scanned,
+            report.allowed.len()
+        );
+    } else {
+        eprintln!(
+            "analysis: {} finding(s) in {} files scanned ({})",
+            report.findings.len(),
+            report.files_scanned,
+            summary.join(", ")
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("facepoint-analysis: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = args
+        .config
+        .unwrap_or_else(|| args.root.join("analysis.toml"));
+    let cfg = match Config::load(&config_path) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("facepoint-analysis: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match facepoint_analysis::run(&args.root, &cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("facepoint-analysis: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print_summary(&report);
+    if let Some(path) = &args.report {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("facepoint-analysis: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if report.has_pragma_errors() {
+        // Unparseable pragmas are fatal even outside --deny: a typo
+        // must not silently check nothing.
+        ExitCode::from(2)
+    } else if args.deny && !report.is_clean() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,170 @@
+//! The `// analysis:` pragma grammar — the one escape hatch.
+//!
+//! Two directives exist (`docs/ANALYSIS.md` is the normative grammar):
+//!
+//! * `// analysis: allow(<check>, "<reason>")` — suppresses findings
+//!   of `<check>` on this line and the next source line. The reason is
+//!   mandatory and non-empty: an allowance without a recorded *why*
+//!   is exactly the kind of silent drift this tool exists to stop.
+//! * `// analysis: no_alloc` — marks the next `fn` as a zero-
+//!   allocation hot path for the allocation checker.
+//!
+//! Anything else after `analysis:` is a **fatal** parse error — the
+//! binary exits non-zero even outside `--deny` mode, because a typo'd
+//! pragma would otherwise read as a clean run while checking nothing.
+
+use crate::report::{Finding, CHECK_PRAGMA};
+
+/// A parsed `allow` pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Source line the pragma sits on (it covers this line and the
+    /// next).
+    pub line: u32,
+    /// The check name being allowed (one of [`KNOWN_CHECKS`]).
+    pub check: String,
+    /// The mandatory quoted justification.
+    pub reason: String,
+}
+
+/// A parsed `no_alloc` mark (applies to the next `fn`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoAllocMark {
+    /// Source line the mark sits on.
+    pub line: u32,
+}
+
+/// Everything pragma-shaped found in one file's comments.
+#[derive(Debug, Default)]
+pub struct Pragmas {
+    /// Well-formed `allow(check, "reason")` pragmas.
+    pub allows: Vec<Allow>,
+    /// `no_alloc` function marks.
+    pub no_alloc: Vec<NoAllocMark>,
+    /// Malformed pragmas, reported as fatal `pragma` findings.
+    pub errors: Vec<Finding>,
+}
+
+/// The checks `allow(...)` may name.
+pub const KNOWN_CHECKS: [&str; 4] = [
+    "lock-discipline",
+    "no-alloc",
+    "protocol-drift",
+    "unsafe-audit",
+];
+
+/// Scans `comments` (from [`crate::lexer::Lexed`]) for pragmas.
+pub fn collect(file: &str, comments: &[(u32, String)]) -> Pragmas {
+    let mut out = Pragmas::default();
+    for (line, text) in comments {
+        let Some(rest) = text.trim_start().strip_prefix("analysis:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        if rest == "no_alloc" {
+            out.no_alloc.push(NoAllocMark { line: *line });
+            continue;
+        }
+        match parse_allow(rest) {
+            Ok((check, reason)) => out.allows.push(Allow {
+                line: *line,
+                check,
+                reason,
+            }),
+            Err(why) => out.errors.push(Finding {
+                check: CHECK_PRAGMA.to_string(),
+                file: file.to_string(),
+                line: *line,
+                message: format!("unparseable pragma `analysis: {rest}`: {why}"),
+            }),
+        }
+    }
+    out
+}
+
+fn parse_allow(rest: &str) -> Result<(String, String), String> {
+    let body = rest
+        .strip_prefix("allow(")
+        .ok_or("expected `allow(<check>, \"<reason>\")` or `no_alloc`")?
+        .strip_suffix(')')
+        .ok_or("missing closing `)`")?;
+    let (check, reason) = body
+        .split_once(',')
+        .ok_or("missing `, \"<reason>\"` — allowances must record why")?;
+    let check = check.trim();
+    if !KNOWN_CHECKS.contains(&check) {
+        return Err(format!(
+            "unknown check {check:?} (one of: {})",
+            KNOWN_CHECKS.join(", ")
+        ));
+    }
+    let reason = reason.trim();
+    let reason = reason
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or("reason must be a quoted string")?;
+    if reason.trim().is_empty() {
+        return Err("reason must not be empty".to_string());
+    }
+    Ok((check.to_string(), reason.to_string()))
+}
+
+impl Pragmas {
+    /// The allow covering `(check, line)`, if any: a pragma suppresses
+    /// its own line and the line below it.
+    pub fn allowance(&self, check: &str, line: u32) -> Option<&Allow> {
+        self.allows
+            .iter()
+            .find(|a| a.check == check && (a.line == line || a.line + 1 == line))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_one(text: &str) -> Pragmas {
+        collect("f.rs", &[(7, text.to_string())])
+    }
+
+    #[test]
+    fn well_formed_pragmas_parse() {
+        let p = collect_one(" analysis: allow(no-alloc, \"warmed caller buffer\")");
+        assert_eq!(p.allows.len(), 1);
+        assert_eq!(p.allows[0].check, "no-alloc");
+        assert_eq!(p.allows[0].reason, "warmed caller buffer");
+        assert!(p.errors.is_empty());
+
+        let p = collect_one(" analysis: no_alloc");
+        assert_eq!(p.no_alloc, [NoAllocMark { line: 7 }]);
+    }
+
+    #[test]
+    fn malformed_pragmas_are_fatal_findings() {
+        for bad in [
+            " analysis: allow(no-alloc)",         // no reason
+            " analysis: allow(no-alloc, \"\")",   // empty reason
+            " analysis: allow(bogus, \"x\")",     // unknown check
+            " analysis: allow(no-alloc, reason)", // unquoted reason
+            " analysis: allwo(no-alloc, \"x\")",  // typo'd directive
+            " analysis: no_allocs",               // typo'd mark
+        ] {
+            let p = collect_one(bad);
+            assert_eq!(p.errors.len(), 1, "{bad:?} should be a parse error");
+            assert!(p.allows.is_empty() && p.no_alloc.is_empty(), "{bad:?}");
+            assert_eq!(p.errors[0].line, 7);
+        }
+        // Ordinary comments mentioning the word are not pragmas.
+        let p = collect_one(" the analysis: see docs");
+        assert!(p.errors.is_empty() && p.allows.is_empty());
+    }
+
+    #[test]
+    fn allowance_covers_own_and_next_line() {
+        let p = collect_one(" analysis: allow(unsafe-audit, \"harness\")");
+        assert!(p.allowance("unsafe-audit", 7).is_some());
+        assert!(p.allowance("unsafe-audit", 8).is_some());
+        assert!(p.allowance("unsafe-audit", 9).is_none());
+        assert!(p.allowance("no-alloc", 8).is_none());
+    }
+}

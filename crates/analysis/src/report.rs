@@ -1,0 +1,202 @@
+//! Findings and the machine-readable report.
+//!
+//! The JSON is hand-serialized in the same style as the bench
+//! trajectory files (`facepoint_bench::json` is the read side);
+//! `check_bench --analysis-report` validates the schema in CI so the
+//! format cannot rot.
+
+use std::collections::BTreeMap;
+
+/// Lock hierarchy + blocking-under-guard violations.
+pub const CHECK_LOCKS: &str = "lock-discipline";
+/// Allocating constructs inside `no_alloc`-marked functions.
+pub const CHECK_ALLOC: &str = "no-alloc";
+/// PROTOCOL.md vs `proto.rs`/`server.rs` drift.
+pub const CHECK_PROTOCOL: &str = "protocol-drift";
+/// Lint attributes, the unsafe allowlist and `SAFETY:` adjacency.
+pub const CHECK_UNSAFE: &str = "unsafe-audit";
+/// Malformed `// analysis:` pragmas — always fatal, never allowable.
+pub const CHECK_PRAGMA: &str = "pragma";
+
+/// Every check name the report's `counts` object carries, in order.
+pub const ALL_CHECKS: [&str; 5] = [
+    CHECK_LOCKS,
+    CHECK_ALLOC,
+    CHECK_PROTOCOL,
+    CHECK_UNSAFE,
+    CHECK_PRAGMA,
+];
+
+/// One violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which checker fired (one of [`ALL_CHECKS`]).
+    pub check: String,
+    /// Path relative to the scan root, `/`-separated.
+    pub file: String,
+    /// 1-based source line (0 for whole-file findings).
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// A finding suppressed by an `allow` pragma, with the recorded
+/// reason — kept in the report so allowances stay auditable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allowed {
+    /// The suppressed violation.
+    pub finding: Finding,
+    /// The pragma's mandatory quoted reason.
+    pub reason: String,
+}
+
+/// The result of one full run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// How many `.rs` files the walk visited.
+    pub files_scanned: usize,
+    /// Unsuppressed violations.
+    pub findings: Vec<Finding>,
+    /// Pragma-suppressed violations, kept auditable.
+    pub allowed: Vec<Allowed>,
+}
+
+impl Report {
+    /// True when the run is clean (suppressed findings do not count).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// True when any finding is a fatal pragma parse error.
+    pub fn has_pragma_errors(&self) -> bool {
+        self.findings.iter().any(|f| f.check == CHECK_PRAGMA)
+    }
+
+    /// Deterministic order: check, then file, then line.
+    pub fn sort(&mut self) {
+        let key = |f: &Finding| (f.check.clone(), f.file.clone(), f.line);
+        self.findings.sort_by_key(key);
+        self.allowed.sort_by_key(|a| key(&a.finding));
+    }
+
+    /// Findings per check, every known check present (zero included).
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts: BTreeMap<&'static str, usize> =
+            ALL_CHECKS.iter().map(|&c| (c, 0)).collect();
+        for f in &self.findings {
+            if let Some(slot) = ALL_CHECKS.iter().find(|&&c| c == f.check) {
+                *counts.get_mut(slot).unwrap() += 1;
+            }
+        }
+        counts
+    }
+
+    /// The machine-readable report (schema version 1).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"tool\": \"facepoint-analysis\",\n");
+        out.push_str("  \"version\": 1,\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str("  \"counts\": {");
+        let counts = self.counts();
+        for (i, (check, n)) in counts.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {n}", json_str(check)));
+        }
+        out.push_str("},\n");
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            push_finding(&mut out, f, None);
+        }
+        out.push_str(if self.findings.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"allowed\": [");
+        for (i, a) in self.allowed.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            push_finding(&mut out, &a.finding, Some(&a.reason));
+        }
+        out.push_str(if self.allowed.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn push_finding(out: &mut String, f: &Finding, reason: Option<&str>) {
+    out.push_str(&format!(
+        "{{\"check\": {}, \"file\": {}, \"line\": {}, \"message\": {}",
+        json_str(&f.check),
+        json_str(&f.file),
+        f.line,
+        json_str(&f.message),
+    ));
+    if let Some(reason) = reason {
+        out.push_str(&format!(", \"reason\": {}", json_str(reason)));
+    }
+    out.push('}');
+}
+
+/// JSON string literal with the mandatory escapes.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_shape() {
+        let mut report = Report {
+            files_scanned: 3,
+            findings: vec![Finding {
+                check: CHECK_ALLOC.into(),
+                file: "b.rs".into(),
+                line: 9,
+                message: "a \"quoted\" message".into(),
+            }],
+            allowed: vec![Allowed {
+                finding: Finding {
+                    check: CHECK_LOCKS.into(),
+                    file: "a.rs".into(),
+                    line: 2,
+                    message: "m".into(),
+                },
+                reason: "why".into(),
+            }],
+        };
+        report.sort();
+        let json = report.to_json();
+        assert!(json.contains("\"tool\": \"facepoint-analysis\""));
+        assert!(json.contains("\"no-alloc\": 1"));
+        assert!(json.contains("\"lock-discipline\": 0"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"reason\": \"why\""));
+        assert_eq!(report.counts()[CHECK_ALLOC], 1);
+        assert!(!report.is_clean());
+    }
+}

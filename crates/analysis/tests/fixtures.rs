@@ -1,0 +1,226 @@
+//! The fixture corpus: every checker is pinned against a known-bad
+//! tree with EXACT finding counts, pragma suppression is proven, the
+//! protocol-drift checker is proven to catch a mutated opcode number
+//! in the real spec, malformed pragmas are proven fatal at the binary
+//! level, and — the seed guarantee — the real workspace analyzes
+//! clean.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use facepoint_analysis::config::Config;
+use facepoint_analysis::report::{CHECK_ALLOC, CHECK_LOCKS, CHECK_PRAGMA, CHECK_UNSAFE};
+use facepoint_analysis::{checks, run, run_with_default_config};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn known_bad_tree_yields_exact_finding_counts() {
+    let root = fixture("bad");
+    let cfg = Config::load(&root.join("analysis.toml")).unwrap();
+    let report = run(&root, &cfg).unwrap();
+    let counts = report.counts();
+    assert_eq!(counts[CHECK_LOCKS], 2, "{:#?}", report.findings);
+    assert_eq!(counts[CHECK_ALLOC], 2, "{:#?}", report.findings);
+    assert_eq!(counts[CHECK_UNSAFE], 4, "{:#?}", report.findings);
+    assert_eq!(counts[CHECK_PRAGMA], 0, "{:#?}", report.findings);
+    assert_eq!(report.findings.len(), 8, "{:#?}", report.findings);
+
+    // The two lock findings are the inverted acquisition and the fsync.
+    let locks: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.check == CHECK_LOCKS)
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(
+        locks.iter().any(|m| m.contains("while holding")),
+        "{locks:?}"
+    );
+    assert!(locks.iter().any(|m| m.contains(".sync_all(")), "{locks:?}");
+
+    // The forbid-promotion rule fired on the unsafe-free `deny` crate.
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.file == "crates/softy/src/lib.rs" && f.message.contains("promote")),
+        "{:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn pragma_suppression_moves_findings_to_allowed_with_reason() {
+    let root = fixture("bad");
+    let cfg = Config::load(&root.join("analysis.toml")).unwrap();
+    let report = run(&root, &cfg).unwrap();
+    assert_eq!(report.allowed.len(), 1, "{:#?}", report.allowed);
+    let a = &report.allowed[0];
+    assert_eq!(a.finding.file, "crates/demo/src/suppressed.rs");
+    assert_eq!(a.finding.check, CHECK_ALLOC);
+    assert_eq!(a.reason, "fixture: suppressed on purpose");
+    // Suppressed means: not in findings.
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.file == "crates/demo/src/suppressed.rs"),
+        "{:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn the_workspace_itself_analyzes_clean() {
+    let report = run_with_default_config(&workspace_root()).unwrap();
+    assert!(
+        report.is_clean(),
+        "the seed must stay clean; findings:\n{:#?}",
+        report.findings
+    );
+    // The intentional journal-under-shard-guard sites (and the warmed
+    // hot-path buffers) are allowed with recorded reasons, not absent.
+    assert!(
+        !report.allowed.is_empty(),
+        "the store's by-design allowances should be on record"
+    );
+    assert!(report.files_scanned > 100);
+}
+
+/// The ISSUE's acceptance criterion for protocol drift: mutating an
+/// opcode number in (a copy of) the real PROTOCOL.md must fail the
+/// checker.
+#[test]
+fn mutating_a_real_opcode_number_is_caught() {
+    let root = workspace_root();
+    let doc = std::fs::read_to_string(root.join("docs/PROTOCOL.md")).unwrap();
+    let proto = std::fs::read_to_string(root.join("crates/serve/src/proto.rs")).unwrap();
+    let server = std::fs::read_to_string(root.join("crates/serve/src/server.rs")).unwrap();
+    let paths = (
+        "docs/PROTOCOL.md",
+        "crates/serve/src/proto.rs",
+        "crates/serve/src/server.rs",
+    );
+
+    // Unmutated: clean.
+    let (spec, findings) = checks::protocol::check_texts(&doc, &proto, &server, paths);
+    assert_eq!(findings, vec![], "{findings:#?}");
+    assert_eq!(spec.opcode_section("CANON"), Some(8));
+
+    // Renumber §4.8 CANON to §4.9: contiguity breaks.
+    let renumbered = doc.replace("### 4.8 `CANON", "### 4.9 `CANON");
+    assert_ne!(renumbered, doc, "the spec moved; update this fixture");
+    let (_, findings) = checks::protocol::check_texts(&renumbered, &proto, &server, paths);
+    assert!(
+        findings.iter().any(|f| f.message.contains("contiguous")),
+        "{findings:#?}"
+    );
+
+    // Rename an opcode in the doc only: both implementation anchors
+    // and the doc side fire.
+    let renamed = doc.replace("### 4.7 `TOP <k>`", "### 4.7 `POP <k>`");
+    assert_ne!(renamed, doc);
+    let (_, findings) = checks::protocol::check_texts(&renamed, &proto, &server, paths);
+    assert!(
+        findings.iter().any(|f| f.message.contains("`TOP`")),
+        "{findings:#?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.message.contains("`POP`")),
+        "{findings:#?}"
+    );
+
+    // Retoken a status row: the §5 cross-check fires.
+    let retok = doc.replace("| 3 | `EUSAGE` |", "| 3 | `EMISUSE` |");
+    assert_ne!(retok, doc);
+    let (_, findings) = checks::protocol::check_texts(&retok, &proto, &server, paths);
+    assert!(
+        findings.iter().any(|f| f.message.contains("EMISUSE")),
+        "{findings:#?}"
+    );
+}
+
+fn run_binary(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_facepoint-analysis"))
+        .args(args)
+        .output()
+        .expect("spawn facepoint-analysis")
+}
+
+#[test]
+fn binary_exit_codes_are_pinned() {
+    let bad = fixture("bad");
+    let bad = bad.to_str().unwrap();
+    // Findings without --deny: report mode, exit 0.
+    assert_eq!(run_binary(&["--root", bad]).status.code(), Some(0));
+    // Findings under --deny: exit 1.
+    assert_eq!(
+        run_binary(&["--root", bad, "--deny"]).status.code(),
+        Some(1)
+    );
+
+    // The clean workspace under --deny: exit 0.
+    let ws = workspace_root();
+    let ws = ws.to_str().unwrap();
+    let out = run_binary(&["--root", ws, "--deny"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn malformed_pragmas_are_fatal_even_without_deny() {
+    let root = fixture("pragma");
+    let root = root.to_str().unwrap();
+    let out = run_binary(&["--root", root]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unparseable pragma"), "{stderr}");
+}
+
+#[test]
+fn report_json_is_written_and_shaped() {
+    let dir = std::env::temp_dir().join(format!("facepoint-analysis-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("report.json");
+    let bad = fixture("bad");
+    let out = run_binary(&[
+        "--root",
+        bad.to_str().unwrap(),
+        "--report",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let json = std::fs::read_to_string(&path).unwrap();
+    for needle in [
+        "\"tool\": \"facepoint-analysis\"",
+        "\"version\": 1",
+        "\"files_scanned\": 5",
+        "\"lock-discipline\": 2",
+        "\"no-alloc\": 2",
+        "\"unsafe-audit\": 4",
+        "\"reason\": \"fixture: suppressed on purpose\"",
+    ] {
+        assert!(json.contains(needle), "missing {needle} in:\n{json}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

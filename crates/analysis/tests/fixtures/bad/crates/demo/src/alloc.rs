@@ -1,0 +1,12 @@
+// No-alloc fixture: a marked hot path reaching two allocating
+// constructs.
+
+// analysis: no_alloc
+pub fn hot(out: &mut Vec<u32>) -> String {
+    out.push(1); // no with_capacity in scope: finding
+    format!("len = {}", out.len()) // finding
+}
+
+pub fn cold() -> Vec<u32> {
+    vec![1, 2, 3] // unmarked: not a finding
+}

@@ -1,0 +1,7 @@
+// A crate root with no unsafe lint attribute (one unsafe-audit
+// finding) and an undocumented, un-allowlisted unsafe block (two
+// more).
+
+pub fn launder(x: &u64) -> u64 {
+    unsafe { std::ptr::read(x) }
+}

@@ -1,0 +1,17 @@
+// Lock-discipline fixture: one out-of-order nested acquisition and
+// one blocking call under a live guard.
+
+impl Demo {
+    fn inverted(&self) {
+        let g = self.inner.lock().unwrap();
+        let h = self.outer.lock().unwrap(); // inward -> outward: finding
+        drop(h);
+        drop(g);
+    }
+
+    fn fsync_under_guard(&self) {
+        let g = self.outer.lock().unwrap();
+        self.file.sync_all().unwrap(); // blocking under guard: finding
+        drop(g);
+    }
+}

@@ -1,0 +1,9 @@
+// Pragma-suppression fixture: the violation below is allowed with a
+// recorded reason, so it lands in the report's `allowed` list and not
+// in `findings`.
+
+// analysis: no_alloc
+pub fn hot() -> String {
+    // analysis: allow(no-alloc, "fixture: suppressed on purpose")
+    String::new()
+}

@@ -1,0 +1,5 @@
+// Forbid-promotion fixture: `deny` with no unsafe anywhere in the
+// crate must be flagged for promotion to `forbid`.
+#![deny(unsafe_code)]
+
+pub fn fine() {}

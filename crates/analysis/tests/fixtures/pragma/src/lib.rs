@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+// A malformed pragma — missing the mandatory reason — must make the
+// binary exit non-zero even without --deny.
+
+// analysis: allow(no-alloc)
+pub fn f() {}

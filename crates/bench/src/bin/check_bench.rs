@@ -6,7 +6,8 @@
 //!     --dir CANDIDATE_DIR [--baseline BASELINE_DIR] \
 //!     [--max-regress 0.25] [--min-journal-ratio 0.6] \
 //!     [--min-queue-speedup 1.0] [--min-sig-speedup 2.3] \
-//!     [--min-certified-ratio 0.25]
+//!     [--min-certified-ratio 0.25] \
+//!     [--analysis-report PATH [--analysis-only]]
 //! ```
 //!
 //! * schema: both files must parse, carry the expected fields, and
@@ -37,9 +38,18 @@
 //!   scheduling noise; gate with an explicit floor on real hardware);
 //! * regression: with `--baseline`, rows sharing an `n` are compared
 //!   and the candidate must reach `1 - max_regress` of the committed
-//!   throughput (default: fail on >25% regression).
+//!   throughput (default: fail on >25% regression);
+//! * analysis report: with `--analysis-report`, the
+//!   `facepoint-analysis --report` JSON (schema version 1, see
+//!   `docs/ANALYSIS.md`) must carry the expected shape: the tool tag,
+//!   a `counts` object naming every checker, and `findings`/`allowed`
+//!   arrays whose entries are fully typed (allowed entries must record
+//!   a non-empty `reason`), with `counts` agreeing with the `findings`
+//!   array. `--analysis-only` skips the bench-file checks so the CI
+//!   `analysis` job can gate the report without trajectory files.
 //!
 //! Exits non-zero with one line per violation.
+#![forbid(unsafe_code)]
 
 use facepoint_bench::json::{parse, Json};
 use facepoint_bench::{arg_num, arg_value};
@@ -256,6 +266,122 @@ fn check_contention(doc: &Json, min_queue_speedup: f64, check: &mut Checker) {
     }
 }
 
+/// Validates a `facepoint-analysis --report` JSON file (schema
+/// version 1): shape, per-entry field types, and `counts` agreeing
+/// with the `findings` array.
+fn check_analysis_report(path: &Path, check: &mut Checker) {
+    const CHECKS: [&str; 5] = [
+        "lock-discipline",
+        "no-alloc",
+        "protocol-drift",
+        "unsafe-audit",
+        "pragma",
+    ];
+    let name = path.display();
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            check.fail(format!("{name}: {e}"));
+            return;
+        }
+    };
+    let doc = match parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            check.fail(format!("{name}: {e}"));
+            return;
+        }
+    };
+    match doc.get("tool").and_then(Json::as_str) {
+        Some("facepoint-analysis") => {}
+        other => check.fail(format!(
+            "{name}: \"tool\" is {other:?}, expected \"facepoint-analysis\""
+        )),
+    }
+    match doc.get("version").and_then(Json::as_f64) {
+        Some(1.0) => {}
+        other => check.fail(format!("{name}: \"version\" is {other:?}, expected 1")),
+    }
+    match doc.get("files_scanned").and_then(Json::as_f64) {
+        Some(v) if v > 0.0 => {}
+        other => check.fail(format!(
+            "{name}: \"files_scanned\" is {other:?}, expected a positive count"
+        )),
+    }
+    let mut declared: BTreeMap<&str, u64> = BTreeMap::new();
+    match doc.get("counts") {
+        Some(counts) => {
+            for c in CHECKS {
+                match counts.get(c).and_then(Json::as_f64) {
+                    Some(v) if v >= 0.0 && v.fract() == 0.0 => {
+                        declared.insert(c, v as u64);
+                    }
+                    other => check.fail(format!(
+                        "{name}: counts[\"{c}\"] is {other:?}, expected a count"
+                    )),
+                }
+            }
+        }
+        None => check.fail(format!("{name}: missing \"counts\" object")),
+    }
+    let mut observed: BTreeMap<&str, u64> = CHECKS.iter().map(|&c| (c, 0)).collect();
+    for list in ["findings", "allowed"] {
+        let Some(entries) = doc.get(list).and_then(Json::as_arr) else {
+            check.fail(format!("{name}: missing \"{list}\" array"));
+            continue;
+        };
+        for (i, entry) in entries.iter().enumerate() {
+            for field in ["check", "file", "message"] {
+                if entry.get(field).and_then(Json::as_str).is_none() {
+                    check.fail(format!("{name} {list}[{i}]: missing string \"{field}\""));
+                }
+            }
+            if entry.get("line").and_then(Json::as_f64).is_none() {
+                check.fail(format!("{name} {list}[{i}]: missing number \"line\""));
+            }
+            if let Some(c) = entry.get("check").and_then(Json::as_str) {
+                match observed.get_mut(c) {
+                    Some(slot) => {
+                        if list == "findings" {
+                            *slot += 1;
+                        }
+                    }
+                    None => check.fail(format!("{name} {list}[{i}]: unknown check {c:?}")),
+                }
+            }
+            if list == "allowed" {
+                // An allowance without a recorded reason is exactly
+                // the audit hole the report exists to close.
+                match entry.get("reason").and_then(Json::as_str) {
+                    Some(r) if !r.trim().is_empty() => {}
+                    _ => check.fail(format!(
+                        "{name} allowed[{i}]: missing non-empty string \"reason\""
+                    )),
+                }
+            }
+        }
+    }
+    for (c, n) in &declared {
+        if observed.get(c) != Some(n) {
+            check.fail(format!(
+                "{name}: counts[\"{c}\"] = {n} but the findings array has {}",
+                observed.get(c).copied().unwrap_or(0)
+            ));
+        }
+    }
+    if check.failures.is_empty() {
+        println!(
+            "{name}: analysis report validated ({} finding(s), {} allowed)",
+            doc.get("findings")
+                .and_then(Json::as_arr)
+                .map_or(0, <[Json]>::len),
+            doc.get("allowed")
+                .and_then(Json::as_arr)
+                .map_or(0, <[Json]>::len),
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let dir = arg_value(&args, "--dir").unwrap_or_else(|| ".".to_string());
@@ -265,10 +391,22 @@ fn main() {
     let min_queue_speedup: f64 = arg_num(&args, "--min-queue-speedup", 1.0);
     let min_sig_speedup: f64 = arg_num(&args, "--min-sig-speedup", 2.3);
     let min_certified_ratio: f64 = arg_num(&args, "--min-certified-ratio", 0.25);
+    let analysis_report = arg_value(&args, "--analysis-report");
+    let analysis_only = args.iter().any(|a| a == "--analysis-only");
     let dir = Path::new(&dir);
     let mut check = Checker {
         failures: Vec::new(),
     };
+
+    if let Some(report) = &analysis_report {
+        check_analysis_report(Path::new(report), &mut check);
+    } else if analysis_only {
+        check.fail("--analysis-only requires --analysis-report".to_string());
+    }
+    if analysis_only {
+        finish(&check);
+        return;
+    }
 
     for schema in &SCHEMAS {
         let candidate = load(dir, schema, &mut check);
@@ -419,6 +557,10 @@ fn main() {
         }
     }
 
+    finish(&check);
+}
+
+fn finish(check: &Checker) {
     if check.failures.is_empty() {
         println!("check_bench: all checks passed");
     } else {

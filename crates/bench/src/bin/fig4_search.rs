@@ -16,6 +16,7 @@
 //! ```text
 //! cargo run --release -p facepoint-bench --bin fig4_search
 //! ```
+#![forbid(unsafe_code)]
 
 use facepoint_exact::are_npn_equivalent;
 use facepoint_sig::{ocv1, ocv2, oiv, osv1};

@@ -17,6 +17,7 @@
 //! ```
 //!
 //! Output is CSV (`n,functions,ours_secs,zhou20_secs`).
+#![forbid(unsafe_code)]
 
 use facepoint_bench::{arg_num, consecutive_workload, random_workload, timed};
 use facepoint_core::Classifier;

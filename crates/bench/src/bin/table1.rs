@@ -5,6 +5,7 @@
 //! ```text
 //! cargo run --release -p facepoint-bench --bin table1
 //! ```
+#![forbid(unsafe_code)]
 
 use facepoint_sig::{ocv1, ocv2, oiv, osdv, osdv1, osv, osv0, osv1};
 use facepoint_truth::TruthTable;

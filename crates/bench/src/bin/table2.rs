@@ -12,6 +12,7 @@
 //! (different benchmark circuits — see DESIGN.md §3), but the column
 //! *ordering* and the arity where each configuration stops being exact
 //! reproduce.
+#![forbid(unsafe_code)]
 
 use facepoint_aig::cut_workload;
 use facepoint_bench::{arg_num, print_row, timed};

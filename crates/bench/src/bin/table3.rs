@@ -15,6 +15,7 @@
 //!   degrading on symmetric workloads;
 //! * ours matches the exact count through `n = 7` at stable, near-linear
 //!   cost, never over-splitting (it can only merge).
+#![forbid(unsafe_code)]
 
 use facepoint_aig::cut_workload;
 use facepoint_bench::{arg_num, print_row, secs, timed};

@@ -17,6 +17,7 @@
 //! The JSON is hand-serialized (no serde in the offline build) and
 //! append-friendly: each run produces one self-contained file that
 //! future PRs diff against to catch regressions.
+#![forbid(unsafe_code)]
 
 use facepoint_bench::{arg_value, balanced_workload, random_workload};
 use facepoint_core::{fnv128, SignatureKernel};

@@ -1,4 +1,5 @@
 //! Thin shell around [`facepoint_cli::run`].
+#![forbid(unsafe_code)]
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -1,52 +1,20 @@
 //! Proves the acceptance property of the signature kernel: **digest
 //! mode performs zero per-function heap allocations in steady state**.
 //!
-//! A counting global allocator wraps the system allocator. After a
-//! warm-up pass grows every scratch buffer to its high-water mark, a
-//! second pass over the same tables must not allocate at all.
-//!
-//! The library crates all keep `#![forbid(unsafe_code)]`; the two
-//! `unsafe` blocks below are confined to this test harness because
-//! implementing `GlobalAlloc` is inherently unsafe — they only delegate
-//! to `std`'s `System` allocator and bump a counter.
+//! A counting global allocator wraps the system allocator (the shared
+//! `facepoint-testsupport` harness — implementing `GlobalAlloc` is
+//! inherently unsafe, and that crate is where the audited `unsafe`
+//! lives). After a warm-up pass grows every scratch buffer to its
+//! high-water mark, a second pass over the same tables must not
+//! allocate at all.
 
 use facepoint_core::SignatureKernel;
 use facepoint_sig::SignatureSet;
+use facepoint_testsupport::{assert_some_pass_allocates_nothing, CountingAllocator};
 use facepoint_truth::TruthTable;
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
-
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-
-struct CountingAllocator;
-
-unsafe impl GlobalAlloc for CountingAllocator {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc_zeroed(layout)
-    }
-}
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
-
-fn allocations() -> u64 {
-    ALLOCATIONS.load(Ordering::Relaxed)
-}
 
 /// A deterministic mixed workload: balanced tables (dual-polarity
 /// path), unbalanced tables of both polarities, and structured
@@ -66,28 +34,6 @@ fn workload(n: usize) -> Vec<TruthTable> {
         fns.push(t);
     }
     fns
-}
-
-/// Runs `pass` up to five times and requires at least one execution
-/// with zero allocations in its window. The counter is process-global,
-/// and the libtest harness's *main* thread occasionally allocates
-/// while the test thread is mid-window (it did so reliably enough on
-/// single-core runners to flake this test) — such foreign noise can
-/// only ever *add* counts, so one clean pass proves the measured code
-/// allocation-free, while code that really allocates fails all five
-/// passes deterministically.
-fn assert_some_pass_allocates_nothing(what: std::fmt::Arguments<'_>, mut pass: impl FnMut()) {
-    let mut deltas = Vec::new();
-    for _ in 0..5 {
-        let before = allocations();
-        pass();
-        let delta = allocations() - before;
-        if delta == 0 {
-            return;
-        }
-        deltas.push(delta);
-    }
-    panic!("{what}: every steady-state pass allocated ({deltas:?})");
 }
 
 // One #[test] on purpose: the allocation counter is process-global, so

@@ -196,6 +196,7 @@ impl OrderSink {
 
     /// Records a classified chunk. One lock per chunk, not per
     /// function; cheap enough that workers apply in their own loop.
+    // analysis: no_alloc
     fn apply(&self, entries: &[(u64, u128)]) {
         if !self.enabled || entries.is_empty() {
             return;
@@ -210,6 +211,7 @@ impl OrderSink {
         for &(seq, key) in entries {
             let id = *ids.entry(key).or_insert_with(|| {
                 let id = u32::try_from(keys.len()).expect("more than u32::MAX classes");
+                // analysis: allow(no-alloc, "interns a NEW class id; grows with distinct classes, not stream length (the flat-memory test pins this)")
                 keys.push(key);
                 id
             });

@@ -10,7 +10,8 @@
 //! (`EngineConfig::track_labels = false`).
 //!
 //! This test wraps the system allocator in a live-byte counter (the
-//! same harness style as `crates/core/tests/zero_alloc.rs`) and streams
+//! shared `facepoint-testsupport` harness, same as
+//! `crates/core/tests/zero_alloc.rs`) and streams
 //! waves of functions through a census-only engine: after a warm-up
 //! wave grows every buffer to its high-water mark, the live-byte count
 //! must stay flat across arbitrarily many further waves. A second
@@ -22,59 +23,17 @@
 //! release stress job scales it to 10⁶ functions via
 //! `MEMORY_STREAM=1000000`.
 //!
-//! The library crates all keep `#![forbid(unsafe_code)]`; the `unsafe`
-//! blocks below are confined to this test harness because implementing
-//! `GlobalAlloc` is inherently unsafe — they only delegate to `std`'s
-//! `System` allocator and keep a byte counter.
+//! The library crates all keep `#![forbid(unsafe_code)]`; the harness's
+//! `unsafe` lives in `facepoint-testsupport`, where it only delegates
+//! to `std`'s `System` allocator and keeps a byte counter.
 
 use facepoint_engine::{Engine, EngineConfig};
+use facepoint_testsupport::{live_bytes, CountingAllocator};
 use facepoint_truth::TruthTable;
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicI64, Ordering};
 use std::time::Duration;
-
-/// Heap bytes currently live (allocated minus deallocated).
-static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
-
-struct CountingAllocator;
-
-unsafe impl GlobalAlloc for CountingAllocator {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let p = System.alloc(layout);
-        if !p.is_null() {
-            LIVE_BYTES.fetch_add(layout.size() as i64, Ordering::Relaxed);
-        }
-        p
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        LIVE_BYTES.fetch_sub(layout.size() as i64, Ordering::Relaxed);
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        let p = System.realloc(ptr, layout, new_size);
-        if !p.is_null() {
-            LIVE_BYTES.fetch_add(new_size as i64 - layout.size() as i64, Ordering::Relaxed);
-        }
-        p
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        let p = System.alloc_zeroed(layout);
-        if !p.is_null() {
-            LIVE_BYTES.fetch_add(layout.size() as i64, Ordering::Relaxed);
-        }
-        p
-    }
-}
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
-
-fn live_bytes() -> i64 {
-    LIVE_BYTES.load(Ordering::Relaxed)
-}
 
 /// A small palette of distinct functions, cycled to build streams of
 /// any length: repeats keep the class store (the state that *should*

@@ -33,6 +33,9 @@ pub fn trigger() {
     TRIGGERED.store(true, Ordering::SeqCst);
 }
 
+// SAFETY: the one unsafe module of the serve crate (allowlisted in
+// analysis.toml): a raw `signal(2)` binding whose handler does nothing
+// but an atomic store, the only async-signal-safe operation used.
 #[cfg(unix)]
 #[allow(unsafe_code)]
 mod imp {
@@ -56,6 +59,10 @@ mod imp {
     /// Installs the latch for SIGTERM and SIGINT.
     pub fn install() {
         let handler = on_signal as extern "C" fn(c_int) as usize;
+        // SAFETY: `signal(2)` with a valid signum and a handler whose
+        // `usize` value is a live `extern "C" fn(c_int)` pointer —
+        // same representation as `sighandler_t`. The handler itself
+        // only performs an atomic store (async-signal-safe).
         unsafe {
             signal(SIGTERM, handler);
             signal(SIGINT, handler);

@@ -136,6 +136,7 @@ impl SigKernel {
     /// Streams the canonical MSV of `f` under `set` into `sink` —
     /// [`crate::msv`] without the `Vec` (and, after warm-up, without
     /// any heap allocation).
+    // analysis: no_alloc
     pub fn msv_to<S: MsvSink + ?Sized>(&mut self, f: &TruthTable, set: SignatureSet, sink: &mut S) {
         self.refresh_cache(f);
         // When OSDV is selected, run the fused sweep up front so the

@@ -63,11 +63,13 @@ impl Counter {
     }
 
     /// Adds `n` to this thread's stripe. Allocation-free, lock-free.
+    // analysis: no_alloc
     pub fn add(&self, n: u64) {
         self.cells[stripe()].0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Adds one.
+    // analysis: no_alloc
     pub fn inc(&self) {
         self.add(1);
     }
@@ -105,11 +107,13 @@ impl Gauge {
     }
 
     /// Adds `n` to this thread's stripe. Allocation-free, lock-free.
+    // analysis: no_alloc
     pub fn add(&self, n: i64) {
         self.cells[stripe()].0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Subtracts `n` from this thread's stripe.
+    // analysis: no_alloc
     pub fn sub(&self, n: i64) {
         self.add(-n);
     }

@@ -81,6 +81,7 @@ impl LatencyHistogram {
 
     /// Records one value. Allocation-free, lock-free: one `fetch_add`
     /// on the bucket, one on the sum, one `fetch_max`.
+    // analysis: no_alloc
     pub fn record(&self, v: u64) {
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
@@ -89,6 +90,7 @@ impl LatencyHistogram {
 
     /// Records a duration as nanoseconds (saturating at `u64::MAX`,
     /// which a latency never reaches).
+    // analysis: no_alloc
     pub fn record_duration(&self, d: std::time::Duration) {
         self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
     }

@@ -4,56 +4,16 @@
 //! survives instrumentation only if `Counter::add`, `Gauge::add` and
 //! `LatencyHistogram::record` never touch the heap.
 //!
-//! Same counting-allocator harness as the engine's memory test; the
-//! `unsafe` blocks only delegate to `System` and keep a byte counter
-//! (the library crates themselves all `#![forbid(unsafe_code)]`).
+//! Same counting-allocator harness as the engine's memory test (the
+//! shared `facepoint-testsupport` crate, where the audited `unsafe`
+//! lives — it only delegates to `System` and keeps a byte counter; the
+//! library crates themselves all `#![forbid(unsafe_code)]`).
 
 use facepoint_telemetry::Registry;
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicI64, Ordering};
-
-/// Heap bytes currently live (allocated minus deallocated).
-static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
-
-struct CountingAllocator;
-
-unsafe impl GlobalAlloc for CountingAllocator {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let p = System.alloc(layout);
-        if !p.is_null() {
-            LIVE_BYTES.fetch_add(layout.size() as i64, Ordering::Relaxed);
-        }
-        p
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        LIVE_BYTES.fetch_sub(layout.size() as i64, Ordering::Relaxed);
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        let p = System.realloc(ptr, layout, new_size);
-        if !p.is_null() {
-            LIVE_BYTES.fetch_add(new_size as i64 - layout.size() as i64, Ordering::Relaxed);
-        }
-        p
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        let p = System.alloc_zeroed(layout);
-        if !p.is_null() {
-            LIVE_BYTES.fetch_add(layout.size() as i64, Ordering::Relaxed);
-        }
-        p
-    }
-}
+use facepoint_testsupport::{live_bytes, CountingAllocator};
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
-
-fn live_bytes() -> i64 {
-    LIVE_BYTES.load(Ordering::Relaxed)
-}
 
 // One #[test] on purpose: the byte counter is process-global, so a
 // second test on a parallel harness thread would bleed its allocations

@@ -1,0 +1,123 @@
+//! Shared test-only harnesses.
+//!
+//! The workspace's three allocation proofs
+//! (`crates/core/tests/zero_alloc.rs`, `crates/engine/tests/memory.rs`,
+//! `crates/telemetry/tests/zero_alloc.rs`) used to each carry their own
+//! copy of a counting `GlobalAlloc` wrapper; this crate is the single
+//! copy. It counts **both** ways the proofs measure:
+//!
+//! * [`allocations()`] — heap allocation *events* (alloc, realloc,
+//!   alloc_zeroed), for "this pass allocates nothing" windows;
+//! * [`live_bytes()`] — bytes currently live (allocated minus freed),
+//!   for "steady-state memory stays flat" windows.
+//!
+//! Each test crate still declares its own `#[global_allocator]` (the
+//! attribute must live in the crate being instrumented):
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: facepoint_testsupport::CountingAllocator =
+//!     facepoint_testsupport::CountingAllocator;
+//! ```
+//!
+//! Implementing `GlobalAlloc` is inherently unsafe, so this crate is
+//! one of the two entries on the unsafe-audit allowlist in
+//! `analysis.toml` (the other is the serve signal handler). It is a
+//! dev-dependency only — nothing shipped links it.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Heap allocation events since process start.
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+/// Heap bytes currently live (allocated minus deallocated).
+static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+
+/// The counting wrapper around [`System`]. Install it with
+/// `#[global_allocator]` in the test crate.
+pub struct CountingAllocator;
+
+// SAFETY: every method delegates verbatim to `System`'s implementation
+// — same layout, same pointer, same contract — and only additionally
+// bumps two process-global atomic counters, which allocate nothing and
+// cannot fail. The usual GlobalAlloc obligations (layout validity,
+// pointer provenance) are discharged by `System` itself.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: delegates to `System.alloc` with the caller's layout;
+    // the counters are only touched on success.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            LIVE_BYTES.fetch_add(layout.size() as i64, Ordering::Relaxed);
+        }
+        p
+    }
+
+    // SAFETY: delegates to `System.dealloc` with the caller's pointer
+    // and layout unchanged.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size() as i64, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    // SAFETY: delegates to `System.realloc`; on success the live-byte
+    // delta is the size difference, and the event counter bumps once.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            LIVE_BYTES.fetch_add(new_size as i64 - layout.size() as i64, Ordering::Relaxed);
+        }
+        p
+    }
+
+    // SAFETY: delegates to `System.alloc_zeroed` with the caller's
+    // layout; the counters are only touched on success.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            LIVE_BYTES.fetch_add(layout.size() as i64, Ordering::Relaxed);
+        }
+        p
+    }
+}
+
+/// Heap allocation events since process start. Only meaningful when
+/// [`CountingAllocator`] is installed as the global allocator.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Heap bytes currently live. Only meaningful when
+/// [`CountingAllocator`] is installed as the global allocator.
+pub fn live_bytes() -> i64 {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+/// Runs `pass` up to five times and requires at least one execution
+/// with zero allocation events in its window. The counter is
+/// process-global, and the libtest harness's *main* thread
+/// occasionally allocates while the test thread is mid-window (it did
+/// so reliably enough on single-core runners to flake the core test) —
+/// such foreign noise can only ever *add* counts, so one clean pass
+/// proves the measured code allocation-free, while code that really
+/// allocates fails all five passes deterministically.
+pub fn assert_some_pass_allocates_nothing(what: std::fmt::Arguments<'_>, mut pass: impl FnMut()) {
+    let mut deltas = Vec::new();
+    for _ in 0..5 {
+        let before = allocations();
+        pass();
+        let delta = allocations() - before;
+        if delta == 0 {
+            return;
+        }
+        deltas.push(delta);
+    }
+    panic!("{what}: every steady-state pass allocated ({deltas:?})");
+}
